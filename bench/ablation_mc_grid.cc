@@ -1,0 +1,107 @@
+// Ablation: Monte-Carlo search resolution (DESIGN.md §4).
+//
+// Algorithm 3 fixes the grid at (N̂−c)/10 θN-steps and 0.1 θλ-steps with a
+// handful of simulation runs per point, arguing the step sizes are "small
+// enough to efficiently model the convex curve, but large enough to be
+// robust to any noise". This bench sweeps grid resolution and
+// runs-per-point and reports estimate quality vs cost.
+//
+// Expected shape: accuracy saturates near the paper's settings; finer grids
+// and more runs cost linearly more time with little accuracy gain — the
+// curve fit already denoises the objective.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/monte_carlo.h"
+#include "simulation/scenarios.h"
+
+namespace uuq {
+namespace {
+
+IntegratedSample MakeSample(uint64_t seed) {
+  SyntheticPopulationConfig pop;
+  pop.num_items = 100;
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  pop.seed = seed;
+  CrowdConfig crowd;
+  crowd.num_workers = 20;
+  crowd.answers_per_worker = 15;
+  crowd.seed = seed * 17 + 1;
+  const Scenario scenario = scenarios::Synthetic(pop, crowd);
+  IntegratedSample sample;
+  for (const Observation& obs : scenario.stream) sample.Add(obs);
+  return sample;
+}
+
+void PrintReproduction() {
+  const int reps = bench::RepsFromEnv(10);
+  bench::PrintHeader(
+      "Ablation: Monte-Carlo grid resolution and runs-per-point (true N=100)",
+      "accuracy saturates near the paper's settings (10 N-steps, a few runs "
+      "per grid point); cost grows linearly with both knobs");
+
+  SeriesTable table("MC search ablation",
+                    {"n_grid_steps", "runs_per_point", "avg_nhat",
+                     "avg_abs_err", "avg_ms_per_call"});
+  for (int grid_steps : {4, 10, 20}) {
+    for (int runs : {1, 3, 8}) {
+      MonteCarloOptions options;
+      options.n_grid_steps = grid_steps;
+      options.runs_per_point = runs;
+      const MonteCarloEstimator mc(options);
+
+      double nhat_sum = 0.0, err_sum = 0.0, ms_sum = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        const IntegratedSample sample = MakeSample(900 + rep);
+        const auto start = std::chrono::steady_clock::now();
+        const double n_hat = mc.EstimateNhat(sample);
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        nhat_sum += n_hat;
+        err_sum += std::fabs(n_hat - 100.0);
+        ms_sum += std::chrono::duration<double, std::milli>(elapsed).count();
+      }
+      table.AddRow({static_cast<double>(grid_steps),
+                    static_cast<double>(runs), nhat_sum / reps,
+                    err_sum / reps, ms_sum / reps});
+    }
+  }
+  bench::PrintTable(table);
+}
+
+void BM_McByGridSteps(benchmark::State& state) {
+  const IntegratedSample sample = MakeSample(1);
+  MonteCarloOptions options;
+  options.n_grid_steps = static_cast<int>(state.range(0));
+  options.runs_per_point = 3;
+  const MonteCarloEstimator mc(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.EstimateNhat(sample));
+  }
+}
+BENCHMARK(BM_McByGridSteps)->Arg(4)->Arg(10)->Arg(20)->Unit(
+    benchmark::kMillisecond);
+
+void BM_McByRuns(benchmark::State& state) {
+  const IntegratedSample sample = MakeSample(1);
+  MonteCarloOptions options;
+  options.runs_per_point = static_cast<int>(state.range(0));
+  const MonteCarloEstimator mc(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.EstimateNhat(sample));
+  }
+}
+BENCHMARK(BM_McByRuns)->Arg(1)->Arg(3)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace uuq
+
+int main(int argc, char** argv) {
+  uuq::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

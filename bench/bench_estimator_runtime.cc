@@ -1,0 +1,103 @@
+// §6.1.5 runtime comparison: on the paper's hardware Monte-Carlo took
+// ≈3.5 s versus ≈0.2 s for the bucket estimator at ~500 crowd answers, and
+// MC run time scales linearly with sample size (the Algorithm 2 inner loop
+// samples n items per run).
+//
+// Expected shape here: MC is 2-4 orders of magnitude slower than bucket and
+// grows roughly linearly in n; naive/freq are effectively free.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "simulation/scenarios.h"
+
+namespace uuq {
+namespace {
+
+const Scenario& BenchScenario() {
+  static const Scenario scenario = scenarios::UsTechEmployment();
+  return scenario;
+}
+
+IntegratedSample SamplePrefix(int64_t n) {
+  const Scenario& scenario = BenchScenario();
+  IntegratedSample sample;
+  for (int64_t i = 0;
+       i < n && i < static_cast<int64_t>(scenario.stream.size()); ++i) {
+    const Observation& obs = scenario.stream[i];
+    sample.Add(obs.source_id, obs.entity_key, obs.value);
+  }
+  return sample;
+}
+
+void BM_Naive(benchmark::State& state) {
+  const IntegratedSample sample = SamplePrefix(state.range(0));
+  const NaiveEstimator naive;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive.EstimateImpact(sample).delta);
+  }
+}
+BENCHMARK(BM_Naive)->Arg(100)->Arg(300)->Arg(500);
+
+void BM_Frequency(benchmark::State& state) {
+  const IntegratedSample sample = SamplePrefix(state.range(0));
+  const FrequencyEstimator freq;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(freq.EstimateImpact(sample).delta);
+  }
+}
+BENCHMARK(BM_Frequency)->Arg(100)->Arg(300)->Arg(500);
+
+void BM_Bucket(benchmark::State& state) {
+  const IntegratedSample sample = SamplePrefix(state.range(0));
+  const BucketSumEstimator bucket;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bucket.EstimateImpact(sample).delta);
+  }
+}
+BENCHMARK(BM_Bucket)->Arg(100)->Arg(300)->Arg(500);
+
+void BM_MonteCarlo(benchmark::State& state) {
+  const IntegratedSample sample = SamplePrefix(state.range(0));
+  const MonteCarloEstimator mc(bench::FastMcOptions());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.EstimateImpact(sample).delta);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MonteCarlo)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(300)
+    ->Arg(400)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+void BM_IncrementalIngest(benchmark::State& state) {
+  const Scenario& scenario = BenchScenario();
+  for (auto _ : state) {
+    IntegratedSample sample;
+    for (const Observation& obs : scenario.stream) {
+      sample.Add(obs.source_id, obs.entity_key, obs.value);
+    }
+    benchmark::DoNotOptimize(sample.Fstats().c());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(scenario.stream.size()));
+}
+BENCHMARK(BM_IncrementalIngest);
+
+}  // namespace
+}  // namespace uuq
+
+int main(int argc, char** argv) {
+  std::printf(
+      "================================================================\n"
+      "Runtime comparison (paper §6.1.5): monte-carlo ~3.5s vs bucket ~0.2s\n"
+      "Paper-shape expectation: MC orders of magnitude slower than bucket,\n"
+      "scaling ~linearly with sample size; naive/freq are negligible.\n"
+      "================================================================\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the per-figure benchmark harnesses.
+//
+// Every bench binary follows the same pattern:
+//   1. print the paper-shaped series/rows (the reproduction artifact),
+//   2. run google-benchmark timings for the estimators it exercises.
+// Repetition counts default to paper-faithful-but-tractable values and can
+// be raised via the UUQ_REPS environment variable for full fidelity.
+#ifndef UUQ_BENCH_BENCH_UTIL_H_
+#define UUQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/bucket.h"
+#include "core/frequency.h"
+#include "core/monte_carlo.h"
+#include "core/naive.h"
+#include "simulation/experiment.h"
+#include "simulation/report.h"
+
+namespace uuq {
+namespace bench {
+
+/// Repetitions for averaged experiments: UUQ_REPS env var or `fallback`.
+inline int RepsFromEnv(int fallback) {
+  const char* env = std::getenv("UUQ_REPS");
+  if (env == nullptr) return fallback;
+  const int parsed = std::atoi(env);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// Monte-Carlo options tuned for sweep benches (still faithful to
+/// Algorithm 3's grid, fewer simulation runs per point).
+inline MonteCarloOptions FastMcOptions() {
+  MonteCarloOptions options;
+  options.runs_per_point = 3;
+  options.n_grid_steps = 10;
+  return options;
+}
+
+/// The paper's four §6.1 estimators, owned together so EstimatorSet pointers
+/// stay valid.
+struct PaperEstimators {
+  NaiveEstimator naive;
+  FrequencyEstimator freq;
+  BucketSumEstimator bucket;
+  MonteCarloEstimator mc{FastMcOptions()};
+
+  EstimatorSet All() const { return {&naive, &freq, &bucket, &mc}; }
+  EstimatorSet NoMc() const { return {&naive, &freq, &bucket}; }
+};
+
+inline void PrintTable(const SeriesTable& table) {
+  std::fputs(table.ToAscii().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+inline void PrintHeader(const std::string& what, const std::string& expect) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("Paper-shape expectation: %s\n", expect.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace uuq
+
+#endif  // UUQ_BENCH_BENCH_UTIL_H_

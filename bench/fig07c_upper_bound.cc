@@ -1,0 +1,123 @@
+// Figure 7(c): the §4 estimation-error upper bound on the synthetic
+// workload (λ=1, ρ=1, 20 sources).
+//
+// Paper shape: the bound is very loose at small n (often unbounded until
+// the Good-Turing tail term drops below 1) and tightens steadily as data
+// accumulates, always sitting above the truth and every point estimate.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/bound.h"
+#include "core/naive.h"
+#include "simulation/scenarios.h"
+
+namespace uuq {
+namespace {
+
+constexpr double kTruth = 50500.0;
+
+std::vector<Observation> MakeStream(uint64_t seed) {
+  SyntheticPopulationConfig pop;
+  pop.num_items = 100;
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  pop.seed = seed;
+  CrowdConfig crowd;
+  crowd.num_workers = 20;
+  crowd.answers_per_worker = 30;
+  crowd.seed = seed * 211 + 5;
+  return scenarios::Synthetic(pop, crowd).stream;
+}
+
+void PrintReproduction() {
+  const int reps = bench::RepsFromEnv(50);
+  const std::vector<int64_t> checkpoints =
+      MakeCheckpoints(600, 60);
+
+  struct Acc {
+    double observed = 0, naive = 0, bound = 0, bucketed = 0;
+    int bound_finite = 0, bucketed_finite = 0;
+  };
+  std::vector<Acc> acc(checkpoints.size());
+
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto stream = MakeStream(4000 + rep);
+    IntegratedSample sample;
+    size_t next = 0;
+    for (size_t i = 0; i < stream.size() && next < checkpoints.size(); ++i) {
+      sample.Add(stream[i].source_id, stream[i].entity_key, stream[i].value);
+      if (static_cast<int64_t>(i) + 1 != checkpoints[next]) continue;
+      const SampleStats stats = SampleStats::FromSample(sample);
+      acc[next].observed += stats.value_sum;
+      const Estimate naive = NaiveEstimator().FromStats(stats);
+      if (std::isfinite(naive.corrected_sum)) {
+        acc[next].naive += naive.corrected_sum;
+      }
+      const SumUpperBound bound = ComputeSumUpperBound(stats);
+      if (bound.finite) {
+        acc[next].bound += bound.phi_upper;
+        acc[next].bound_finite += 1;
+      }
+      // Our tighter per-bucket (Bonferroni-corrected) extension.
+      const SumUpperBound bucketed = ComputeBucketedSumUpperBound(sample);
+      if (bucketed.finite) {
+        acc[next].bucketed += bucketed.phi_upper;
+        acc[next].bucketed_finite += 1;
+      }
+      ++next;
+    }
+  }
+
+  bench::PrintHeader(
+      "Figure 7(c): §4 worst-case upper bound (99% count bound, 3-sigma "
+      "value bound)",
+      "bound is loose early (or unbounded), tightens with n, and always "
+      "dominates truth and estimates. The per-bucket extension (bucketed) "
+      "can only tighten when every bucket's Good-Turing tail term "
+      "(2sqrt2+sqrt3)*sqrt(ln(3k/d)/n_b) stays below 1 - at these sample "
+      "sizes it falls back to the global bound, confirming the paper's "
+      "remark that genuinely tighter bounds need new machinery");
+  SeriesTable table("Figure 7(c) series",
+                    {"n", "observed", "naive", "bound", "bound/truth",
+                     "bucketed", "bucketed/truth", "finite_frac", "truth"});
+  for (size_t i = 0; i < checkpoints.size(); ++i) {
+    const double denom = static_cast<double>(reps);
+    const double bound_avg =
+        acc[i].bound_finite > 0 ? acc[i].bound / acc[i].bound_finite
+                                : std::numeric_limits<double>::infinity();
+    const double bucketed_avg =
+        acc[i].bucketed_finite > 0
+            ? acc[i].bucketed / acc[i].bucketed_finite
+            : std::numeric_limits<double>::infinity();
+    table.AddRow({static_cast<double>(checkpoints[i]),
+                  acc[i].observed / denom, acc[i].naive / denom, bound_avg,
+                  bound_avg / kTruth, bucketed_avg, bucketed_avg / kTruth,
+                  acc[i].bound_finite / denom, kTruth});
+  }
+  bench::PrintTable(table);
+}
+
+void BM_UpperBound(benchmark::State& state) {
+  const auto stream = MakeStream(1);
+  IntegratedSample sample;
+  for (const Observation& obs : stream) {
+    sample.Add(obs.source_id, obs.entity_key, obs.value);
+  }
+  const SampleStats stats = SampleStats::FromSample(sample);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSumUpperBound(stats).phi_upper);
+  }
+}
+BENCHMARK(BM_UpperBound);
+
+}  // namespace
+}  // namespace uuq
+
+int main(int argc, char** argv) {
+  uuq::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

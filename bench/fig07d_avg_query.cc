@@ -1,0 +1,102 @@
+// Figure 7(d): SELECT AVG(attr) — correcting the publicity-value bias.
+//
+// Paper shape: with ρ = 1 popular items are high-valued, so the observed
+// average starts far ABOVE the true mean (505) and drifts down slowly; mean
+// substitution keeps the estimate identical to the observed AVG (that is
+// why only bucket is plotted); the bucket-weighted correction pulls the
+// estimate near the truth much earlier.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/avg.h"
+#include "simulation/scenarios.h"
+
+namespace uuq {
+namespace {
+
+constexpr double kTrueAvg = 505.0;
+
+std::vector<Observation> MakeStream(uint64_t seed) {
+  SyntheticPopulationConfig pop;
+  pop.num_items = 100;
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  pop.seed = seed;
+  CrowdConfig crowd;
+  crowd.num_workers = 20;
+  crowd.answers_per_worker = 30;
+  crowd.seed = seed * 313 + 9;
+  return scenarios::Synthetic(pop, crowd).stream;
+}
+
+void PrintReproduction() {
+  const int reps = bench::RepsFromEnv(50);
+  const std::vector<int64_t> checkpoints = MakeCheckpoints(600, 60);
+
+  struct Acc {
+    double observed_avg = 0;
+    double bucket_avg = 0;
+    int bucket_finite = 0;
+  };
+  std::vector<Acc> acc(checkpoints.size());
+
+  const AvgEstimator avg;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto stream = MakeStream(5000 + rep);
+    IntegratedSample sample;
+    size_t next = 0;
+    for (size_t i = 0; i < stream.size() && next < checkpoints.size(); ++i) {
+      sample.Add(stream[i].source_id, stream[i].entity_key, stream[i].value);
+      if (static_cast<int64_t>(i) + 1 != checkpoints[next]) continue;
+      const SampleStats stats = SampleStats::FromSample(sample);
+      acc[next].observed_avg += stats.ValueMean();
+      const Estimate est = avg.EstimateAvg(sample);
+      if (est.finite && std::isfinite(est.corrected_sum)) {
+        acc[next].bucket_avg += est.corrected_sum;
+        acc[next].bucket_finite += 1;
+      }
+      ++next;
+    }
+  }
+
+  bench::PrintHeader(
+      "Figure 7(d): AVG query under publicity-value correlation",
+      "observed AVG biased high (popular = high value); bucket-weighted "
+      "correction lands near the true mean 505 early");
+  SeriesTable table("Figure 7(d) series",
+                    {"n", "observed_avg", "bucket_avg", "true_avg"});
+  for (size_t i = 0; i < checkpoints.size(); ++i) {
+    table.AddRow(
+        {static_cast<double>(checkpoints[i]),
+         acc[i].observed_avg / reps,
+         acc[i].bucket_finite > 0 ? acc[i].bucket_avg / acc[i].bucket_finite
+                                  : 0.0,
+         kTrueAvg});
+  }
+  bench::PrintTable(table);
+}
+
+void BM_AvgCorrection(benchmark::State& state) {
+  const auto stream = MakeStream(1);
+  IntegratedSample sample;
+  for (const Observation& obs : stream) {
+    sample.Add(obs.source_id, obs.entity_key, obs.value);
+  }
+  const AvgEstimator avg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avg.EstimateAvg(sample).corrected_sum);
+  }
+}
+BENCHMARK(BM_AvgCorrection);
+
+}  // namespace
+}  // namespace uuq
+
+int main(int argc, char** argv) {
+  uuq::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The paper's Proton-beam use case (§6.1.4): evidence-based-medicine
+// researchers crowdsource abstract screening and ask how many patients, in
+// total, participated in charged-particle radiation-therapy studies:
+//
+//   SELECT SUM(participants) FROM proton_beam_studies
+//
+// Unlike the other experiments this query has NO known ground truth — which
+// is exactly when unknown-unknowns estimation earns its keep: the corrected
+// answer plus the worst-case bound gives the researchers a defensible range
+// instead of a silent undercount.
+//
+// Build & run:  ./build/examples/evidence_medicine
+#include <cstdio>
+
+#include "core/query_correction.h"
+#include "integration/diagnostics.h"
+#include "simulation/scenarios.h"
+
+int main() {
+  using namespace uuq;
+
+  const Scenario scenario = scenarios::ProtonBeam();
+  IntegratedSample sample;
+  for (const Observation& obs : scenario.stream) {
+    sample.Add(obs.source_id, obs.entity_key, obs.value);
+  }
+
+  std::printf("Screened %lld abstract reviews covering %lld distinct "
+              "studies.\n",
+              static_cast<long long>(sample.n()),
+              static_cast<long long>(sample.c()));
+
+  const SourceImbalanceReport imbalance = AnalyzeSourceImbalance(sample);
+  std::printf("Worker balance: %lld workers, largest share %.1f%%, "
+              "streaker suspected: %s\n\n",
+              static_cast<long long>(imbalance.num_sources),
+              100.0 * imbalance.max_share,
+              imbalance.streaker_suspected ? "yes" : "no");
+
+  const QueryCorrector corrector;
+  auto answer = corrector.Correct(sample, AggregateKind::kSum);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", answer.value().ToString().c_str());
+
+  std::printf(
+      "\nReading: the closed-world answer undercounts by construction; the\n"
+      "corrected estimate is the library's best guess and the bound is a\n"
+      "99%% worst case. The paper's reference estimate for this question\n"
+      "was ~95,000 participants.\n");
+
+  // How much of the study population have we even seen?
+  auto count = corrector.Correct(sample, AggregateKind::kCount);
+  if (count.ok()) {
+    std::printf("\nStudy-count view: observed %0.f studies, estimated %.0f "
+                "exist (≈ %.0f unseen)\n",
+                count.value().observed, count.value().corrected,
+                count.value().estimate.missing_count);
+  }
+  return 0;
+}

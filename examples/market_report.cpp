@@ -1,0 +1,92 @@
+// End-to-end "analyst" workflow: observations arrive as a CSV export,
+// entities carry a sector category, and the report needs per-sector
+// corrected totals plus a bootstrap confidence interval.
+//
+// Demonstrates: CSV ingestion, categories, GROUP BY correction, bootstrap.
+//
+// Build & run:  ./build/examples/market_report
+#include <cstdio>
+
+#include "core/bootstrap.h"
+#include "core/bucket.h"
+#include "core/query_correction.h"
+#include "db/csv.h"
+#include "simulation/crowd.h"
+#include "simulation/population.h"
+
+int main() {
+  using namespace uuq;
+
+  // Simulate the CSV export: a crowd surveyed companies from two sectors.
+  SyntheticPopulationConfig hw_pop;
+  hw_pop.num_items = 60;
+  hw_pop.lambda = 1.5;
+  hw_pop.rho = 1.0;
+  hw_pop.seed = 21;
+  const Population hardware = MakeSyntheticPopulation(hw_pop);
+  SyntheticPopulationConfig sw_pop = hw_pop;
+  sw_pop.num_items = 80;
+  sw_pop.seed = 22;
+  const Population software = MakeSyntheticPopulation(sw_pop);
+
+  CrowdConfig crowd;
+  crowd.num_workers = 12;
+  crowd.answers_per_worker = 25;
+  crowd.seed = 23;
+
+  std::vector<Observation> stream;
+  for (const Observation& obs :
+       CrowdSimulator(&hardware, crowd).GenerateStream()) {
+    stream.push_back({obs.source_id, "hw-" + obs.entity_key, obs.value,
+                      "hardware"});
+  }
+  crowd.seed = 24;
+  for (const Observation& obs :
+       CrowdSimulator(&software, crowd).GenerateStream()) {
+    stream.push_back({"sw" + obs.source_id, "sw-" + obs.entity_key, obs.value,
+                      "software"});
+  }
+
+  // Round-trip through CSV, as an analyst pipeline would.
+  const std::string csv = WriteObservationsCsv(stream);
+  auto loaded = ReadObservationsCsv(csv);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Loaded %zu observations from CSV (%zu bytes)\n\n",
+              loaded.value().size(), csv.size());
+
+  // NOTE: the CSV observation format carries (source, entity, value); the
+  // category travels with the entity key prefix here, so re-attach it.
+  IntegratedSample sample;
+  for (const Observation& obs : loaded.value()) {
+    const bool is_hw = obs.entity_key.rfind("hw-", 0) == 0;
+    sample.Add(obs.source_id, obs.entity_key, obs.value,
+               is_hw ? "hardware" : "software");
+  }
+
+  // Per-sector corrected totals.
+  const QueryCorrector corrector;
+  auto grouped = corrector.CorrectGroupedSql(
+      sample, "SELECT SUM(value) FROM market GROUP BY category");
+  if (!grouped.ok()) {
+    std::fprintf(stderr, "%s\n", grouped.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", grouped.value().ToString().c_str());
+  std::printf("(hidden truths: hardware %.0f, software %.0f)\n\n",
+              hardware.TrueSum(), software.TrueSum());
+
+  // Bootstrap CI on the overall corrected total.
+  const BucketSumEstimator bucket;
+  BootstrapOptions boot;
+  boot.replicates = 150;
+  const BootstrapInterval ci = BootstrapCorrectedSum(sample, bucket, boot);
+  std::printf("Overall corrected SUM: %.0f   95%% bootstrap CI: [%.0f, %.0f] "
+              "(%d finite replicates)\n",
+              ci.point, ci.lo, ci.hi, ci.finite_replicates);
+  std::printf("Hidden overall truth:  %.0f\n",
+              hardware.TrueSum() + software.TrueSum());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// MIN/MAX trust reporting (paper §5, Figure 7(e)(f)).
+//
+// Extremes cannot be extrapolated, but the library can say WHEN the
+// observed extreme deserves trust: it partitions the value range, estimates
+// the unknown-unknowns count in the extreme bucket, and only claims the
+// observed MIN/MAX when that count is (near) zero. This example watches the
+// claims flip on as a crowd stream accumulates.
+//
+// Build & run:  ./build/examples/minmax_trust
+#include <cstdio>
+
+#include "core/minmax.h"
+#include "simulation/crowd.h"
+#include "simulation/population.h"
+
+int main() {
+  using namespace uuq;
+
+  // 100 items with values 10..1000; larger values are more public (ρ = 1),
+  // so the MAX is discovered early and the MIN very late.
+  SyntheticPopulationConfig pop;
+  pop.num_items = 100;
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  pop.seed = 11;
+  const Population population = MakeSyntheticPopulation(pop);
+
+  CrowdConfig crowd;
+  crowd.num_workers = 20;
+  crowd.answers_per_worker = 30;
+  crowd.seed = 12;
+  const CrowdSimulator simulator(&population, crowd);
+
+  const MinMaxEstimator minmax;
+  IntegratedSample sample;
+  std::printf("true MAX = %.0f, true MIN = %.0f\n\n", population.TrueMax(),
+              population.TrueMin());
+  std::printf("%6s  %22s  %22s\n", "n", "MAX (claimed?)", "MIN (claimed?)");
+
+  int i = 0;
+  for (const Observation& obs : simulator.GenerateStream()) {
+    sample.Add(obs.source_id, obs.entity_key, obs.value);
+    if (++i % 60 != 0) continue;
+    const ExtremeEstimate max_est = minmax.EstimateMax(sample);
+    const ExtremeEstimate min_est = minmax.EstimateMin(sample);
+    std::printf("%6d  %10.0f (%s, ~%.1f unseen)  %10.0f (%s, ~%.1f unseen)\n",
+                i, max_est.observed_extreme,
+                max_est.claim_true_extreme ? "TRUST" : "wait ",
+                max_est.extreme_bucket_missing, min_est.observed_extreme,
+                min_est.claim_true_extreme ? "TRUST" : "wait ",
+                min_est.extreme_bucket_missing);
+  }
+
+  std::printf(
+      "\nReading: 'TRUST' means the extreme bucket's unknown-unknowns count\n"
+      "estimate rounds to zero — report the observed extreme as the true\n"
+      "one. Under ρ = 1 the MAX earns trust long before the MIN (small\n"
+      "items hide in the unpopular tail), mirroring Figure 7(e)(f).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Lightweight assertion and utility macros shared by every uuq module.
+//
+// UUQ_CHECK is an always-on invariant check (it survives release builds):
+// estimator math silently producing NaN/garbage is far more expensive to
+// debug than the cost of a predictable branch. UUQ_DCHECK compiles away in
+// release builds and is used on hot per-observation paths.
+#ifndef UUQ_COMMON_MACROS_H_
+#define UUQ_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define UUQ_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "UUQ_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define UUQ_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "UUQ_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define UUQ_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define UUQ_DCHECK(cond) UUQ_CHECK(cond)
+#endif
+
+// Marks intentionally unused parameters (e.g. interface defaults).
+#define UUQ_UNUSED(x) (void)(x)
+
+#endif  // UUQ_COMMON_MACROS_H_

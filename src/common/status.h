@@ -1,0 +1,114 @@
+// Error handling for uuq.
+//
+// The library does not throw exceptions (Google C++ style). Fallible
+// operations return Status, or Result<T> when they produce a value. Both are
+// cheap value types; the error branch allocates only when a message is set.
+#ifndef UUQ_COMMON_STATUS_H_
+#define UUQ_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace uuq {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kNumericError,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Default constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error, in the spirit of absl::StatusOr / std::expected.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites readable:
+  //   Result<int> F() { if (bad) return Status::InvalidArgument("x"); return 3; }
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    UUQ_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Aborts when holding an error; call ok()
+  /// first, exactly like absl::StatusOr.
+  const T& value() const& {
+    UUQ_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    UUQ_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    UUQ_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_COMMON_STATUS_H_

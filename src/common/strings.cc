@@ -1,0 +1,98 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace uuq {
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatDouble(double v, int precision) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  // Trim trailing zeros but keep at least one decimal digit.
+  std::string s(buf);
+  size_t dot = s.find('.');
+  if (dot != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (last == dot) last = dot + 1;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+std::string PadRight(std::string s, size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+std::string PadLeft(std::string s, size_t width) {
+  if (s.size() < width) s.insert(s.begin(), width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace uuq

@@ -1,0 +1,72 @@
+#include "core/advisor.h"
+
+#include "core/bucket.h"
+#include "stats/coverage.h"
+
+namespace uuq {
+
+const char* EstimatorChoiceName(EstimatorChoice choice) {
+  switch (choice) {
+    case EstimatorChoice::kCollectMoreData:
+      return "collect-more-data";
+    case EstimatorChoice::kBucket:
+      return "bucket";
+    case EstimatorChoice::kMonteCarlo:
+      return "monte-carlo";
+  }
+  return "?";
+}
+
+Advice EstimatorAdvisor::Advise(const IntegratedSample& sample) const {
+  Advice advice;
+  const SampleStats stats = SampleStats::FromSample(sample);
+  advice.coverage = stats.Coverage();
+  advice.num_sources = sample.num_sources();
+
+  const SourceImbalanceReport imbalance = AnalyzeSourceImbalance(
+      sample, options_.max_share_threshold, options_.gini_threshold);
+  advice.streaker_suspected = imbalance.streaker_suspected;
+
+  if (advice.coverage < options_.coverage_threshold) {
+    advice.choice = EstimatorChoice::kCollectMoreData;
+    advice.rationale =
+        "sample coverage " + std::to_string(advice.coverage) +
+        " is below the 0.4 reliability gate (Chao92 is inaccurate at very "
+        "low coverage); collect more overlapping sources first";
+    return advice;
+  }
+  if (advice.streaker_suspected) {
+    advice.choice = EstimatorChoice::kMonteCarlo;
+    advice.rationale =
+        "source contributions are uneven (dominant source '" +
+        imbalance.dominant_source + "' holds " +
+        std::to_string(imbalance.max_share) +
+        " of observations); Chao92-based estimators assume a sample with "
+        "replacement and overestimate under streakers — use Monte-Carlo";
+    return advice;
+  }
+  if (advice.num_sources < options_.min_sources) {
+    advice.choice = EstimatorChoice::kMonteCarlo;
+    advice.rationale =
+        "only " + std::to_string(advice.num_sources) +
+        " sources; the with-replacement approximation needs ~5 or more "
+        "evenly contributing sources (Appendix E) — use Monte-Carlo";
+    return advice;
+  }
+  advice.choice = EstimatorChoice::kBucket;
+  advice.rationale =
+      "coverage is sufficient and sources contribute evenly; the dynamic "
+      "bucket estimator is the most accurate choice";
+  return advice;
+}
+
+std::unique_ptr<SumEstimator> EstimatorAdvisor::MakeRecommended(
+    const IntegratedSample& sample) const {
+  const Advice advice = Advise(sample);
+  if (advice.choice == EstimatorChoice::kMonteCarlo) {
+    return std::make_unique<MonteCarloEstimator>(options_.mc_options);
+  }
+  return std::make_unique<BucketSumEstimator>();
+}
+
+}  // namespace uuq

@@ -1,0 +1,60 @@
+// Estimator selection advice (paper §6.5 "Which Estimator To Use").
+//
+// The decision rules the paper distills from its evaluation:
+//  * Ĉ < 0.4                         -> estimates are unreliable; collect more
+//  * streakers / uneven sources      -> Monte-Carlo (simulation-based, robust)
+//  * fewer than ~5 sources           -> Monte-Carlo (with-replacement
+//                                       approximation not yet valid, App. E)
+//  * otherwise                       -> dynamic bucket (most accurate)
+#ifndef UUQ_CORE_ADVISOR_H_
+#define UUQ_CORE_ADVISOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/estimate.h"
+#include "core/monte_carlo.h"
+#include "integration/diagnostics.h"
+
+namespace uuq {
+
+enum class EstimatorChoice { kCollectMoreData, kBucket, kMonteCarlo };
+
+const char* EstimatorChoiceName(EstimatorChoice choice);
+
+struct Advice {
+  EstimatorChoice choice = EstimatorChoice::kCollectMoreData;
+  double coverage = 0.0;
+  int64_t num_sources = 0;
+  bool streaker_suspected = false;
+  std::string rationale;
+};
+
+class EstimatorAdvisor {
+ public:
+  struct Options {
+    double coverage_threshold = 0.4;   // §6.5 gate
+    int64_t min_sources = 5;           // Appendix E
+    double max_share_threshold = 0.5;  // streaker heuristics
+    double gini_threshold = 0.6;
+    MonteCarloOptions mc_options;
+  };
+
+  EstimatorAdvisor() : EstimatorAdvisor(Options{}) {}
+  explicit EstimatorAdvisor(Options options) : options_(std::move(options)) {}
+
+  Advice Advise(const IntegratedSample& sample) const;
+
+  /// Instantiates the recommended SUM estimator. For kCollectMoreData the
+  /// bucket estimator is returned (least harmful default) — callers should
+  /// still surface the low-coverage warning from Advise().
+  std::unique_ptr<SumEstimator> MakeRecommended(
+      const IntegratedSample& sample) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_CORE_ADVISOR_H_

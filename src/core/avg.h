@@ -1,0 +1,39 @@
+// AVG queries under unknown unknowns (paper §5).
+//
+// The observed mean is consistent by the law of large numbers UNLESS
+// publicity and value are correlated, which biases the sample. The bucket
+// correction weights per-bucket corrected totals by per-bucket N̂:
+//
+//   AVG ≈ Σ_b (φ_b + Δ_b) / Σ_b N̂_b
+//
+// i.e. the corrected SUM over the corrected COUNT, computed bucket-wise so
+// the publicity-value correlation is contained within buckets.
+#ifndef UUQ_CORE_AVG_H_
+#define UUQ_CORE_AVG_H_
+
+#include <memory>
+
+#include "core/bucket.h"
+#include "core/estimate.h"
+
+namespace uuq {
+
+class AvgEstimator {
+ public:
+  /// Defaults to the dynamic-bucket estimator (the paper's Figure 7 setup).
+  AvgEstimator() : bucket_(std::make_shared<BucketSumEstimator>()) {}
+  explicit AvgEstimator(std::shared_ptr<const BucketSumEstimator> bucket)
+      : bucket_(std::move(bucket)) {}
+
+  /// corrected_sum holds the corrected AVG; delta the adjustment vs the
+  /// observed mean. Falls back to the observed mean (delta = 0, finite =
+  /// false) when a bucket count estimate degenerates to infinity.
+  Estimate EstimateAvg(const IntegratedSample& sample) const;
+
+ private:
+  std::shared_ptr<const BucketSumEstimator> bucket_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_CORE_AVG_H_

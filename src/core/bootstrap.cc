@@ -1,0 +1,111 @@
+#include "core/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/macros.h"
+#include "stats/descriptive.h"
+
+namespace uuq {
+
+IntegratedSample ResampleSources(const IntegratedSample& sample, Rng* rng) {
+  UUQ_CHECK(rng != nullptr);
+  // Group the raw observation stream by source, preserving intra-source
+  // order (a source's claims stay a without-replacement draw).
+  std::map<std::string, std::vector<Observation>> by_source;
+  for (const Observation& obs : sample.ObservationLog()) {
+    by_source[obs.source_id].push_back(obs);
+  }
+  std::vector<const std::vector<Observation>*> sources;
+  sources.reserve(by_source.size());
+  for (const auto& [id, observations] : by_source) {
+    sources.push_back(&observations);
+  }
+
+  IntegratedSample resampled(sample.policy());
+  if (sources.empty()) return resampled;
+  const size_t l = sources.size();
+  for (size_t draw = 0; draw < l; ++draw) {
+    const auto* source = sources[rng->NextBounded(l)];
+    // Fresh identity per draw: the same original source drawn twice acts as
+    // two independent sources (standard bootstrap-of-clusters semantics).
+    const std::string identity = "bs" + std::to_string(draw);
+    for (const Observation& obs : *source) {
+      resampled.Add(identity, obs.entity_key, obs.value);
+    }
+  }
+  return resampled;
+}
+
+BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
+                                        const SumEstimator& estimator,
+                                        const BootstrapOptions& options) {
+  UUQ_CHECK_MSG(options.replicates > 0, "need at least one replicate");
+  UUQ_CHECK_MSG(options.confidence > 0.0 && options.confidence < 1.0,
+                "confidence must be in (0,1)");
+  BootstrapInterval interval;
+  interval.point = estimator.EstimateImpact(sample).corrected_sum;
+
+  Rng rng(options.seed);
+  interval.replicates.reserve(options.replicates);
+  for (int b = 0; b < options.replicates; ++b) {
+    const IntegratedSample resampled = ResampleSources(sample, &rng);
+    const double value = estimator.EstimateImpact(resampled).corrected_sum;
+    if (std::isfinite(value)) interval.replicates.push_back(value);
+  }
+  interval.finite_replicates = static_cast<int>(interval.replicates.size());
+  if (interval.replicates.empty()) {
+    interval.lo = interval.hi = interval.median = interval.point;
+    return interval;
+  }
+  std::sort(interval.replicates.begin(), interval.replicates.end());
+  const double alpha = (1.0 - options.confidence) / 2.0;
+  interval.lo = Quantile(interval.replicates, alpha);
+  interval.hi = Quantile(interval.replicates, 1.0 - alpha);
+  interval.median = Quantile(interval.replicates, 0.5);
+  return interval;
+}
+
+JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
+                                        const SumEstimator& estimator,
+                                        double z) {
+  JackknifeInterval interval;
+  interval.point = estimator.EstimateImpact(sample).corrected_sum;
+  interval.sources = static_cast<int>(sample.num_sources());
+  interval.lo = interval.hi = interval.point;
+  if (interval.sources < 2) return interval;
+
+  std::vector<std::string> source_ids;
+  source_ids.reserve(sample.source_sizes().size());
+  for (const auto& [id, size] : sample.source_sizes()) {
+    source_ids.push_back(id);
+  }
+
+  // Group observations once; build each leave-one-out sample by replay.
+  const std::vector<Observation> log = sample.ObservationLog();
+  std::vector<double> replicates;
+  replicates.reserve(source_ids.size());
+  for (const std::string& excluded : source_ids) {
+    IntegratedSample loo(sample.policy());
+    for (const Observation& obs : log) {
+      if (obs.source_id == excluded) continue;
+      loo.Add(obs);
+    }
+    const double value = estimator.EstimateImpact(loo).corrected_sum;
+    if (std::isfinite(value)) replicates.push_back(value);
+  }
+  interval.finite_replicates = static_cast<int>(replicates.size());
+  if (replicates.size() < 2) return interval;
+
+  const double l = static_cast<double>(replicates.size());
+  const double mean = Mean(replicates);
+  double ss = 0.0;
+  for (double r : replicates) ss += (r - mean) * (r - mean);
+  interval.standard_error = std::sqrt((l - 1.0) / l * ss);
+  interval.lo = interval.point - z * interval.standard_error;
+  interval.hi = interval.point + z * interval.standard_error;
+  return interval;
+}
+
+}  // namespace uuq

@@ -1,0 +1,73 @@
+// Bootstrap confidence intervals for unknown-unknowns-corrected answers.
+//
+// The paper's §6.5 "Trust In The Results" discussion gives a point estimate
+// and a loose worst-case bound; a natural strengthening (and a common
+// request for production use) is a resampling interval. Sources are the
+// independent sampling units of the §2.2 model, so we bootstrap at SOURCE
+// granularity: draw l sources with replacement, replay their observations
+// (a resampled source keeps its internal without-replacement property), and
+// re-run the estimator. Percentile intervals over B replicates.
+#ifndef UUQ_CORE_BOOTSTRAP_H_
+#define UUQ_CORE_BOOTSTRAP_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/estimate.h"
+
+namespace uuq {
+
+struct BootstrapOptions {
+  int replicates = 200;
+  double confidence = 0.95;  ///< central interval mass
+  uint64_t seed = 0xB007ull;
+};
+
+struct BootstrapInterval {
+  double point = 0.0;    ///< estimate on the original sample
+  double lo = 0.0;       ///< lower percentile bound
+  double hi = 0.0;       ///< upper percentile bound
+  double median = 0.0;
+  int finite_replicates = 0;  ///< replicates with a finite estimate
+  std::vector<double> replicates;  ///< all finite replicate values (sorted)
+};
+
+/// Bootstraps `estimator`'s corrected SUM over source-resampled versions of
+/// `sample`. Non-finite replicate estimates (e.g. all-singleton resamples)
+/// are dropped; finite_replicates reports how many survived.
+///
+/// CAVEAT (known cluster-bootstrap bias for richness estimation): drawing a
+/// source twice duplicates its claims, which inflates multiplicities and
+/// deflates f1, so replicate N̂s — and with them corrected sums — skew LOW
+/// relative to the point estimate. Read the percentile interval as a
+/// VARIABILITY report, not a coverage-calibrated CI; for a centered
+/// interval use JackknifeCorrectedSum below.
+BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
+                                        const SumEstimator& estimator,
+                                        const BootstrapOptions& options = {});
+
+/// Source-level resample: draws num_sources() source ids with replacement
+/// and replays their observation streams under fresh source identities.
+IntegratedSample ResampleSources(const IntegratedSample& sample, Rng* rng);
+
+/// Delete-one-source jackknife: re-estimates with each source left out and
+/// derives a normal-approximation interval
+///   point ± z · sqrt((l−1)/l · Σ_i (θ_(i) − θ̄)²).
+/// Deterministic (no RNG), free of the duplicate-source artifact, O(l)
+/// re-estimations. Needs at least 2 sources.
+struct JackknifeInterval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  double standard_error = 0.0;
+  int sources = 0;
+  int finite_replicates = 0;
+};
+
+JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
+                                        const SumEstimator& estimator,
+                                        double z = 1.96);
+
+}  // namespace uuq
+
+#endif  // UUQ_CORE_BOOTSTRAP_H_

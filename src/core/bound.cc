@@ -1,0 +1,96 @@
+#include "core/bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "core/bucket.h"
+
+namespace uuq {
+
+SumUpperBound ComputeSumUpperBound(const SampleStats& stats,
+                                   const BoundOptions& options) {
+  UUQ_CHECK_MSG(options.failure_probability > 0.0 &&
+                    options.failure_probability < 1.0,
+                "failure probability must be in (0,1)");
+  SumUpperBound bound;
+  if (stats.empty()) {
+    bound.m0_upper = 1.0;
+    bound.n_hat_upper = std::numeric_limits<double>::infinity();
+    bound.phi_upper = std::numeric_limits<double>::infinity();
+    bound.delta_upper = std::numeric_limits<double>::infinity();
+    bound.finite = false;
+    return bound;
+  }
+
+  const double n = static_cast<double>(stats.n);
+  constexpr double kTailConstant = 2.0 * M_SQRT2 + 1.7320508075688772;  // 2√2+√3
+  const double tail =
+      kTailConstant * std::sqrt(std::log(3.0 / options.failure_probability) / n);
+  bound.m0_upper = static_cast<double>(stats.f1) / n + tail;
+
+  bound.value_upper = stats.ValueMean() + options.sigma_z * stats.ValueStdDev();
+
+  if (bound.m0_upper >= 1.0) {
+    bound.n_hat_upper = std::numeric_limits<double>::infinity();
+    bound.phi_upper = std::numeric_limits<double>::infinity();
+    bound.delta_upper = std::numeric_limits<double>::infinity();
+    bound.finite = false;
+    return bound;
+  }
+
+  bound.n_hat_upper = static_cast<double>(stats.c) / (1.0 - bound.m0_upper);
+  bound.phi_upper = bound.value_upper * bound.n_hat_upper;
+  bound.delta_upper = bound.phi_upper - stats.value_sum;
+  bound.finite = std::isfinite(bound.phi_upper);
+  return bound;
+}
+
+SumUpperBound ComputeSumUpperBound(const IntegratedSample& sample,
+                                   const BoundOptions& options) {
+  return ComputeSumUpperBound(SampleStats::FromSample(sample), options);
+}
+
+SumUpperBound ComputeBucketedSumUpperBound(const IntegratedSample& sample,
+                                           const BoundOptions& options) {
+  const SumUpperBound global = ComputeSumUpperBound(sample, options);
+  const BucketSumEstimator bucket_estimator;
+  const std::vector<ValueBucket> buckets =
+      bucket_estimator.ComputeBuckets(sample);
+  if (buckets.size() <= 1) return global;
+
+  // Bonferroni: each per-bucket count bound must hold with δ/k so the sum
+  // holds with ≥ 1 − δ overall.
+  BoundOptions per_bucket = options;
+  per_bucket.failure_probability =
+      options.failure_probability / static_cast<double>(buckets.size());
+
+  SumUpperBound combined;
+  combined.finite = true;
+  double m0_max = 0.0;
+  for (const ValueBucket& b : buckets) {
+    const SumUpperBound bound = ComputeSumUpperBound(b.stats, per_bucket);
+    if (!bound.finite) {
+      // A starving bucket ruins the sum; prefer whichever global answer
+      // exists.
+      return global;
+    }
+    combined.n_hat_upper += bound.n_hat_upper;
+    combined.phi_upper += bound.phi_upper;
+    m0_max = std::max(m0_max, bound.m0_upper);
+  }
+  const SampleStats whole = SampleStats::FromSample(sample);
+  combined.m0_upper = m0_max;
+  combined.value_upper = combined.n_hat_upper > 0.0
+                             ? combined.phi_upper / combined.n_hat_upper
+                             : 0.0;
+  combined.delta_upper = combined.phi_upper - whole.value_sum;
+  combined.finite = std::isfinite(combined.phi_upper);
+
+  // Never report something looser than the plain §4 bound.
+  if (global.finite && global.phi_upper < combined.phi_upper) return global;
+  return combined;
+}
+
+}  // namespace uuq

@@ -1,0 +1,57 @@
+// Estimation-error upper bound for SUM queries (paper §4, Eq. 16-19).
+//
+// Worst-case count: the McAllester-Schapire tail bound on the Good-Turing
+// unseen-mass estimate,
+//     M0 ≤ f1/n + (2√2 + √3)·sqrt(ln(3/δ)/n)   w.p. ≥ 1 − δ,
+// bounds Chao92 by N̂ ≤ c / (1 − M0_upper) (the γ̂ term only accelerates
+// convergence and is omitted asymptotically, per the paper).
+//
+// Worst-case value: by the CLT the mean-substitution value tends to normal,
+// so φD/N ≤ φK/c + z·σK with the three-sigma rule (z = 3, ≈99.9%).
+//
+// The bound on the ground truth is the product (Eq. 19); it is intentionally
+// loose for small n and tightens as data accumulates (Figure 7).
+#ifndef UUQ_CORE_BOUND_H_
+#define UUQ_CORE_BOUND_H_
+
+#include "core/estimate.h"
+
+namespace uuq {
+
+struct BoundOptions {
+  /// δ — failure probability of the Good-Turing tail bound (0.01 → 99%).
+  double failure_probability = 0.01;
+  /// z — value-bound width in standard deviations (3 → three-sigma rule).
+  double sigma_z = 3.0;
+};
+
+struct SumUpperBound {
+  double m0_upper = 1.0;      ///< worst-case unseen probability mass
+  double n_hat_upper = 0.0;   ///< worst-case distinct count c/(1−M0)
+  double value_upper = 0.0;   ///< worst-case per-item mean φK/c + z·σK
+  double phi_upper = 0.0;     ///< worst-case ground-truth SUM (Eq. 19)
+  double delta_upper = 0.0;   ///< phi_upper − φK
+  bool finite = false;        ///< false when M0_upper ≥ 1 (n too small)
+};
+
+/// Computes the §4 bound from sample statistics.
+SumUpperBound ComputeSumUpperBound(const SampleStats& stats,
+                                   const BoundOptions& options = {});
+
+/// Convenience overload.
+SumUpperBound ComputeSumUpperBound(const IntegratedSample& sample,
+                                   const BoundOptions& options = {});
+
+/// A tighter bound in the paper's §8 future-work direction: apply Eq. 19
+/// per dynamic bucket and sum. Under publicity-value correlation the
+/// per-bucket value spread σ is far smaller than the global one, so the
+/// value half of the product shrinks; the count half pays a Bonferroni
+/// correction (per-bucket δ' = δ/k) so the SUMMED bound still holds with
+/// probability ≥ 1 − δ. Falls back to the global bound when any bucket's
+/// count bound is unbounded (tiny buckets) and the global one is finite.
+SumUpperBound ComputeBucketedSumUpperBound(const IntegratedSample& sample,
+                                           const BoundOptions& options = {});
+
+}  // namespace uuq
+
+#endif  // UUQ_CORE_BOUND_H_

@@ -1,0 +1,263 @@
+#include "core/bucket.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/macros.h"
+#include "core/naive.h"
+
+namespace uuq {
+
+SortedEntityIndex::SortedEntityIndex(std::vector<EntityStat> entities)
+    : entities_(std::move(entities)) {
+  std::sort(entities_.begin(), entities_.end(),
+            [](const EntityStat& a, const EntityStat& b) {
+              return a.value < b.value;
+            });
+  prefix_.resize(entities_.size() + 1);
+  for (size_t i = 0; i < entities_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i];
+    prefix_[i + 1].Add(entities_[i]);
+  }
+}
+
+SampleStats SortedEntityIndex::Slice(size_t begin, size_t end) const {
+  UUQ_DCHECK(begin <= end && end <= entities_.size());
+  SampleStats out = prefix_[end];
+  const SampleStats& lo = prefix_[begin];
+  out.n -= lo.n;
+  out.c -= lo.c;
+  out.f1 -= lo.f1;
+  out.sum_mm1 -= lo.sum_mm1;
+  out.value_sum -= lo.value_sum;
+  out.value_sum_sq -= lo.value_sum_sq;
+  out.singleton_sum -= lo.singleton_sum;
+  return out;
+}
+
+size_t SortedEntityIndex::UpperBoundOfValueAt(size_t i) const {
+  UUQ_DCHECK(i < entities_.size());
+  const double v = entities_[i].value;
+  size_t j = i + 1;
+  while (j < entities_.size() && entities_[j].value == v) ++j;
+  return j;
+}
+
+namespace {
+
+/// |Δ| of a slice, treating non-finite estimates as +infinity so that
+/// singleton-only buckets are never attractive to the split search.
+double AbsDelta(const StatsSumEstimator& inner, const SampleStats& stats) {
+  if (stats.empty()) return 0.0;
+  const Estimate est = inner.FromStats(stats);
+  if (!std::isfinite(est.delta)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::fabs(est.delta);
+}
+
+std::vector<size_t> SingleBucket(size_t size) { return {0, size}; }
+
+}  // namespace
+
+EquiWidthPartitioner::EquiWidthPartitioner(int num_buckets)
+    : num_buckets_(num_buckets) {
+  UUQ_CHECK_MSG(num_buckets >= 1, "need at least one bucket");
+}
+
+std::string EquiWidthPartitioner::name() const {
+  return "eq-width-" + std::to_string(num_buckets_);
+}
+
+std::vector<size_t> EquiWidthPartitioner::Partition(
+    const SortedEntityIndex& index, const StatsSumEstimator& inner) const {
+  UUQ_UNUSED(inner);
+  const auto& entities = index.entities();
+  if (entities.empty()) return SingleBucket(0);
+  const double lo = entities.front().value;
+  const double hi = entities.back().value;
+  if (num_buckets_ == 1 || hi == lo) return SingleBucket(entities.size());
+
+  const double width = (hi - lo) / num_buckets_;
+  std::vector<size_t> bounds{0};
+  size_t pos = 0;
+  for (int b = 1; b < num_buckets_; ++b) {
+    const double boundary = lo + width * b;
+    while (pos < entities.size() && entities[pos].value <= boundary) ++pos;
+    // Empty buckets collapse (duplicate boundaries are dropped).
+    if (pos > bounds.back()) bounds.push_back(pos);
+  }
+  if (entities.size() > bounds.back()) bounds.push_back(entities.size());
+  return bounds;
+}
+
+EquiHeightPartitioner::EquiHeightPartitioner(int num_buckets)
+    : num_buckets_(num_buckets) {
+  UUQ_CHECK_MSG(num_buckets >= 1, "need at least one bucket");
+}
+
+std::string EquiHeightPartitioner::name() const {
+  return "eq-height-" + std::to_string(num_buckets_);
+}
+
+std::vector<size_t> EquiHeightPartitioner::Partition(
+    const SortedEntityIndex& index, const StatsSumEstimator& inner) const {
+  UUQ_UNUSED(inner);
+  const size_t size = index.size();
+  if (size == 0) return SingleBucket(0);
+  const int k = std::min<int>(num_buckets_, static_cast<int>(size));
+  std::vector<size_t> bounds{0};
+  for (int b = 1; b < k; ++b) {
+    size_t pos = size * static_cast<size_t>(b) / static_cast<size_t>(k);
+    // Entities with equal values must not straddle a boundary (a bucket is a
+    // value range); advance to the end of the tied run.
+    if (pos > 0 && pos < size &&
+        index.entities()[pos].value == index.entities()[pos - 1].value) {
+      pos = index.UpperBoundOfValueAt(pos - 1);
+    }
+    if (pos > bounds.back() && pos < size) bounds.push_back(pos);
+  }
+  bounds.push_back(size);
+  return bounds;
+}
+
+std::vector<size_t> DynamicPartitioner::Partition(
+    const SortedEntityIndex& index, const StatsSumEstimator& inner) const {
+  const size_t size = index.size();
+  if (size == 0) return SingleBucket(0);
+
+  struct Range {
+    size_t begin;
+    size_t end;
+  };
+
+  // delta_min tracks the global objective Σ|Δ(b)| over all current buckets
+  // (todo + finalized), exactly as Algorithm 1's δmin.
+  double delta_min = AbsDelta(inner, index.Slice(0, size));
+  std::deque<Range> todo{{0, size}};
+  std::vector<Range> final_buckets;
+
+  while (!todo.empty()) {
+    const Range b = todo.front();
+    todo.pop_front();
+    const double b_delta = AbsDelta(inner, index.Slice(b.begin, b.end));
+    // Objective contribution of everything except bucket b. Infinity-aware:
+    // if b_delta is infinite, the remainder is what other buckets contribute;
+    // recompute defensively rather than subtracting inf.
+    double delta_rest;
+    if (std::isinf(b_delta) || std::isinf(delta_min)) {
+      delta_rest = 0.0;
+      for (const Range& r : final_buckets) {
+        delta_rest += AbsDelta(inner, index.Slice(r.begin, r.end));
+      }
+      for (const Range& r : todo) {
+        delta_rest += AbsDelta(inner, index.Slice(r.begin, r.end));
+      }
+      delta_min = delta_rest + b_delta;
+    } else {
+      delta_rest = delta_min - b_delta;
+    }
+
+    // Scan candidate split points: after each run of equal values.
+    bool found = false;
+    Range best_left{0, 0}, best_right{0, 0};
+    size_t cut = b.begin < size ? index.UpperBoundOfValueAt(b.begin) : b.end;
+    while (cut < b.end) {
+      const double left = AbsDelta(inner, index.Slice(b.begin, cut));
+      const double right = AbsDelta(inner, index.Slice(cut, b.end));
+      const double candidate = delta_rest + left + right;
+      if (candidate < delta_min) {
+        delta_min = candidate;
+        best_left = {b.begin, cut};
+        best_right = {cut, b.end};
+        found = true;
+      }
+      cut = index.UpperBoundOfValueAt(cut);
+    }
+
+    if (found) {
+      todo.push_back(best_left);
+      todo.push_back(best_right);
+    } else {
+      final_buckets.push_back(b);
+    }
+  }
+
+  std::vector<size_t> bounds{0};
+  std::sort(final_buckets.begin(), final_buckets.end(),
+            [](const Range& a, const Range& b) { return a.begin < b.begin; });
+  for (const Range& r : final_buckets) bounds.push_back(r.end);
+  return bounds;
+}
+
+BucketSumEstimator::BucketSumEstimator()
+    : BucketSumEstimator(std::make_shared<DynamicPartitioner>(),
+                         std::make_shared<NaiveEstimator>()) {}
+
+BucketSumEstimator::BucketSumEstimator(
+    std::shared_ptr<const BucketPartitioner> partitioner,
+    std::shared_ptr<const StatsSumEstimator> inner)
+    : partitioner_(std::move(partitioner)), inner_(std::move(inner)) {
+  UUQ_CHECK(partitioner_ != nullptr && inner_ != nullptr);
+}
+
+std::string BucketSumEstimator::name() const {
+  std::string n = "bucket[" + partitioner_->name();
+  if (inner_->name() != "naive") n += "," + inner_->name();
+  return n + "]";
+}
+
+std::vector<ValueBucket> BucketSumEstimator::ComputeBuckets(
+    const IntegratedSample& sample) const {
+  SortedEntityIndex index(sample.entities());
+  const std::vector<size_t> bounds = partitioner_->Partition(index, *inner_);
+  std::vector<ValueBucket> buckets;
+  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const size_t begin = bounds[i];
+    const size_t end = bounds[i + 1];
+    if (begin == end) continue;
+    ValueBucket bucket;
+    bucket.lo = index.entities()[begin].value;
+    bucket.hi = index.entities()[end - 1].value;
+    bucket.stats = index.Slice(begin, end);
+    bucket.estimate = inner_->FromStats(bucket.stats);
+    buckets.push_back(std::move(bucket));
+  }
+  return buckets;
+}
+
+Estimate BucketSumEstimator::EstimateImpact(
+    const IntegratedSample& sample) const {
+  const std::vector<ValueBucket> buckets = ComputeBuckets(sample);
+  Estimate est;
+  est.estimator = name();
+  est.num_buckets = static_cast<int>(buckets.size());
+
+  const SampleStats whole = SampleStats::FromSample(sample);
+  est.coverage_ok = whole.Coverage() >= 0.4;
+  if (buckets.empty()) {
+    est.coverage_ok = false;
+    return est;
+  }
+
+  double delta = 0.0;
+  double n_hat = 0.0;
+  bool finite = true;
+  for (const ValueBucket& b : buckets) {
+    delta += b.estimate.delta;
+    n_hat += b.estimate.n_hat;
+    finite = finite && b.estimate.finite;
+  }
+  est.delta = delta;
+  est.n_hat = n_hat;
+  est.missing_count = n_hat - static_cast<double>(whole.c);
+  est.missing_value =
+      est.missing_count > 0.0 ? delta / est.missing_count : 0.0;
+  est.finite = finite && std::isfinite(delta);
+  est.corrected_sum = whole.value_sum + delta;
+  return est;
+}
+
+}  // namespace uuq

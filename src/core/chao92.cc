@@ -1,0 +1,43 @@
+#include "core/chao92.h"
+
+#include <limits>
+
+namespace uuq {
+namespace {
+
+SampleStats ScalarsFromFstats(const FrequencyStatistics& fstats) {
+  SampleStats stats;
+  stats.n = fstats.n();
+  stats.c = fstats.c();
+  stats.f1 = fstats.singletons();
+  stats.sum_mm1 = fstats.SumIiMinusOneFi();
+  return stats;
+}
+
+}  // namespace
+
+double Chao92Nhat(const SampleStats& stats) {
+  if (stats.empty()) return 0.0;
+  const double coverage = stats.Coverage();
+  if (coverage <= 0.0) {
+    // All singletons: sample coverage is zero, nothing constrains N.
+    return std::numeric_limits<double>::infinity();
+  }
+  const double base = static_cast<double>(stats.c) / coverage;
+  const double skew_correction = static_cast<double>(stats.n) *
+                                 (1.0 - coverage) / coverage * stats.Gamma2();
+  return base + skew_correction;
+}
+
+double Chao92Nhat(const FrequencyStatistics& fstats) {
+  return Chao92Nhat(ScalarsFromFstats(fstats));
+}
+
+double GoodTuringNhat(const SampleStats& stats) {
+  if (stats.empty()) return 0.0;
+  const double coverage = stats.Coverage();
+  if (coverage <= 0.0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(stats.c) / coverage;
+}
+
+}  // namespace uuq

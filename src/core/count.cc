@@ -1,0 +1,52 @@
+#include "core/count.h"
+
+#include <cmath>
+
+#include "core/chao92.h"
+
+namespace uuq {
+
+const char* CountMethodName(CountMethod method) {
+  switch (method) {
+    case CountMethod::kChao92:
+      return "chao92";
+    case CountMethod::kGoodTuring:
+      return "good-turing";
+    case CountMethod::kMonteCarlo:
+      return "monte-carlo";
+  }
+  return "?";
+}
+
+Estimate CountEstimator::EstimateCount(const IntegratedSample& sample) const {
+  Estimate est;
+  est.estimator = std::string("count[") + CountMethodName(method_) + "]";
+  const SampleStats stats = SampleStats::FromSample(sample);
+  est.coverage_ok = stats.Coverage() >= 0.4;
+  if (stats.empty()) {
+    est.coverage_ok = false;
+    return est;
+  }
+
+  double n_hat = 0.0;
+  switch (method_) {
+    case CountMethod::kChao92:
+      n_hat = Chao92Nhat(stats);
+      break;
+    case CountMethod::kGoodTuring:
+      n_hat = GoodTuringNhat(stats);
+      break;
+    case CountMethod::kMonteCarlo:
+      n_hat = mc_.EstimateNhat(sample);
+      break;
+  }
+  est.n_hat = n_hat;
+  est.missing_count = n_hat - static_cast<double>(stats.c);
+  est.missing_value = 1.0;  // each missing entity adds one to COUNT
+  est.delta = est.missing_count;
+  est.finite = std::isfinite(est.delta);
+  est.corrected_sum = n_hat;
+  return est;
+}
+
+}  // namespace uuq

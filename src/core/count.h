@@ -1,0 +1,35 @@
+// COUNT queries under unknown unknowns (paper §5).
+//
+// COUNT needs only the missing-item count, not values: Δ_count = N̂ − c with
+// N̂ from Chao92, plain Good-Turing, or the Monte-Carlo search.
+#ifndef UUQ_CORE_COUNT_H_
+#define UUQ_CORE_COUNT_H_
+
+#include "core/estimate.h"
+#include "core/monte_carlo.h"
+
+namespace uuq {
+
+enum class CountMethod { kChao92, kGoodTuring, kMonteCarlo };
+
+const char* CountMethodName(CountMethod method);
+
+class CountEstimator {
+ public:
+  explicit CountEstimator(CountMethod method = CountMethod::kChao92,
+                          MonteCarloOptions mc_options = {})
+      : method_(method), mc_(mc_options) {}
+
+  /// delta = N̂ − c; corrected_sum holds the corrected COUNT (= N̂).
+  Estimate EstimateCount(const IntegratedSample& sample) const;
+
+  CountMethod method() const { return method_; }
+
+ private:
+  CountMethod method_;
+  MonteCarloEstimator mc_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_CORE_COUNT_H_

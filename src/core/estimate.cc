@@ -1,0 +1,75 @@
+#include "core/estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/coverage.h"
+
+namespace uuq {
+
+void SampleStats::Add(const EntityStat& entity) {
+  const int64_t m = entity.multiplicity;
+  if (m <= 0) return;
+  n += m;
+  c += 1;
+  if (m == 1) {
+    f1 += 1;
+    singleton_sum += entity.value;
+  }
+  sum_mm1 += m * (m - 1);
+  value_sum += entity.value;
+  value_sum_sq += entity.value * entity.value;
+}
+
+void SampleStats::Merge(const SampleStats& other) {
+  n += other.n;
+  c += other.c;
+  f1 += other.f1;
+  sum_mm1 += other.sum_mm1;
+  value_sum += other.value_sum;
+  value_sum_sq += other.value_sum_sq;
+  singleton_sum += other.singleton_sum;
+}
+
+SampleStats SampleStats::FromSample(const IntegratedSample& sample) {
+  return FromEntities(sample.entities());
+}
+
+SampleStats SampleStats::FromEntities(
+    const std::vector<EntityStat>& entities) {
+  SampleStats stats;
+  for (const EntityStat& e : entities) stats.Add(e);
+  return stats;
+}
+
+double SampleStats::Coverage() const {
+  if (n == 0) return 0.0;
+  return std::clamp(1.0 - static_cast<double>(f1) / static_cast<double>(n),
+                    0.0, 1.0);
+}
+
+double SampleStats::Gamma2() const {
+  if (n < 2) return 0.0;
+  const double coverage = Coverage();
+  if (coverage <= 0.0) return 0.0;
+  const double dispersion = static_cast<double>(sum_mm1) /
+                            (static_cast<double>(n) * (n - 1));
+  return std::max((static_cast<double>(c) / coverage) * dispersion - 1.0, 0.0);
+}
+
+double SampleStats::ValueMean() const {
+  return c == 0 ? 0.0 : value_sum / static_cast<double>(c);
+}
+
+double SampleStats::ValueStdDev() const {
+  if (c < 2) return 0.0;
+  const double mean = ValueMean();
+  // Guard tiny negative values from catastrophic cancellation.
+  const double variance = std::max(
+      (value_sum_sq - static_cast<double>(c) * mean * mean) /
+          static_cast<double>(c - 1),
+      0.0);
+  return std::sqrt(variance);
+}
+
+}  // namespace uuq

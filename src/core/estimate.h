@@ -1,0 +1,86 @@
+// Estimator currency types: SampleStats (the sufficient statistics every
+// estimator consumes) and Estimate (what every estimator produces), plus the
+// estimator interfaces.
+//
+// SampleStats is deliberately a small closed-form scalar summary — n, c, f1,
+// Σm(m−1), value sums — because (a) it is all the paper's formulas need and
+// (b) it is additive, so the bucket estimator can evaluate value-range slices
+// in O(1) from prefix sums.
+#ifndef UUQ_CORE_ESTIMATE_H_
+#define UUQ_CORE_ESTIMATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "integration/sample.h"
+#include "stats/fstats.h"
+
+namespace uuq {
+
+/// Sufficient statistics of a sample (or of a value-range slice of one).
+struct SampleStats {
+  int64_t n = 0;          ///< observations, duplicates included
+  int64_t c = 0;          ///< distinct entities
+  int64_t f1 = 0;         ///< singletons
+  int64_t sum_mm1 = 0;    ///< Σ over entities of m·(m−1) == Σ i(i−1)f_i
+  double value_sum = 0.0;      ///< φK over this slice
+  double value_sum_sq = 0.0;   ///< Σ value² (for the §4 bound's σK)
+  double singleton_sum = 0.0;  ///< φf1 over this slice
+
+  /// Folds one entity in.
+  void Add(const EntityStat& entity);
+  /// Component-wise merge of two disjoint slices.
+  void Merge(const SampleStats& other);
+
+  static SampleStats FromSample(const IntegratedSample& sample);
+  static SampleStats FromEntities(const std::vector<EntityStat>& entities);
+
+  /// Good-Turing coverage Ĉ = 1 − f1/n (Eq. 4); 0 when empty.
+  double Coverage() const;
+  /// Squared CV estimate γ̂² (Eq. 6); 0 when undefined.
+  double Gamma2() const;
+  /// Mean fused value over distinct entities (φK / c); 0 when empty.
+  double ValueMean() const;
+  /// Sample (n−1) standard deviation of fused values; 0 for c < 2.
+  double ValueStdDev() const;
+
+  bool empty() const { return n == 0; }
+};
+
+/// What an estimator returns. delta is the paper's Δ̂; the corrected answer
+/// is φK + Δ̂ (Eq. 2).
+struct Estimate {
+  std::string estimator;       ///< producing estimator's name
+  double delta = 0.0;          ///< Δ̂(S)
+  double corrected_sum = 0.0;  ///< φK + Δ̂
+  double n_hat = 0.0;          ///< N̂ (estimated ground-truth distinct count)
+  double missing_count = 0.0;  ///< N̂ − c
+  double missing_value = 0.0;  ///< per-missing-item value estimate
+  bool finite = true;          ///< false when the formula degenerated (n = f1)
+  bool coverage_ok = true;     ///< Ĉ ≥ 0.4 recommendation gate (§6.5)
+  int num_buckets = 1;         ///< buckets used (1 for non-bucket estimators)
+};
+
+/// Estimators of the unknown-unknowns impact Δ on a SUM query.
+class SumEstimator {
+ public:
+  virtual ~SumEstimator() = default;
+  virtual std::string name() const = 0;
+  virtual Estimate EstimateImpact(const IntegratedSample& sample) const = 0;
+};
+
+/// Estimators whose math needs only SampleStats (naive, frequency). The
+/// bucket estimator runs these on value-range slices.
+class StatsSumEstimator : public SumEstimator {
+ public:
+  virtual Estimate FromStats(const SampleStats& stats) const = 0;
+
+  Estimate EstimateImpact(const IntegratedSample& sample) const override {
+    return FromStats(SampleStats::FromSample(sample));
+  }
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_CORE_ESTIMATE_H_

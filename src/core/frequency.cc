@@ -1,0 +1,41 @@
+#include "core/frequency.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/chao92.h"
+
+namespace uuq {
+
+Estimate FrequencyEstimator::FromStats(const SampleStats& stats) const {
+  Estimate est;
+  est.estimator = name();
+  est.coverage_ok = stats.Coverage() >= 0.4;
+  if (stats.empty()) {
+    est.coverage_ok = false;
+    return est;
+  }
+
+  const double n_hat =
+      assume_uniform_ ? GoodTuringNhat(stats) : Chao92Nhat(stats);
+  est.n_hat = n_hat;
+  est.missing_count = n_hat - static_cast<double>(stats.c);
+
+  if (stats.f1 == 0) {
+    // No singletons: Δ_freq = φf1·(...)/(n−f1) = 0 — the sample looks
+    // complete to this estimator (missing_count is also 0 since Ĉ = 1 and
+    // γ̂-correction is n·0/Ĉ·γ̂² = 0).
+    est.missing_value = 0.0;
+    est.delta = 0.0;
+    est.corrected_sum = stats.value_sum;
+    return est;
+  }
+
+  est.missing_value = stats.singleton_sum / static_cast<double>(stats.f1);
+  est.delta = est.missing_value * est.missing_count;
+  est.finite = std::isfinite(est.delta);
+  est.corrected_sum = stats.value_sum + est.delta;
+  return est;
+}
+
+}  // namespace uuq

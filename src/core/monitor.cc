@@ -1,0 +1,64 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace uuq {
+
+ConvergenceMonitor::ConvergenceMonitor(MonitorOptions options)
+    : options_(options) {
+  UUQ_CHECK_MSG(options_.window >= 2, "window must hold at least 2 points");
+  UUQ_CHECK_MSG(options_.stability_threshold > 0.0,
+                "stability threshold must be positive");
+}
+
+void ConvergenceMonitor::Record(double corrected_estimate) {
+  ++recorded_;
+  if (!std::isfinite(corrected_estimate)) {
+    window_.clear();
+    return;
+  }
+  window_.push_back(corrected_estimate);
+  while (window_.size() > static_cast<size_t>(options_.window)) {
+    window_.pop_front();
+  }
+}
+
+double ConvergenceMonitor::RelativeSpread() const {
+  if (window_.size() < static_cast<size_t>(options_.window)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double lo = *std::min_element(window_.begin(), window_.end());
+  const double hi = *std::max_element(window_.begin(), window_.end());
+  const double mid = (std::fabs(lo) + std::fabs(hi)) / 2.0;
+  if (mid == 0.0) return hi == lo ? 0.0 : std::numeric_limits<double>::infinity();
+  return (hi - lo) / mid;
+}
+
+bool ConvergenceMonitor::IsStable() const {
+  return RelativeSpread() <= options_.stability_threshold;
+}
+
+double ConvergenceMonitor::MarginalNewEntityRate(
+    const IntegratedSample& sample) {
+  if (sample.n() == 0) return 1.0;  // the first answer is always new
+  const SampleStats stats = SampleStats::FromSample(sample);
+  return static_cast<double>(stats.f1) / static_cast<double>(stats.n);
+}
+
+double ConvergenceMonitor::AnswersPerNewEntity(
+    const IntegratedSample& sample) {
+  const double rate = MarginalNewEntityRate(sample);
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / rate;
+}
+
+void ConvergenceMonitor::Reset() {
+  window_.clear();
+  recorded_ = 0;
+}
+
+}  // namespace uuq

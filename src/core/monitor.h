@@ -1,0 +1,62 @@
+// Convergence monitoring: "have I collected enough answers?"
+//
+// The paper's Figure 2 narrative (diminishing returns of additional crowd
+// answers) implies a practical control question the original system leaves
+// to the analyst. Two signals make it answerable:
+//  * the Good-Turing unseen mass f1/n — which IS the probability that the
+//    next observation is a brand-new entity (pay-as-you-go value of one
+//    more answer), and
+//  * the stability of the corrected estimate over a trailing window of
+//    checkpoints (relative spread below a threshold = converged).
+#ifndef UUQ_CORE_MONITOR_H_
+#define UUQ_CORE_MONITOR_H_
+
+#include <deque>
+
+#include "core/estimate.h"
+
+namespace uuq {
+
+struct MonitorOptions {
+  int window = 5;                   ///< checkpoints considered for stability
+  double stability_threshold = 0.02;  ///< max relative spread to declare stable
+};
+
+class ConvergenceMonitor {
+ public:
+  ConvergenceMonitor() : ConvergenceMonitor(MonitorOptions{}) {}
+  explicit ConvergenceMonitor(MonitorOptions options);
+
+  /// Records one checkpoint's corrected estimate. Non-finite estimates
+  /// clear the window (the estimator regressed, e.g. a streaker arrived).
+  void Record(double corrected_estimate);
+
+  /// True once `window` consecutive finite estimates lie within
+  /// `stability_threshold` relative spread of each other.
+  bool IsStable() const;
+
+  /// (max − min) / |mid| over the current window; +inf until the window is
+  /// full.
+  double RelativeSpread() const;
+
+  /// P(next observation is a previously unseen entity) = Good-Turing unseen
+  /// mass f1/n of the sample. The marginal "new information" of one more
+  /// answer; near 0 means additional collection mostly buys duplicates.
+  static double MarginalNewEntityRate(const IntegratedSample& sample);
+
+  /// Expected number of additional answers needed to discover one more new
+  /// entity (1 / MarginalNewEntityRate); +inf when the rate is 0.
+  static double AnswersPerNewEntity(const IntegratedSample& sample);
+
+  int recorded() const { return recorded_; }
+  void Reset();
+
+ private:
+  MonitorOptions options_;
+  std::deque<double> window_;
+  int recorded_ = 0;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_CORE_MONITOR_H_

@@ -1,0 +1,129 @@
+#include "core/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "core/chao92.h"
+#include "stats/curve_fit.h"
+#include "stats/distributions.h"
+#include "stats/kl_divergence.h"
+#include "stats/sampling.h"
+
+namespace uuq {
+
+double MonteCarloEstimator::SimulatedDistance(
+    int64_t theta_n, double theta_lambda,
+    const std::vector<int64_t>& observed_multiplicities,
+    const std::vector<int64_t>& source_sizes, Rng* rng) const {
+  UUQ_CHECK(rng != nullptr);
+  UUQ_CHECK(theta_n >= 1);
+  const std::vector<double> publicity =
+      MonteCarloPublicity(static_cast<int>(theta_n), theta_lambda);
+
+  std::vector<double> observed(observed_multiplicities.begin(),
+                               observed_multiplicities.end());
+
+  double total = 0.0;
+  std::vector<double> simulated(static_cast<size_t>(theta_n));
+  for (int run = 0; run < options_.runs_per_point; ++run) {
+    std::fill(simulated.begin(), simulated.end(), 0.0);
+    for (int64_t nj : source_sizes) {
+      // Each source samples without replacement from the hypothesized
+      // population; a source larger than θN simply exhausts it.
+      const std::vector<int> drawn = WeightedSampleWithoutReplacement(
+          publicity, static_cast<int>(nj), rng);
+      for (int idx : drawn) simulated[idx] += 1.0;
+    }
+    total += AlignedKlDivergence(observed, simulated,
+                                 options_.smoothing_epsilon);
+  }
+  return total / options_.runs_per_point;
+}
+
+double MonteCarloEstimator::EstimateNhat(const IntegratedSample& sample) const {
+  if (sample.empty()) return 0.0;
+  const SampleStats stats = SampleStats::FromSample(sample);
+  const int64_t c = stats.c;
+
+  double chao = Chao92Nhat(stats);
+  if (!std::isfinite(chao)) {
+    chao = static_cast<double>(c) * options_.infinite_nhat_cap_factor;
+  }
+  if (chao <= static_cast<double>(c) + 0.5) {
+    // Degenerate search interval: the sample already looks complete.
+    return static_cast<double>(c);
+  }
+
+  std::vector<int64_t> multiplicities;
+  multiplicities.reserve(sample.entities().size());
+  for (const EntityStat& e : sample.entities()) {
+    multiplicities.push_back(e.multiplicity);
+  }
+  const std::vector<int64_t> source_sizes = sample.SourceSizeVector();
+
+  // Grid evaluation (Algorithm 3 lines 3-10).
+  Rng rng(options_.seed ^ static_cast<uint64_t>(stats.n) * 0x9E3779B9ull);
+  const double step =
+      (chao - static_cast<double>(c)) / options_.n_grid_steps;
+  std::vector<double> xs, ys, zs;
+  int64_t previous_theta_n = -1;
+  for (int i = 0; i <= options_.n_grid_steps; ++i) {
+    const int64_t theta_n = static_cast<int64_t>(
+        std::llround(static_cast<double>(c) + step * i));
+    if (theta_n == previous_theta_n) continue;  // rounding collision
+    previous_theta_n = theta_n;
+    for (double lambda = options_.lambda_lo;
+         lambda <= options_.lambda_hi + 1e-9; lambda += options_.lambda_step) {
+      const double distance = SimulatedDistance(theta_n, lambda,
+                                                multiplicities, source_sizes,
+                                                &rng);
+      xs.push_back(static_cast<double>(theta_n));
+      ys.push_back(lambda);
+      zs.push_back(distance);
+    }
+  }
+  if (xs.empty()) return static_cast<double>(c);
+
+  // Curve fit + argmin on the fitted surface (lines 11-12); fall back to the
+  // raw grid argmin when the fit is degenerate.
+  auto surface = FitQuadraticSurface(xs, ys, zs);
+  double n_mc;
+  if (surface.ok()) {
+    auto [best_n, best_lambda] =
+        MinimizeOnBox(surface.value(), static_cast<double>(c), chao,
+                      options_.lambda_lo, options_.lambda_hi);
+    UUQ_UNUSED(best_lambda);
+    n_mc = best_n;
+  } else {
+    size_t best = 0;
+    for (size_t i = 1; i < zs.size(); ++i) {
+      if (zs[i] < zs[best]) best = i;
+    }
+    n_mc = xs[best];
+  }
+  return std::clamp(n_mc, static_cast<double>(c), chao);
+}
+
+Estimate MonteCarloEstimator::EstimateImpact(
+    const IntegratedSample& sample) const {
+  Estimate est;
+  est.estimator = name();
+  const SampleStats stats = SampleStats::FromSample(sample);
+  est.coverage_ok = stats.Coverage() >= 0.4;
+  if (stats.empty()) {
+    est.coverage_ok = false;
+    return est;
+  }
+  const double n_hat = EstimateNhat(sample);
+  est.n_hat = n_hat;
+  est.missing_count = n_hat - static_cast<double>(stats.c);
+  est.missing_value = stats.ValueMean();
+  est.delta = est.missing_value * est.missing_count;
+  est.finite = std::isfinite(est.delta);
+  est.corrected_sum = stats.value_sum + est.delta;
+  return est;
+}
+
+}  // namespace uuq

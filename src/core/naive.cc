@@ -1,0 +1,27 @@
+#include "core/naive.h"
+
+#include <cmath>
+
+#include "core/chao92.h"
+
+namespace uuq {
+
+Estimate NaiveEstimator::FromStats(const SampleStats& stats) const {
+  Estimate est;
+  est.estimator = name();
+  est.coverage_ok = stats.Coverage() >= 0.4;
+  if (stats.empty()) {
+    est.coverage_ok = false;
+    return est;
+  }
+  const double n_hat = Chao92Nhat(stats);
+  est.n_hat = n_hat;
+  est.missing_count = n_hat - static_cast<double>(stats.c);
+  est.missing_value = stats.ValueMean();
+  est.delta = est.missing_value * est.missing_count;
+  est.finite = std::isfinite(est.delta);
+  est.corrected_sum = stats.value_sum + est.delta;
+  return est;
+}
+
+}  // namespace uuq

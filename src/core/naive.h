@@ -1,0 +1,23 @@
+// The naive estimator (paper §3.1, Eq. 3/8): Chao92 for the count of missing
+// items, mean substitution for their values.
+//
+//   Δ_naive = (φK / c) · (N̂_Chao92 − c)
+//
+// It ignores publicity-value correlation and therefore over-estimates when
+// popular items are also high-valued (the common real-world case).
+#ifndef UUQ_CORE_NAIVE_H_
+#define UUQ_CORE_NAIVE_H_
+
+#include "core/estimate.h"
+
+namespace uuq {
+
+class NaiveEstimator final : public StatsSumEstimator {
+ public:
+  std::string name() const override { return "naive"; }
+  Estimate FromStats(const SampleStats& stats) const override;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_CORE_NAIVE_H_

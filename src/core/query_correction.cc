@@ -1,0 +1,257 @@
+#include "core/query_correction.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/strings.h"
+#include "core/avg.h"
+#include "core/bucket.h"
+#include "core/count.h"
+#include "core/frequency.h"
+#include "core/monte_carlo.h"
+#include "core/naive.h"
+#include "db/sql_parser.h"
+
+namespace uuq {
+
+std::string CorrectedAnswer::ToString() const {
+  std::string out;
+  if (!query_text.empty()) out += query_text + "\n";
+  out += "  observed  (closed world): " + FormatDouble(observed, 2) + "\n";
+  out += "  corrected (+unknown unknowns via " + estimate.estimator +
+         "): " + FormatDouble(corrected, 2) + "\n";
+  if (aggregate == AggregateKind::kMin || aggregate == AggregateKind::kMax) {
+    out += claim_true_extreme
+               ? "  the observed extreme is likely the TRUE extreme "
+                 "(estimated unknowns in the extreme bucket: " +
+                     FormatDouble(extreme.extreme_bucket_missing, 2) + ")\n"
+               : "  the observed extreme is NOT yet trustworthy (estimated "
+                 "unknowns in the extreme bucket: " +
+                     FormatDouble(extreme.extreme_bucket_missing, 2) + ")\n";
+  } else {
+    out += "  estimated missing entities: " +
+           FormatDouble(estimate.missing_count, 1) +
+           " (N-hat = " + FormatDouble(estimate.n_hat, 1) + ")\n";
+  }
+  if (bound_valid) {
+    out += bound.finite
+               ? "  99% worst-case bound on the true answer: " +
+                     FormatDouble(bound.phi_upper, 2) + "\n"
+               : "  99% worst-case bound: unbounded at this sample size\n";
+  }
+  out += "  advice: " + std::string(EstimatorChoiceName(advice.choice)) +
+         " — " + advice.rationale + "\n";
+  return out;
+}
+
+namespace {
+
+std::unique_ptr<SumEstimator> MakeSumEstimator(
+    const QueryCorrector::Options& options, const EstimatorAdvisor& advisor,
+    const IntegratedSample& sample) {
+  switch (options.estimator) {
+    case CorrectionEstimator::kAuto:
+      return advisor.MakeRecommended(sample);
+    case CorrectionEstimator::kBucket:
+      return std::make_unique<BucketSumEstimator>();
+    case CorrectionEstimator::kMonteCarlo:
+      return std::make_unique<MonteCarloEstimator>(
+          options.advisor.mc_options);
+    case CorrectionEstimator::kNaive:
+      return std::make_unique<NaiveEstimator>();
+    case CorrectionEstimator::kFreq:
+      return std::make_unique<FrequencyEstimator>();
+  }
+  return std::make_unique<BucketSumEstimator>();
+}
+
+}  // namespace
+
+Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
+    const IntegratedSample& sample, AggregateKind aggregate,
+    std::string query_text) const {
+  CorrectedAnswer answer;
+  answer.aggregate = aggregate;
+  answer.query_text = std::move(query_text);
+
+  const EstimatorAdvisor advisor(options_.advisor);
+  answer.advice = advisor.Advise(sample);
+  const SampleStats stats = SampleStats::FromSample(sample);
+
+  switch (aggregate) {
+    case AggregateKind::kSum: {
+      auto estimator = MakeSumEstimator(options_, advisor, sample);
+      answer.estimate = estimator->EstimateImpact(sample);
+      answer.observed = stats.value_sum;
+      answer.corrected = answer.estimate.corrected_sum;
+      answer.bound = ComputeSumUpperBound(stats, options_.bound);
+      answer.bound_valid = true;
+      return answer;
+    }
+    case AggregateKind::kCount: {
+      const bool use_mc =
+          answer.advice.choice == EstimatorChoice::kMonteCarlo &&
+          options_.estimator != CorrectionEstimator::kBucket;
+      const CountEstimator count(
+          use_mc ? CountMethod::kMonteCarlo : CountMethod::kChao92,
+          options_.advisor.mc_options);
+      answer.estimate = count.EstimateCount(sample);
+      answer.observed = static_cast<double>(stats.c);
+      answer.corrected = answer.estimate.corrected_sum;
+      return answer;
+    }
+    case AggregateKind::kAvg: {
+      const AvgEstimator avg;
+      answer.estimate = avg.EstimateAvg(sample);
+      answer.observed = stats.ValueMean();
+      answer.corrected = answer.estimate.corrected_sum;
+      return answer;
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      const MinMaxEstimator minmax(options_.minmax_claim_threshold);
+      answer.extreme = aggregate == AggregateKind::kMax
+                           ? minmax.EstimateMax(sample)
+                           : minmax.EstimateMin(sample);
+      answer.observed = answer.extreme.observed_extreme;
+      answer.corrected = answer.extreme.observed_extreme;
+      answer.claim_true_extreme = answer.extreme.claim_true_extreme;
+      answer.estimate.estimator = "minmax[bucket]";
+      answer.estimate.missing_count = answer.extreme.extreme_bucket_missing;
+      return answer;
+    }
+  }
+  return Status::InvalidArgument("unsupported aggregate");
+}
+
+Result<CorrectedAnswer> QueryCorrector::Correct(
+    const IntegratedSample& sample, AggregateKind aggregate) const {
+  AggregateQuery query;
+  query.aggregate = aggregate;
+  query.attribute = "value";
+  query.table_name = "integrated";
+  query.predicate = MakeTrue();
+  return CorrectFiltered(sample, aggregate, query.ToString());
+}
+
+namespace {
+
+Schema IntegratedViewSchema() {
+  return Schema({{"entity", ValueType::kString},
+                 {"value", ValueType::kDouble},
+                 {"observations", ValueType::kInt64},
+                 {"category", ValueType::kString}});
+}
+
+Row EntityToViewRow(const EntityStat& entity) {
+  return Row{Value(entity.key), Value(entity.value),
+             Value(entity.multiplicity),
+             entity.category.empty() ? Value::Null()
+                                     : Value(entity.category)};
+}
+
+/// Applies the query predicate to the sample; returns the filtered sample
+/// (or the original when the predicate is trivially true).
+Result<IntegratedSample> ApplyPredicate(const IntegratedSample& sample,
+                                        const AggregateQuery& query,
+                                        const Schema& view_schema) {
+  Status eval_error = Status::OK();
+  IntegratedSample filtered = sample.Filter([&](const EntityStat& entity) {
+    auto match = query.predicate->Eval(EntityToViewRow(entity), view_schema);
+    if (!match.ok()) {
+      eval_error = match.status();
+      return false;
+    }
+    return match.value();
+  });
+  if (!eval_error.ok()) return eval_error;
+  return filtered;
+}
+
+}  // namespace
+
+Result<CorrectedAnswer> QueryCorrector::CorrectSql(
+    const IntegratedSample& sample, const std::string& sql) const {
+  auto parsed = ParseQuery(sql);
+  if (!parsed.ok()) return parsed.status();
+  const AggregateQuery& query = parsed.value();
+  if (!query.group_by.empty()) {
+    return Status::InvalidArgument(
+        "grouped queries go through CorrectGroupedSql");
+  }
+
+  // Predicates are evaluated against the integrated view's schema.
+  const Schema view_schema = IntegratedViewSchema();
+  if (query.predicate != nullptr) {
+    Status valid = query.predicate->Validate(view_schema);
+    if (!valid.ok()) return valid;
+  }
+
+  const std::string pred_text =
+      query.predicate != nullptr ? query.predicate->ToString() : "TRUE";
+  if (pred_text == "TRUE") {
+    return CorrectFiltered(sample, query.aggregate, query.ToString());
+  }
+
+  auto filtered = ApplyPredicate(sample, query, view_schema);
+  if (!filtered.ok()) return filtered.status();
+  return CorrectFiltered(filtered.value(), query.aggregate, query.ToString());
+}
+
+std::string QueryCorrector::GroupedCorrectedAnswer::ToString() const {
+  std::string out = query_text + "\n";
+  for (const auto& [category, answer] : groups) {
+    out += "[" + (category.empty() ? std::string("(uncategorized)") : category)
+           + "] observed " + FormatDouble(answer.observed, 2) +
+           " -> corrected " + FormatDouble(answer.corrected, 2) + " (" +
+           answer.estimate.estimator + ")\n";
+  }
+  return out;
+}
+
+Result<QueryCorrector::GroupedCorrectedAnswer> QueryCorrector::CorrectGroupedSql(
+    const IntegratedSample& sample, const std::string& sql) const {
+  auto parsed = ParseQuery(sql);
+  if (!parsed.ok()) return parsed.status();
+  const AggregateQuery& query = parsed.value();
+  if (query.group_by.empty()) {
+    return Status::InvalidArgument("query has no GROUP BY clause");
+  }
+  if (!EqualsIgnoreCase(query.group_by, "category")) {
+    return Status::InvalidArgument(
+        "corrected grouping is only supported on the 'category' column");
+  }
+  const Schema view_schema = IntegratedViewSchema();
+  if (query.predicate != nullptr) {
+    Status valid = query.predicate->Validate(view_schema);
+    if (!valid.ok()) return valid;
+  }
+
+  auto filtered = ApplyPredicate(sample, query, view_schema);
+  if (!filtered.ok()) return filtered.status();
+  const IntegratedSample& base = filtered.value();
+
+  GroupedCorrectedAnswer out;
+  out.query_text = query.ToString();
+  std::vector<std::string> categories = base.Categories();
+  // Entities without a category form their own group (SQL NULL group).
+  bool has_uncategorized = false;
+  for (const EntityStat& entity : base.entities()) {
+    if (entity.category.empty()) {
+      has_uncategorized = true;
+      break;
+    }
+  }
+  if (has_uncategorized) categories.push_back("");
+
+  for (const std::string& category : categories) {
+    const IntegratedSample group = base.Filter(
+        [&category](const EntityStat& e) { return e.category == category; });
+    auto answer = CorrectFiltered(group, query.aggregate, "");
+    if (!answer.ok()) return answer.status();
+    out.groups.emplace_back(category, std::move(answer).value());
+  }
+  return out;
+}
+
+}  // namespace uuq

@@ -1,0 +1,94 @@
+// The headline API: run an aggregate query over an integrated sample and
+// attach the unknown-unknowns correction, bound, and advice.
+//
+//   IntegratedSample sample = ...;                  // from the Integrator
+//   QueryCorrector corrector;
+//   auto answer = corrector.CorrectSql(sample,
+//       "SELECT SUM(employees) FROM us_tech_companies");
+//   answer.value().ToString();  // observed, corrected, bound, rationale
+//
+// Predicates are pushed down by filtering the sample (replaying lineage), so
+// species estimation runs over exactly the predicate-satisfying entity class
+// — the paper's §2.1 semantics.
+#ifndef UUQ_CORE_QUERY_CORRECTION_H_
+#define UUQ_CORE_QUERY_CORRECTION_H_
+
+#include <string>
+
+#include "core/advisor.h"
+#include "core/bound.h"
+#include "core/estimate.h"
+#include "core/minmax.h"
+#include "db/query.h"
+
+namespace uuq {
+
+/// Which SUM estimator backs the correction.
+enum class CorrectionEstimator { kAuto, kBucket, kMonteCarlo, kNaive, kFreq };
+
+struct CorrectedAnswer {
+  AggregateKind aggregate = AggregateKind::kSum;
+  std::string query_text;
+  double observed = 0.0;   ///< φK — the closed-world answer
+  double corrected = 0.0;  ///< φ̂D = φK + Δ̂
+  Estimate estimate;       ///< the underlying estimator output
+  Advice advice;           ///< §6.5 estimator advice + coverage warning
+  /// SUM only: the §4 worst-case bound.
+  SumUpperBound bound;
+  bool bound_valid = false;
+  /// MIN/MAX only: whether the observed extreme is claimed as true.
+  bool claim_true_extreme = false;
+  ExtremeEstimate extreme;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+class QueryCorrector {
+ public:
+  struct Options {
+    CorrectionEstimator estimator = CorrectionEstimator::kAuto;
+    EstimatorAdvisor::Options advisor;
+    BoundOptions bound;
+    double minmax_claim_threshold = 0.5;
+  };
+
+  QueryCorrector() : QueryCorrector(Options{}) {}
+  explicit QueryCorrector(Options options) : options_(std::move(options)) {}
+
+  /// Corrects a bare aggregate (no predicate) over the sample.
+  Result<CorrectedAnswer> Correct(const IntegratedSample& sample,
+                                  AggregateKind aggregate) const;
+
+  /// Parses SQL of the paper's query shape; the table name is recorded but
+  /// not resolved (the sample IS the table). WHERE predicates may reference
+  /// the integrated view's columns: entity, value, observations, category.
+  /// Grouped queries must go through CorrectGroupedSql.
+  Result<CorrectedAnswer> CorrectSql(const IntegratedSample& sample,
+                                     const std::string& sql) const;
+
+  /// Grouped correction: `... GROUP BY category` runs the full correction
+  /// machinery once per category sub-sample — species estimation happens
+  /// inside each group, extending the paper's §5 reasoning to grouped
+  /// aggregates. Only the `category` column can be grouped on (grouping by
+  /// `value` would conflict with the bucket estimator's own value
+  /// partitioning; grouping by `entity` makes every group a single row).
+  struct GroupedCorrectedAnswer {
+    std::string query_text;
+    std::vector<std::pair<std::string, CorrectedAnswer>> groups;
+    std::string ToString() const;
+  };
+  Result<GroupedCorrectedAnswer> CorrectGroupedSql(
+      const IntegratedSample& sample, const std::string& sql) const;
+
+ private:
+  Result<CorrectedAnswer> CorrectFiltered(const IntegratedSample& sample,
+                                          AggregateKind aggregate,
+                                          std::string query_text) const;
+
+  Options options_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_CORE_QUERY_CORRECTION_H_

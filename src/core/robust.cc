@@ -1,0 +1,18 @@
+#include "core/robust.h"
+
+namespace uuq {
+
+Estimate RobustSumEstimator::EstimateImpact(
+    const IntegratedSample& sample) const {
+  const Advice advice = advisor_.Advise(sample);
+  Estimate est = advice.choice == EstimatorChoice::kMonteCarlo
+                     ? mc_.EstimateImpact(sample)
+                     : bucket_.EstimateImpact(sample);
+  est.estimator = "robust[" + est.estimator + "]";
+  if (advice.choice == EstimatorChoice::kCollectMoreData) {
+    est.coverage_ok = false;
+  }
+  return est;
+}
+
+}  // namespace uuq

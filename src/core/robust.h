@@ -1,0 +1,42 @@
+// A self-switching SUM estimator (the paper's §8 future work: "How to
+// develop a robust estimator in all scenarios remains an important area").
+//
+// RobustSumEstimator inspects the sample with the §6.5 decision rules on
+// EVERY call and delegates to the dynamic bucket estimator or the
+// Monte-Carlo estimator accordingly; under the coverage gate it still
+// answers (bucket) but flags the estimate via coverage_ok = false. This is
+// the estimator behind QueryCorrector's kAuto mode, packaged as a reusable
+// SumEstimator so it can be swept through experiments like any other.
+#ifndef UUQ_CORE_ROBUST_H_
+#define UUQ_CORE_ROBUST_H_
+
+#include "core/advisor.h"
+#include "core/bucket.h"
+#include "core/monte_carlo.h"
+
+namespace uuq {
+
+class RobustSumEstimator final : public SumEstimator {
+ public:
+  RobustSumEstimator() : RobustSumEstimator(EstimatorAdvisor::Options{}) {}
+  explicit RobustSumEstimator(EstimatorAdvisor::Options options)
+      : advisor_(options), mc_(options.mc_options) {}
+
+  std::string name() const override { return "robust"; }
+  Estimate EstimateImpact(const IntegratedSample& sample) const override;
+
+  /// The advice that drove the most recent delegation decision for `sample`
+  /// (recomputed; the estimator itself is stateless).
+  Advice LastAdviceFor(const IntegratedSample& sample) const {
+    return advisor_.Advise(sample);
+  }
+
+ private:
+  EstimatorAdvisor advisor_;
+  BucketSumEstimator bucket_;
+  MonteCarloEstimator mc_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_CORE_ROBUST_H_

@@ -1,0 +1,56 @@
+// Alternative species-richness estimators.
+//
+// The paper standardizes on Chao92 ("we choose Chao92 since it is more
+// robust to a skewed publicity distribution", §3.1.1) but points at the
+// wider species-estimation literature [3, 6] as drop-in alternatives for the
+// count half of the problem. This module implements the classical ones so
+// the choice can be ablated (see bench/ablation_species_estimators):
+//
+//   Chao1        N̂ = c + f1(f1−1) / (2(f2+1))          (bias-corrected)
+//   Jackknife-1  N̂ = c + f1·(n−1)/n
+//   Jackknife-2  N̂ = c + f1·(2n−3)/n − f2·(n−2)²/(n(n−1))
+//   ACE          abundance-based coverage estimator over the rare classes
+//                (counts ≤ 10), with its own CV correction
+//
+// All take the full f-statistics (ACE needs the whole histogram, not just
+// f1/f2) and satisfy N̂ ≥ c on non-degenerate input.
+#ifndef UUQ_CORE_SPECIES_H_
+#define UUQ_CORE_SPECIES_H_
+
+#include <string>
+
+#include "stats/fstats.h"
+
+namespace uuq {
+
+enum class SpeciesEstimator {
+  kChao92,
+  kGoodTuring,
+  kChao1,
+  kJackknife1,
+  kJackknife2,
+  kAce,
+};
+
+const char* SpeciesEstimatorName(SpeciesEstimator estimator);
+
+/// Bias-corrected Chao1 (Chao 1984): uses only f1 and f2.
+double Chao1Nhat(const FrequencyStatistics& fstats);
+
+/// First-order jackknife (Burnham & Overton 1978).
+double Jackknife1Nhat(const FrequencyStatistics& fstats);
+
+/// Second-order jackknife.
+double Jackknife2Nhat(const FrequencyStatistics& fstats);
+
+/// ACE (Chao & Lee 1992 family) with the conventional rare-class cutoff
+/// k = 10. Falls back to Chao1 when every class is rare and coverage is 0.
+double AceNhat(const FrequencyStatistics& fstats, int rare_cutoff = 10);
+
+/// Dispatch by enum; kChao92/kGoodTuring route to core/chao92.h.
+double SpeciesNhat(SpeciesEstimator estimator,
+                   const FrequencyStatistics& fstats);
+
+}  // namespace uuq
+
+#endif  // UUQ_CORE_SPECIES_H_

@@ -1,0 +1,40 @@
+#include "db/catalog.h"
+
+#include "common/strings.h"
+#include "db/sql_parser.h"
+
+namespace uuq {
+
+void Catalog::Register(Table table) {
+  const std::string key = AsciiToLower(table.name());
+  tables_.insert_or_assign(key, std::move(table));
+}
+
+Result<const Table*> Catalog::Lookup(const std::string& name) const {
+  auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table.name());
+  return names;
+}
+
+Result<QueryResult> Catalog::ExecuteSql(const std::string& sql) const {
+  auto query = ParseQuery(sql);
+  if (!query.ok()) return query.status();
+  return Execute(query.value());
+}
+
+Result<QueryResult> Catalog::Execute(const AggregateQuery& query) const {
+  auto table = Lookup(query.table_name);
+  if (!table.ok()) return table.status();
+  return ExecuteAggregateQuery(query, *table.value());
+}
+
+}  // namespace uuq

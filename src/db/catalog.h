@@ -1,0 +1,41 @@
+// Named-table catalog: resolves the FROM clause of parsed queries.
+#ifndef UUQ_DB_CATALOG_H_
+#define UUQ_DB_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/query.h"
+#include "db/table.h"
+
+namespace uuq {
+
+class Catalog {
+ public:
+  /// Registers (or replaces) a table under its own name. Names are
+  /// case-insensitive.
+  void Register(Table table);
+
+  /// Resolves a table; NotFound when absent.
+  Result<const Table*> Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const { return Lookup(name).ok(); }
+
+  std::vector<std::string> TableNames() const;
+
+  /// Parses and executes SQL text end-to-end against the catalog.
+  Result<QueryResult> ExecuteSql(const std::string& sql) const;
+
+  /// Executes an already-parsed query against the catalog.
+  Result<QueryResult> Execute(const AggregateQuery& query) const;
+
+ private:
+  std::map<std::string, Table> tables_;  // key: lower-cased name
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_DB_CATALOG_H_

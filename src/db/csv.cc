@@ -1,0 +1,275 @@
+#include "db/csv.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace uuq {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // row has at least one field begun
+
+  size_t i = 0;
+  const size_t n = text.size();
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    field_started = false;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::ParseError("unexpected quote inside unquoted field "
+                                    "at offset " + std::to_string(i));
+        }
+        in_quotes = true;
+        field_started = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        field_started = true;
+        ++i;
+        break;
+      case '\r':
+        // Swallow the CR of a CRLF; bare CR also ends the line.
+        if (i + 1 < n && text[i + 1] == '\n') ++i;
+        [[fallthrough]];
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field");
+  }
+  // Flush a final row without trailing newline.
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+std::string CsvEscapeField(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string WriteTableCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t j = 0; j < schema.num_fields(); ++j) {
+    if (j > 0) out += ',';
+    out += CsvEscapeField(schema.field(j).name);
+  }
+  out += '\n';
+  for (const Row& row : table.rows()) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) out += ',';
+      if (!row[j].is_null()) out += CsvEscapeField(row[j].ToString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+bool ParsesAsInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParsesAsDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Table> ReadTableCsv(const std::string& table_name,
+                           std::string_view text) {
+  auto parsed = ParseCsv(text);
+  if (!parsed.ok()) return parsed.status();
+  const auto& rows = parsed.value();
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV needs a header row");
+  }
+  const std::vector<std::string>& header = rows.front();
+  const size_t num_columns = header.size();
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != num_columns) {
+      return Status::ParseError("row " + std::to_string(r) + " has " +
+                                std::to_string(rows[r].size()) +
+                                " fields, expected " +
+                                std::to_string(num_columns));
+    }
+  }
+
+  // Infer column types over the data rows.
+  std::vector<ValueType> types(num_columns, ValueType::kInt64);
+  for (size_t j = 0; j < num_columns; ++j) {
+    bool any_value = false;
+    for (size_t r = 1; r < rows.size(); ++r) {
+      const std::string& cell = rows[r][j];
+      if (cell.empty()) continue;
+      any_value = true;
+      int64_t iv;
+      double dv;
+      if (types[j] == ValueType::kInt64 && !ParsesAsInt(cell, &iv)) {
+        types[j] = ValueType::kDouble;
+      }
+      if (types[j] == ValueType::kDouble && !ParsesAsDouble(cell, &dv)) {
+        types[j] = ValueType::kString;
+        break;
+      }
+      if (types[j] == ValueType::kString) break;
+    }
+    if (!any_value) types[j] = ValueType::kString;  // all-NULL column
+  }
+
+  std::vector<Field> fields;
+  fields.reserve(num_columns);
+  for (size_t j = 0; j < num_columns; ++j) {
+    if (header[j].empty()) {
+      return Status::InvalidArgument("empty column name in CSV header");
+    }
+    fields.push_back({header[j], types[j]});
+  }
+  Table table(table_name, Schema(std::move(fields)));
+
+  for (size_t r = 1; r < rows.size(); ++r) {
+    Row row;
+    row.reserve(num_columns);
+    for (size_t j = 0; j < num_columns; ++j) {
+      const std::string& cell = rows[r][j];
+      if (cell.empty()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (types[j]) {
+        case ValueType::kInt64: {
+          int64_t v = 0;
+          ParsesAsInt(cell, &v);
+          row.push_back(Value(v));
+          break;
+        }
+        case ValueType::kDouble: {
+          double v = 0;
+          ParsesAsDouble(cell, &v);
+          row.push_back(Value(v));
+          break;
+        }
+        default:
+          row.push_back(Value(cell));
+          break;
+      }
+    }
+    if (Status s = table.Append(std::move(row)); !s.ok()) return s;
+  }
+  return table;
+}
+
+Result<std::vector<Observation>> ReadObservationsCsv(std::string_view text) {
+  auto parsed = ParseCsv(text);
+  if (!parsed.ok()) return parsed.status();
+  const auto& rows = parsed.value();
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV needs a header row");
+  }
+  const auto& header = rows.front();
+  int source_col = -1, entity_col = -1, value_col = -1;
+  for (size_t j = 0; j < header.size(); ++j) {
+    if (EqualsIgnoreCase(header[j], "source")) source_col = static_cast<int>(j);
+    if (EqualsIgnoreCase(header[j], "entity")) entity_col = static_cast<int>(j);
+    if (EqualsIgnoreCase(header[j], "value")) value_col = static_cast<int>(j);
+  }
+  if (source_col < 0 || entity_col < 0 || value_col < 0) {
+    return Status::InvalidArgument(
+        "observation CSV needs 'source', 'entity' and 'value' columns");
+  }
+  std::vector<Observation> out;
+  out.reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    const size_t needed = static_cast<size_t>(
+        std::max(source_col, std::max(entity_col, value_col)));
+    if (row.size() <= needed) {
+      return Status::ParseError("row " + std::to_string(r) +
+                                " is missing fields");
+    }
+    double value = 0.0;
+    if (!ParsesAsDouble(row[value_col], &value)) {
+      return Status::ParseError("row " + std::to_string(r) +
+                                ": value '" + row[value_col] +
+                                "' is not numeric");
+    }
+    out.push_back({row[source_col], row[entity_col], value});
+  }
+  return out;
+}
+
+std::string WriteObservationsCsv(const std::vector<Observation>& stream) {
+  std::string out = "source,entity,value\n";
+  for (const Observation& obs : stream) {
+    out += CsvEscapeField(obs.source_id);
+    out += ',';
+    out += CsvEscapeField(obs.entity_key);
+    out += ',';
+    out += FormatDouble(obs.value);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace uuq

@@ -1,0 +1,166 @@
+#include "db/predicate.h"
+
+#include "common/macros.h"
+
+namespace uuq {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+class ComparisonPredicate final : public Predicate {
+ public:
+  ComparisonPredicate(std::string column, CompareOp op, Value literal)
+      : column_(std::move(column)), op_(op), literal_(std::move(literal)) {}
+
+  Result<bool> Eval(const Row& row, const Schema& schema) const override {
+    auto idx = schema.IndexOf(column_);
+    if (!idx.ok()) return idx.status();
+    const Value& cell = row[idx.value()];
+    if (cell.is_null() || literal_.is_null()) return false;
+    const int cmp = cell.Compare(literal_);
+    switch (op_) {
+      case CompareOp::kEq:
+        return cmp == 0;
+      case CompareOp::kNe:
+        return cmp != 0;
+      case CompareOp::kLt:
+        return cmp < 0;
+      case CompareOp::kLe:
+        return cmp <= 0;
+      case CompareOp::kGt:
+        return cmp > 0;
+      case CompareOp::kGe:
+        return cmp >= 0;
+    }
+    return Status::InvalidArgument("unknown comparison op");
+  }
+
+  Status Validate(const Schema& schema) const override {
+    auto idx = schema.IndexOf(column_);
+    return idx.ok() ? Status::OK() : idx.status();
+  }
+
+  std::string ToString() const override {
+    std::string lit = literal_.type() == ValueType::kString
+                          ? "'" + literal_.ToString() + "'"
+                          : literal_.ToString();
+    return "(" + column_ + " " + CompareOpSymbol(op_) + " " + lit + ")";
+  }
+
+ private:
+  std::string column_;
+  CompareOp op_;
+  Value literal_;
+};
+
+class BinaryLogicalPredicate final : public Predicate {
+ public:
+  BinaryLogicalPredicate(bool is_and, PredicatePtr lhs, PredicatePtr rhs)
+      : is_and_(is_and), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {
+    UUQ_CHECK(lhs_ != nullptr && rhs_ != nullptr);
+  }
+
+  Result<bool> Eval(const Row& row, const Schema& schema) const override {
+    auto lhs = lhs_->Eval(row, schema);
+    if (!lhs.ok()) return lhs;
+    if (is_and_ && !lhs.value()) return false;   // short circuit
+    if (!is_and_ && lhs.value()) return true;
+    return rhs_->Eval(row, schema);
+  }
+
+  Status Validate(const Schema& schema) const override {
+    Status s = lhs_->Validate(schema);
+    if (!s.ok()) return s;
+    return rhs_->Validate(schema);
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + (is_and_ ? " AND " : " OR ") +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  bool is_and_;
+  PredicatePtr lhs_;
+  PredicatePtr rhs_;
+};
+
+class NotPredicate final : public Predicate {
+ public:
+  explicit NotPredicate(PredicatePtr inner) : inner_(std::move(inner)) {
+    UUQ_CHECK(inner_ != nullptr);
+  }
+
+  Result<bool> Eval(const Row& row, const Schema& schema) const override {
+    auto inner = inner_->Eval(row, schema);
+    if (!inner.ok()) return inner;
+    return !inner.value();
+  }
+
+  Status Validate(const Schema& schema) const override {
+    return inner_->Validate(schema);
+  }
+
+  std::string ToString() const override {
+    return "(NOT " + inner_->ToString() + ")";
+  }
+
+ private:
+  PredicatePtr inner_;
+};
+
+class TruePredicate final : public Predicate {
+ public:
+  Result<bool> Eval(const Row& row, const Schema& schema) const override {
+    UUQ_UNUSED(row);
+    UUQ_UNUSED(schema);
+    return true;
+  }
+  Status Validate(const Schema& schema) const override {
+    UUQ_UNUSED(schema);
+    return Status::OK();
+  }
+  std::string ToString() const override { return "TRUE"; }
+};
+
+}  // namespace
+
+PredicatePtr MakeComparison(std::string column, CompareOp op, Value literal) {
+  return std::make_shared<ComparisonPredicate>(std::move(column), op,
+                                               std::move(literal));
+}
+
+PredicatePtr MakeAnd(PredicatePtr lhs, PredicatePtr rhs) {
+  return std::make_shared<BinaryLogicalPredicate>(true, std::move(lhs),
+                                                  std::move(rhs));
+}
+
+PredicatePtr MakeOr(PredicatePtr lhs, PredicatePtr rhs) {
+  return std::make_shared<BinaryLogicalPredicate>(false, std::move(lhs),
+                                                  std::move(rhs));
+}
+
+PredicatePtr MakeNot(PredicatePtr inner) {
+  return std::make_shared<NotPredicate>(std::move(inner));
+}
+
+PredicatePtr MakeTrue() { return std::make_shared<TruePredicate>(); }
+
+}  // namespace uuq

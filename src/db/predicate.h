@@ -1,0 +1,58 @@
+// Predicate expression trees for the WHERE clause of aggregate queries.
+//
+// Grammar (built by the SQL parser or programmatically):
+//   expr    := or
+//   or      := and (OR and)*
+//   and     := unary (AND unary)*
+//   unary   := NOT unary | comparison | '(' expr ')'
+//   compare := column op literal         op ∈ {=, !=, <>, <, <=, >, >=}
+// Comparisons against NULL rows evaluate to false (SQL-ish three-valued
+// logic collapsed to two values, which is all the estimators need).
+#ifndef UUQ_DB_PREDICATE_H_
+#define UUQ_DB_PREDICATE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "db/schema.h"
+#include "db/table.h"
+#include "db/value.h"
+
+namespace uuq {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpSymbol(CompareOp op);
+
+/// Abstract predicate node.
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// Evaluates against a row of the given schema.
+  virtual Result<bool> Eval(const Row& row, const Schema& schema) const = 0;
+
+  /// Checks all referenced columns exist.
+  virtual Status Validate(const Schema& schema) const = 0;
+
+  /// SQL-ish rendering, fully parenthesized.
+  virtual std::string ToString() const = 0;
+};
+
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// column <op> literal.
+PredicatePtr MakeComparison(std::string column, CompareOp op, Value literal);
+/// lhs AND rhs.
+PredicatePtr MakeAnd(PredicatePtr lhs, PredicatePtr rhs);
+/// lhs OR rhs.
+PredicatePtr MakeOr(PredicatePtr lhs, PredicatePtr rhs);
+/// NOT inner.
+PredicatePtr MakeNot(PredicatePtr inner);
+/// Always true (the implicit predicate of a query with no WHERE clause).
+PredicatePtr MakeTrue();
+
+}  // namespace uuq
+
+#endif  // UUQ_DB_PREDICATE_H_

@@ -1,0 +1,53 @@
+#include "db/schema.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace uuq {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    UUQ_CHECK_MSG(!fields_[i].name.empty(), "field names must be non-empty");
+    for (size_t j = i + 1; j < fields_.size(); ++j) {
+      UUQ_CHECK_MSG(!EqualsIgnoreCase(fields_[i].name, fields_[j].name),
+                    "duplicate field name");
+    }
+  }
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column named '" + name + "' in schema " +
+                          ToString());
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace uuq

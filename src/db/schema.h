@@ -1,0 +1,45 @@
+// Relation schemas for the mini database substrate.
+#ifndef UUQ_DB_SCHEMA_H_
+#define UUQ_DB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/value.h"
+
+namespace uuq {
+
+/// A named, typed column.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// An ordered list of fields with by-name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Case-insensitive column lookup; NotFound when absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  bool HasField(const std::string& name) const;
+
+  /// "name:TYPE, name:TYPE" — used in error messages and tests.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_DB_SCHEMA_H_

@@ -1,0 +1,24 @@
+// A small SQL parser for the paper's query class:
+//
+//   SELECT <AGG>(<attr>|*) FROM <table> [WHERE <predicate>]
+//
+// with AGG in {SUM, COUNT, AVG, MIN, MAX} and predicates over comparisons of
+// a column against a numeric/string/bool literal composed with AND/OR/NOT
+// and parentheses. Identifiers are [A-Za-z_][A-Za-z0-9_]*; string literals
+// use single quotes with '' as the escape; keywords are case-insensitive.
+#ifndef UUQ_DB_SQL_PARSER_H_
+#define UUQ_DB_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "db/query.h"
+
+namespace uuq {
+
+/// Parses an aggregate query; ParseError with position info on bad input.
+Result<AggregateQuery> ParseQuery(const std::string& sql);
+
+}  // namespace uuq
+
+#endif  // UUQ_DB_SQL_PARSER_H_

@@ -1,0 +1,88 @@
+#include "db/table.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace uuq {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString());
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    const ValueType expected = schema_.field(i).type;
+    const ValueType got = row[i].type();
+    const bool numeric_ok =
+        (expected == ValueType::kDouble && got == ValueType::kInt64);
+    if (got != expected && !numeric_ok) {
+      return Status::InvalidArgument(
+          "column '" + schema_.field(i).name + "' expects " +
+          ValueTypeName(expected) + " but got " + ValueTypeName(got));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::vector<Value> Table::Column(size_t field_index) const {
+  UUQ_CHECK(field_index < schema_.num_fields());
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) out.push_back(r[field_index]);
+  return out;
+}
+
+Result<std::vector<double>> Table::NumericColumn(
+    const std::string& name) const {
+  auto idx = schema_.IndexOf(name);
+  if (!idx.ok()) return idx.status();
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) {
+    const Value& v = r[idx.value()];
+    if (v.is_null()) continue;
+    auto d = v.ToDouble();
+    if (!d.ok()) return d.status();
+    out.push_back(d.value());
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  // Compute column widths over the rendered subset.
+  const size_t shown = std::min(max_rows, rows_.size());
+  std::vector<size_t> widths(schema_.num_fields());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    widths[i] = schema_.field(i).name.size();
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(schema_.num_fields());
+    for (size_t i = 0; i < schema_.num_fields(); ++i) {
+      cells[r][i] = rows_[r][i].ToString();
+      widths[i] = std::max(widths[i], cells[r][i].size());
+    }
+  }
+  std::string out = name_.empty() ? "(table)" : name_;
+  out += " " + schema_.ToString() + ", " + std::to_string(rows_.size()) +
+         " rows\n";
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    out += PadRight(schema_.field(i).name, widths[i] + 2);
+  }
+  out += "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t i = 0; i < schema_.num_fields(); ++i) {
+      out += PadRight(cells[r][i], widths[i] + 2);
+    }
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace uuq

@@ -1,0 +1,60 @@
+// Row-oriented in-memory table.
+//
+// Tables here hold the integrated database K and the per-source relations;
+// they are small (thousands of rows), so a simple row store with typed
+// append-time validation is the right tool — no paging, no indexes.
+#ifndef UUQ_DB_TABLE_H_
+#define UUQ_DB_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace uuq {
+
+/// A row is a vector of cells matching the table schema positionally.
+using Row = std::vector<Value>;
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends a row after validating arity and cell types (null is allowed in
+  /// any column).
+  Status Append(Row row);
+
+  /// Appends without validation — for trusted internal producers.
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// All values of one column (by index).
+  std::vector<Value> Column(size_t field_index) const;
+
+  /// Numeric column as doubles; nulls are skipped. Fails when the column is
+  /// missing or non-numeric values are present.
+  Result<std::vector<double>> NumericColumn(const std::string& name) const;
+
+  /// ASCII rendering (header + up to `max_rows` rows) for examples/demos.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_DB_TABLE_H_

@@ -1,0 +1,47 @@
+#include "integration/diagnostics.h"
+
+#include <algorithm>
+
+#include "stats/coverage.h"
+#include "stats/descriptive.h"
+
+namespace uuq {
+
+SourceImbalanceReport AnalyzeSourceImbalance(const IntegratedSample& sample,
+                                             double max_share_threshold,
+                                             double gini_threshold) {
+  SourceImbalanceReport report;
+  report.num_sources = sample.num_sources();
+  if (report.num_sources == 0 || sample.n() == 0) return report;
+
+  std::vector<double> contributions;
+  contributions.reserve(sample.source_sizes().size());
+  double max_size = 0.0;
+  for (const auto& [id, size] : sample.source_sizes()) {
+    const double s = static_cast<double>(size);
+    contributions.push_back(s);
+    if (s > max_size) {
+      max_size = s;
+      report.dominant_source = id;
+    }
+  }
+  report.gini = GiniCoefficient(contributions);
+  report.max_share = max_size / static_cast<double>(sample.n());
+  report.streaker_suspected =
+      (report.num_sources >= 2 && report.max_share > max_share_threshold) ||
+      report.gini > gini_threshold;
+  return report;
+}
+
+CompletenessReport AnalyzeCompleteness(const IntegratedSample& sample) {
+  CompletenessReport report;
+  const FrequencyStatistics stats = sample.Fstats();
+  report.n = stats.n();
+  report.c = stats.c();
+  report.singletons = stats.singletons();
+  report.coverage = GoodTuringCoverage(stats);
+  report.estimates_recommended = CoverageSufficient(stats);
+  return report;
+}
+
+}  // namespace uuq

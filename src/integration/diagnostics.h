@@ -1,0 +1,42 @@
+// Diagnostics over an integrated sample: source-imbalance ("streakers",
+// paper §6.3) and completeness/coverage reporting (§6.5).
+#ifndef UUQ_INTEGRATION_DIAGNOSTICS_H_
+#define UUQ_INTEGRATION_DIAGNOSTICS_H_
+
+#include <string>
+
+#include "integration/sample.h"
+
+namespace uuq {
+
+/// Summary of how evenly sources contribute to the sample.
+struct SourceImbalanceReport {
+  int64_t num_sources = 0;
+  double gini = 0.0;             ///< 0 = perfectly even contributions
+  double max_share = 0.0;        ///< largest n_j / n
+  std::string dominant_source;   ///< id of the largest contributor
+  bool streaker_suspected = false;
+};
+
+/// Heuristics matching the paper's qualitative definition: a streaker is a
+/// source contributing far more than its peers. We flag when the largest
+/// source holds more than `max_share_threshold` of all observations (with at
+/// least two sources) or the contribution Gini exceeds `gini_threshold`.
+SourceImbalanceReport AnalyzeSourceImbalance(const IntegratedSample& sample,
+                                             double max_share_threshold = 0.5,
+                                             double gini_threshold = 0.6);
+
+/// Coverage-centric completeness summary for end users.
+struct CompletenessReport {
+  int64_t n = 0;
+  int64_t c = 0;
+  int64_t singletons = 0;
+  double coverage = 0.0;          ///< Good-Turing Ĉ
+  bool estimates_recommended = false;  ///< Ĉ >= 0.4 gate (§6.5)
+};
+
+CompletenessReport AnalyzeCompleteness(const IntegratedSample& sample);
+
+}  // namespace uuq
+
+#endif  // UUQ_INTEGRATION_DIAGNOSTICS_H_

@@ -1,0 +1,167 @@
+#include "integration/resolution.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "integration/source.h"
+
+namespace uuq {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const int len_a = static_cast<int>(a.size());
+  const int len_b = static_cast<int>(b.size());
+  const int window = std::max(len_a, len_b) / 2 - 1;
+
+  std::vector<bool> matched_a(len_a, false), matched_b(len_b, false);
+  int matches = 0;
+  for (int i = 0; i < len_a; ++i) {
+    const int lo = std::max(0, i - window);
+    const int hi = std::min(len_b - 1, i + window);
+    for (int j = lo; j <= hi; ++j) {
+      if (matched_b[j] || a[i] != b[j]) continue;
+      matched_a[i] = true;
+      matched_b[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among the matched characters.
+  int transpositions = 0;
+  int k = 0;
+  for (int i = 0; i < len_a; ++i) {
+    if (!matched_a[i]) continue;
+    while (!matched_b[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / len_a + m / len_b + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  UUQ_CHECK_MSG(prefix_scale >= 0.0 && prefix_scale <= 0.25,
+                "prefix scale must be in [0, 0.25]");
+  const double jaro = JaroSimilarity(a, b);
+  int prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (static_cast<size_t>(prefix) < max_prefix &&
+         a[prefix] == b[prefix]) {
+    ++prefix;
+  }
+  return jaro + prefix * prefix_scale * (1.0 - jaro);
+}
+
+double TokenJaccardSimilarity(std::string_view a, std::string_view b) {
+  auto tokens = [](std::string_view s) {
+    std::set<std::string> out;
+    std::string token;
+    for (char c : s) {
+      if (c == ' ') {
+        if (!token.empty()) out.insert(token);
+        token.clear();
+      } else {
+        token += c;
+      }
+    }
+    if (!token.empty()) out.insert(token);
+    return out;
+  };
+  const std::string na = NormalizeEntityKey(std::string(a));
+  const std::string nb = NormalizeEntityKey(std::string(b));
+  const std::set<std::string> ta = tokens(na);
+  const std::set<std::string> tb = tokens(nb);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  int intersection = 0;
+  for (const std::string& t : ta) {
+    if (tb.count(t)) ++intersection;
+  }
+  const int uni = static_cast<int>(ta.size() + tb.size()) - intersection;
+  return static_cast<double>(intersection) / uni;
+}
+
+namespace {
+
+const char* const kCorporateSuffixes[] = {
+    "inc", "inc.", "incorporated", "corp", "corp.", "corporation", "llc",
+    "llc.", "ltd", "ltd.", "limited", "co", "co.", "company", "gmbh", "plc",
+};
+
+bool IsCorporateSuffix(const std::string& token) {
+  for (const char* suffix : kCorporateSuffixes) {
+    if (token == suffix) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FuzzyResolver::ComparisonForm(
+    const std::string& raw_mention) const {
+  std::string normalized = NormalizeEntityKey(raw_mention);
+  // Drop punctuation that survives normalization ("i.b.m." -> "ibm").
+  std::string cleaned;
+  cleaned.reserve(normalized.size());
+  for (char c : normalized) {
+    if (c == '.' || c == ',' || c == '\'') continue;
+    cleaned += c;
+  }
+  if (!options_.strip_corporate_suffixes) return cleaned;
+
+  // Strip trailing corporate-suffix tokens ("acme robotics inc" -> "acme
+  // robotics"), but never strip the only token.
+  std::vector<std::string> tokens = Split(cleaned, ' ');
+  while (tokens.size() > 1 && IsCorporateSuffix(tokens.back())) {
+    tokens.pop_back();
+  }
+  return Join(tokens, " ");
+}
+
+std::string FuzzyResolver::Resolve(const std::string& raw_mention) {
+  const std::string form = ComparisonForm(raw_mention);
+  const std::string normalized = NormalizeEntityKey(raw_mention);
+
+  auto exact_it = exact_.find(form);
+  if (exact_it != exact_.end()) return canonical_[exact_it->second];
+
+  // Scan known entities for a fuzzy match; keep the best above threshold.
+  double best_score = 0.0;
+  size_t best_index = canonical_.size();
+  for (size_t i = 0; i < comparison_form_.size(); ++i) {
+    const double jw = JaroWinklerSimilarity(form, comparison_form_[i]);
+    double score = jw;
+    if (options_.use_token_jaccard) {
+      score = std::max(
+          score, TokenJaccardSimilarity(form, comparison_form_[i]) >=
+                         options_.token_threshold
+                     ? 1.0
+                     : 0.0);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_index = i;
+    }
+  }
+  if (best_index < canonical_.size() && best_score >= options_.threshold) {
+    // Remember this surface form so future lookups are O(1).
+    exact_.emplace(form, best_index);
+    return canonical_[best_index];
+  }
+
+  // New canonical entity.
+  canonical_.push_back(normalized);
+  comparison_form_.push_back(form);
+  exact_.emplace(form, canonical_.size() - 1);
+  return normalized;
+}
+
+}  // namespace uuq

@@ -1,0 +1,68 @@
+// Fuzzy entity resolution for the integration layer.
+//
+// The paper treats data cleaning as orthogonal (§2: "we assume that after a
+// proper data cleaning process we have one instance per observed entity"),
+// and the exact-match NormalizeEntityKey covers disciplined inputs. Real
+// source text is messier — "IBM Corp." vs "I.B.M. Corporation" — and a
+// wrong split inflates f1 (phantom singletons) which directly biases every
+// estimator. This module provides the standard string-similarity toolkit
+// and a greedy canonicalizer that maps new mentions onto known entities
+// above a similarity threshold.
+#ifndef UUQ_INTEGRATION_RESOLUTION_H_
+#define UUQ_INTEGRATION_RESOLUTION_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace uuq {
+
+/// Jaro similarity in [0, 1]; 1 = identical, 0 = no matching characters.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler: Jaro boosted by up to 4 characters of common prefix.
+/// `prefix_scale` is Winkler's p (conventionally 0.1, must be <= 0.25).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+/// Token-set similarity: |intersection| / |union| over whitespace tokens of
+/// the normalized strings (Jaccard). Robust to word reorderings.
+double TokenJaccardSimilarity(std::string_view a, std::string_view b);
+
+/// Greedy streaming canonicalizer. The FIRST mention of an entity becomes
+/// the canonical key; later mentions whose similarity to some canonical key
+/// reaches `threshold` are mapped onto it. Comparison happens on normalized
+/// keys (lower-cased, whitespace-collapsed, with common corporate suffixes
+/// dropped). Deterministic given mention order.
+class FuzzyResolver {
+ public:
+  struct Options {
+    double threshold = 0.92;      ///< Jaro-Winkler acceptance threshold
+    bool use_token_jaccard = true;  ///< also accept on token-set match
+    double token_threshold = 0.99;  ///< Jaccard acceptance (≈ exact set)
+    bool strip_corporate_suffixes = true;  ///< "inc", "corp", "llc", ...
+  };
+
+  FuzzyResolver() : FuzzyResolver(Options{}) {}
+  explicit FuzzyResolver(Options options) : options_(options) {}
+
+  /// Returns the canonical key for a raw mention (registering it as a new
+  /// canonical entity when nothing matches).
+  std::string Resolve(const std::string& raw_mention);
+
+  /// The comparison form of a mention (exposed for tests/debugging).
+  std::string ComparisonForm(const std::string& raw_mention) const;
+
+  size_t num_entities() const { return canonical_.size(); }
+
+ private:
+  Options options_;
+  std::vector<std::string> canonical_;        // canonical normalized keys
+  std::vector<std::string> comparison_form_;  // suffix-stripped forms
+  std::unordered_map<std::string, size_t> exact_;  // comparison form -> index
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_INTEGRATION_RESOLUTION_H_

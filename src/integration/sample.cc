@@ -1,0 +1,170 @@
+#include "integration/sample.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "integration/source.h"
+
+namespace uuq {
+
+double IntegratedSample::Fuse(const std::vector<double>& reports) const {
+  UUQ_DCHECK(!reports.empty());
+  switch (policy_) {
+    case FusionPolicy::kAverage: {
+      double sum = 0.0;
+      for (double r : reports) sum += r;
+      return sum / static_cast<double>(reports.size());
+    }
+    case FusionPolicy::kFirst:
+      return reports.front();
+    case FusionPolicy::kLast:
+      return reports.back();
+    case FusionPolicy::kMajority: {
+      // Mode with ties broken by first occurrence.
+      double best = reports.front();
+      int best_count = 0;
+      for (size_t i = 0; i < reports.size(); ++i) {
+        int count = 0;
+        for (double r : reports) {
+          if (r == reports[i]) ++count;
+        }
+        if (count > best_count) {
+          best_count = count;
+          best = reports[i];
+        }
+      }
+      return best;
+    }
+  }
+  return reports.front();
+}
+
+void IntegratedSample::Add(const std::string& source_id,
+                           const std::string& entity_key, double value,
+                           const std::string& category) {
+  const std::string key = NormalizeEntityKey(entity_key);
+  UUQ_CHECK_MSG(!key.empty(), "empty entity key");
+  ++n_;
+  ++source_sizes_[source_id];
+
+  auto src_it = source_index_.find(source_id);
+  int32_t source_idx;
+  if (src_it == source_index_.end()) {
+    source_idx = static_cast<int32_t>(source_names_.size());
+    source_names_.push_back(source_id);
+    source_index_.emplace(source_id, source_idx);
+  } else {
+    source_idx = src_it->second;
+  }
+
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    // New entity: multiplicity 0 -> 1.
+    EntityState state;
+    state.stat_index = entities_.size();
+    state.reports.push_back(value);
+    log_.push_back({source_idx, static_cast<int32_t>(entities_.size()), value});
+    entities_.push_back({key, value, 1, category});
+    index_.emplace(key, std::move(state));
+    ++multiplicity_histogram_[1];
+    observed_sum_ += value;
+    singleton_sum_ += value;
+    return;
+  }
+  log_.push_back(
+      {source_idx, static_cast<int32_t>(it->second.stat_index), value});
+  if (!category.empty() &&
+      entities_[it->second.stat_index].category.empty()) {
+    entities_[it->second.stat_index].category = category;
+  }
+
+  EntityState& state = it->second;
+  EntityStat& stat = entities_[state.stat_index];
+  const double old_value = stat.value;
+  const int64_t old_mult = stat.multiplicity;
+
+  state.reports.push_back(value);
+  const double new_value = Fuse(state.reports);
+
+  // Histogram shift old_mult -> old_mult + 1.
+  auto hist_it = multiplicity_histogram_.find(old_mult);
+  UUQ_DCHECK(hist_it != multiplicity_histogram_.end());
+  if (--hist_it->second == 0) multiplicity_histogram_.erase(hist_it);
+  ++multiplicity_histogram_[old_mult + 1];
+
+  // The entity stops being a singleton exactly when old_mult == 1.
+  if (old_mult == 1) singleton_sum_ -= old_value;
+
+  observed_sum_ += new_value - old_value;
+  stat.value = new_value;
+  stat.multiplicity = old_mult + 1;
+}
+
+FrequencyStatistics IntegratedSample::Fstats() const {
+  return FrequencyStatistics::FromHistogram(multiplicity_histogram_);
+}
+
+std::vector<double> IntegratedSample::Values() const {
+  std::vector<double> out;
+  out.reserve(entities_.size());
+  for (const EntityStat& e : entities_) out.push_back(e.value);
+  return out;
+}
+
+std::vector<int64_t> IntegratedSample::SourceSizeVector() const {
+  std::vector<int64_t> out;
+  out.reserve(source_sizes_.size());
+  for (const auto& [id, size] : source_sizes_) out.push_back(size);
+  return out;
+}
+
+std::vector<Observation> IntegratedSample::ObservationLog() const {
+  std::vector<Observation> out;
+  out.reserve(log_.size());
+  for (const LogEntry& entry : log_) {
+    const EntityStat& entity = entities_[entry.entity_index];
+    out.push_back({source_names_[entry.source_index], entity.key, entry.value,
+                   entity.category});
+  }
+  return out;
+}
+
+std::vector<std::string> IntegratedSample::Categories() const {
+  std::vector<std::string> out;
+  for (const EntityStat& entity : entities_) {
+    if (!entity.category.empty()) out.push_back(entity.category);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+IntegratedSample IntegratedSample::Filter(
+    const std::function<bool(const EntityStat&)>& keep) const {
+  IntegratedSample out(policy_);
+  for (const LogEntry& entry : log_) {
+    const EntityStat& entity = entities_[entry.entity_index];
+    if (!keep(entity)) continue;
+    out.Add(source_names_[entry.source_index], entity.key, entry.value,
+            entity.category);
+  }
+  return out;
+}
+
+Table IntegratedSample::ToTable(const std::string& table_name,
+                                const std::string& value_column) const {
+  Schema schema({{"entity", ValueType::kString},
+                 {value_column, ValueType::kDouble},
+                 {"observations", ValueType::kInt64},
+                 {"category", ValueType::kString}});
+  Table table(table_name, schema);
+  for (const EntityStat& e : entities_) {
+    table.AppendUnchecked({Value(e.key), Value(e.value),
+                           Value(e.multiplicity),
+                           e.category.empty() ? Value::Null()
+                                              : Value(e.category)});
+  }
+  return table;
+}
+
+}  // namespace uuq

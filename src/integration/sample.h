@@ -1,0 +1,155 @@
+// The integrated sample S and its deduplicated view K (paper §2.1-2.2).
+//
+// IntegratedSample consumes an observation stream and maintains — all
+// incrementally, O(log) per observation — everything the estimators read:
+//   n      total observations (|S|, duplicates included)
+//   c      distinct entities (|K|)
+//   f_j    frequency statistics
+//   φK     the observed SUM over fused entity values
+//   φf1    the sum of singleton values (frequency estimator, Eq. 9)
+//   n_j    per-source contribution sizes (Monte-Carlo estimator, streakers)
+// Conflicting values for one entity are fused according to a FusionPolicy;
+// the paper's experiments average disagreeing crowd answers.
+#ifndef UUQ_INTEGRATION_SAMPLE_H_
+#define UUQ_INTEGRATION_SAMPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "db/table.h"
+#include "integration/source.h"
+#include "stats/fstats.h"
+
+namespace uuq {
+
+/// How to reconcile disagreeing values reported for the same entity.
+enum class FusionPolicy {
+  kAverage,   ///< mean of all reports (the paper's data-cleaning rule)
+  kFirst,     ///< first reported value wins
+  kLast,      ///< latest reported value wins
+  kMajority,  ///< most frequent report; ties broken by first occurrence
+};
+
+/// Per-entity state exposed to estimators.
+struct EntityStat {
+  std::string key;       // normalized entity key
+  double value = 0.0;    // fused attribute value
+  int64_t multiplicity = 0;  // times observed across all sources
+  std::string category;  // first non-empty reported category
+};
+
+class IntegratedSample {
+ public:
+  explicit IntegratedSample(FusionPolicy policy = FusionPolicy::kAverage)
+      : policy_(policy) {}
+
+  /// Ingests one observation (key is normalized internally). Constant-ish
+  /// time: histogram updates are O(log n), fusion is O(#reports) only for
+  /// kMajority. The optional category is entity-level metadata; the first
+  /// non-empty report wins.
+  void Add(const std::string& source_id, const std::string& entity_key,
+           double value, const std::string& category = "");
+
+  /// Convenience overload.
+  void Add(const Observation& obs) {
+    Add(obs.source_id, obs.entity_key, obs.value, obs.category);
+  }
+
+  /// Distinct non-empty entity categories, sorted.
+  std::vector<std::string> Categories() const;
+
+  /// Sample size n = |S|.
+  int64_t n() const { return n_; }
+  /// Distinct entities c = |K|.
+  int64_t c() const { return static_cast<int64_t>(entities_.size()); }
+  bool empty() const { return n_ == 0; }
+
+  /// Snapshot of the f-statistics.
+  FrequencyStatistics Fstats() const;
+
+  /// φK — observed SUM of fused values over K.
+  double ObservedSum() const { return observed_sum_; }
+
+  /// φf1 — sum of fused values over entities observed exactly once.
+  double SingletonValueSum() const { return singleton_sum_; }
+
+  /// All per-entity stats, in first-observation order.
+  const std::vector<EntityStat>& entities() const { return entities_; }
+
+  /// Fused values only (same order as entities()).
+  std::vector<double> Values() const;
+
+  /// Per-source observation counts n_j keyed by source id.
+  const std::map<std::string, int64_t>& source_sizes() const {
+    return source_sizes_;
+  }
+
+  /// n_j as a bare vector (order: by source id).
+  std::vector<int64_t> SourceSizeVector() const;
+
+  /// Number of distinct sources l.
+  int64_t num_sources() const {
+    return static_cast<int64_t>(source_sizes_.size());
+  }
+
+  /// Materializes the integrated database K as a relational table:
+  ///   (entity STRING, <value_column> DOUBLE, observations INT64).
+  Table ToTable(const std::string& table_name,
+                const std::string& value_column) const;
+
+  /// Rebuilds a sub-sample containing only the entities for which `keep`
+  /// returns true (judged on their FINAL fused state), replaying the raw
+  /// observation log so multiplicities, source sizes and fusion stay exact.
+  /// This implements predicate push-down for corrected queries: species
+  /// estimation then runs over the predicate-satisfying class only (§2.1
+  /// drops the predicate because every item of D satisfies it).
+  IntegratedSample Filter(
+      const std::function<bool(const EntityStat&)>& keep) const;
+
+  /// The raw observation stream in arrival order (reconstructed from the
+  /// lineage log; values are the ORIGINAL reports, not fused values). Used
+  /// by source-level bootstrap resampling.
+  std::vector<Observation> ObservationLog() const;
+
+  /// Source ids in first-contribution order.
+  const std::vector<std::string>& source_names() const {
+    return source_names_;
+  }
+
+  FusionPolicy policy() const { return policy_; }
+
+ private:
+  struct EntityState {
+    size_t stat_index;            // into entities_
+    std::vector<double> reports;  // raw reported values, arrival order
+  };
+
+  struct LogEntry {
+    int32_t source_index;  // into source_names_
+    int32_t entity_index;  // into entities_
+    double value;          // raw reported value
+  };
+
+  double Fuse(const std::vector<double>& reports) const;
+
+  FusionPolicy policy_;
+  int64_t n_ = 0;
+  double observed_sum_ = 0.0;
+  double singleton_sum_ = 0.0;
+  std::vector<EntityStat> entities_;
+  std::unordered_map<std::string, EntityState> index_;
+  std::map<int64_t, int64_t> multiplicity_histogram_;
+  std::map<std::string, int64_t> source_sizes_;
+  std::vector<std::string> source_names_;  // arrival order of first mention
+  std::unordered_map<std::string, int32_t> source_index_;
+  std::vector<LogEntry> log_;  // raw observation stream, arrival order
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_INTEGRATION_SAMPLE_H_

@@ -1,0 +1,42 @@
+#include "integration/source.h"
+
+#include <cctype>
+
+namespace uuq {
+
+std::string NormalizeEntityKey(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  bool pending_space = false;
+  for (char c : raw) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    out += c;
+  }
+  return out;
+}
+
+Status DataSource::Add(const std::string& entity_key, double value,
+                       const std::string& category) {
+  std::string key = NormalizeEntityKey(entity_key);
+  if (key.empty()) {
+    return Status::InvalidArgument("empty entity key");
+  }
+  for (const Claim& claim : claims_) {
+    if (claim.entity_key == key) {
+      return Status::FailedPrecondition("source '" + id_ +
+                                        "' already mentions '" + key + "'");
+    }
+  }
+  claims_.push_back({std::move(key), value, category});
+  return Status::OK();
+}
+
+}  // namespace uuq

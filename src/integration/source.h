@@ -1,0 +1,61 @@
+// Data sources and observations (paper §2.2).
+//
+// A data source mentions each real-world entity at most once (sampling
+// without replacement); the integration layer combines many sources into the
+// sample S, which approximates sampling with replacement when enough sources
+// overlap.
+#ifndef UUQ_INTEGRATION_SOURCE_H_
+#define UUQ_INTEGRATION_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uuq {
+
+/// One claim by one source: "entity `entity_key` has attribute value
+/// `value`". The attribute under aggregation is numeric (employees, revenue,
+/// GDP, participants, ...). `category` is an optional dimensional attribute
+/// (state, sector, ...) enabling grouped corrected queries.
+struct Observation {
+  std::string source_id;
+  std::string entity_key;
+  double value = 0.0;
+  std::string category;
+};
+
+/// Canonical entity-resolution key: lower-cased, trimmed, inner whitespace
+/// runs collapsed to one space. "IBM Corp" == " ibm   corp ".
+std::string NormalizeEntityKey(const std::string& raw);
+
+/// A single source's contribution. Duplicate entity mentions within one
+/// source are rejected — a web page or crowd answer sheet lists an entity
+/// once, which is exactly the paper's sampling-without-replacement model.
+class DataSource {
+ public:
+  explicit DataSource(std::string id) : id_(std::move(id)) {}
+
+  const std::string& id() const { return id_; }
+  size_t size() const { return claims_.size(); }
+
+  /// Adds a claim; FailedPrecondition when the (normalized) entity was
+  /// already claimed by this source.
+  Status Add(const std::string& entity_key, double value,
+             const std::string& category = "");
+
+  struct Claim {
+    std::string entity_key;  // normalized
+    double value;
+    std::string category;
+  };
+  const std::vector<Claim>& claims() const { return claims_; }
+
+ private:
+  std::string id_;
+  std::vector<Claim> claims_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_INTEGRATION_SOURCE_H_

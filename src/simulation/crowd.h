@@ -1,0 +1,62 @@
+// Crowd / multi-source sampling simulator (paper §2.2, §6.2, §6.3).
+//
+// Each worker (= data source) samples its quota WITHOUT replacement from the
+// population with publicity-weighted probabilities. The generated stream is
+// an arrival-ordered list of observations; experiments replay prefixes of it
+// to trace estimator convergence.
+//
+// Streakers (§6.3) are supported two ways:
+//  * sequential_full_dump — every source contributes ALL items one source
+//    after another (Figure 7(a)),
+//  * a single streaker injected at a given arrival position contributing
+//    every population item consecutively (Figure 7(b)).
+#ifndef UUQ_SIMULATION_CROWD_H_
+#define UUQ_SIMULATION_CROWD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "integration/source.h"
+#include "simulation/population.h"
+
+namespace uuq {
+
+/// How per-worker answer lists are merged into one arrival stream.
+enum class ArrivalOrder {
+  kRoundRobin,  ///< workers answer in parallel, interleaved
+  kSequential,  ///< one worker completes before the next starts
+};
+
+struct CrowdConfig {
+  int num_workers = 20;
+  int answers_per_worker = 20;
+  ArrivalOrder order = ArrivalOrder::kRoundRobin;
+  /// Figure 7(a): every worker dumps the full population, sequentially.
+  bool sequential_full_dump = false;
+  /// Figure 7(b): inject one streaker at this arrival position (-1 = none);
+  /// it contributes `streaker_items` items (0 = the whole population),
+  /// sampled publicity-weighted without replacement, consecutively.
+  int streaker_at = -1;
+  int streaker_items = 0;
+  uint64_t seed = 1;
+};
+
+class CrowdSimulator {
+ public:
+  CrowdSimulator(const Population* population, CrowdConfig config);
+
+  /// Generates the full arrival stream. Deterministic in config.seed.
+  std::vector<Observation> GenerateStream() const;
+
+ private:
+  std::vector<Observation> WorkerAnswers(int worker, int quota,
+                                         Rng* rng) const;
+
+  const Population* population_;
+  CrowdConfig config_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_SIMULATION_CROWD_H_

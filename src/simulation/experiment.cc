@@ -1,0 +1,119 @@
+#include "simulation/experiment.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "integration/sample.h"
+
+namespace uuq {
+
+std::vector<int64_t> MakeCheckpoints(int64_t max_n, int64_t stride) {
+  UUQ_CHECK(stride > 0);
+  std::vector<int64_t> out;
+  for (int64_t n = stride; n < max_n; n += stride) out.push_back(n);
+  if (max_n > 0) out.push_back(max_n);
+  return out;
+}
+
+std::vector<SeriesPoint> RunConvergence(
+    const std::vector<Observation>& stream, const EstimatorSet& estimators,
+    const std::vector<int64_t>& checkpoints, FusionPolicy fusion) {
+  std::vector<SeriesPoint> series;
+  if (checkpoints.empty()) return series;
+
+  IntegratedSample sample(fusion);
+  size_t next_checkpoint = 0;
+  for (size_t i = 0; i < stream.size() && next_checkpoint < checkpoints.size();
+       ++i) {
+    sample.Add(stream[i].source_id, stream[i].entity_key, stream[i].value);
+    const int64_t n = static_cast<int64_t>(i) + 1;
+    if (n != checkpoints[next_checkpoint]) continue;
+    ++next_checkpoint;
+
+    SeriesPoint point;
+    point.n = n;
+    point.observed = sample.ObservedSum();
+    point.c = sample.c();
+    const SampleStats stats = SampleStats::FromSample(sample);
+    point.coverage = stats.Coverage();
+    for (const SumEstimator* estimator : estimators) {
+      const Estimate est = estimator->EstimateImpact(sample);
+      point.estimates[estimator->name()] = est.corrected_sum;
+    }
+    series.push_back(std::move(point));
+  }
+  return series;
+}
+
+std::vector<SeriesPoint> RunAveragedConvergence(
+    const StreamFactory& factory, const EstimatorSet& estimators,
+    const std::vector<int64_t>& checkpoints, int repetitions,
+    uint64_t base_seed, FusionPolicy fusion) {
+  UUQ_CHECK(repetitions > 0);
+
+  struct Accumulator {
+    double sum = 0.0;
+    int finite = 0;
+  };
+  // Index: checkpoint -> estimator/observed accumulators.
+  std::vector<SeriesPoint> shape;
+  std::vector<std::map<std::string, Accumulator>> estimate_acc;
+  std::vector<Accumulator> observed_acc, c_acc, coverage_acc;
+
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const std::vector<Observation> stream =
+        factory(base_seed + static_cast<uint64_t>(rep));
+    const std::vector<SeriesPoint> series =
+        RunConvergence(stream, estimators, checkpoints, fusion);
+    if (series.size() > shape.size()) {
+      shape.resize(series.size());
+      estimate_acc.resize(series.size());
+      observed_acc.resize(series.size());
+      c_acc.resize(series.size());
+      coverage_acc.resize(series.size());
+    }
+    for (size_t i = 0; i < series.size(); ++i) {
+      shape[i].n = series[i].n;
+      observed_acc[i].sum += series[i].observed;
+      observed_acc[i].finite += 1;
+      c_acc[i].sum += static_cast<double>(series[i].c);
+      c_acc[i].finite += 1;
+      coverage_acc[i].sum += series[i].coverage;
+      coverage_acc[i].finite += 1;
+      for (const auto& [name, value] : series[i].estimates) {
+        Accumulator& acc = estimate_acc[i][name];
+        if (std::isfinite(value)) {
+          acc.sum += value;
+          acc.finite += 1;
+        }
+      }
+    }
+  }
+
+  std::vector<SeriesPoint> out;
+  out.reserve(shape.size());
+  for (size_t i = 0; i < shape.size(); ++i) {
+    SeriesPoint point;
+    point.n = shape[i].n;
+    point.observed = observed_acc[i].finite > 0
+                         ? observed_acc[i].sum / observed_acc[i].finite
+                         : 0.0;
+    point.c = c_acc[i].finite > 0
+                  ? static_cast<int64_t>(
+                        std::llround(c_acc[i].sum / c_acc[i].finite))
+                  : 0;
+    point.coverage = coverage_acc[i].finite > 0
+                         ? coverage_acc[i].sum / coverage_acc[i].finite
+                         : 0.0;
+    for (const auto& [name, acc] : estimate_acc[i]) {
+      point.estimates[name] =
+          acc.finite > 0 ? acc.sum / acc.finite
+                         : std::numeric_limits<double>::infinity();
+    }
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+}  // namespace uuq

@@ -1,0 +1,56 @@
+// Experiment harness: replay an observation stream, evaluate a set of
+// estimators at sample-size checkpoints, optionally average over repeated
+// trials (the paper repeats synthetic runs 50-1000 times).
+#ifndef UUQ_SIMULATION_EXPERIMENT_H_
+#define UUQ_SIMULATION_EXPERIMENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimate.h"
+#include "integration/source.h"
+
+namespace uuq {
+
+/// One convergence-curve point: estimator name -> corrected SUM (φK + Δ̂).
+struct SeriesPoint {
+  int64_t n = 0;          ///< sample size at this checkpoint
+  double observed = 0.0;  ///< φK
+  int64_t c = 0;          ///< distinct entities
+  double coverage = 0.0;  ///< Ĉ
+  std::map<std::string, double> estimates;
+};
+
+/// Named estimator set. Ownership stays with the caller.
+using EstimatorSet = std::vector<const SumEstimator*>;
+
+/// Checkpoints helper: {stride, 2·stride, ...} up to max_n (inclusive of
+/// max_n itself).
+std::vector<int64_t> MakeCheckpoints(int64_t max_n, int64_t stride);
+
+/// Replays `stream` into an IntegratedSample and evaluates every estimator
+/// at each checkpoint. Checkpoints beyond the stream length are ignored.
+std::vector<SeriesPoint> RunConvergence(
+    const std::vector<Observation>& stream, const EstimatorSet& estimators,
+    const std::vector<int64_t>& checkpoints,
+    FusionPolicy fusion = FusionPolicy::kAverage);
+
+/// Generates a fresh stream per repetition (seeded 'base_seed + rep') and
+/// averages the corrected estimates point-wise across repetitions.
+/// Non-finite estimates are excluded from the average; a point where every
+/// repetition was non-finite reports +infinity (the paper's "missing data
+/// points" for singleton-only static buckets).
+using StreamFactory =
+    std::function<std::vector<Observation>(uint64_t seed)>;
+
+std::vector<SeriesPoint> RunAveragedConvergence(
+    const StreamFactory& factory, const EstimatorSet& estimators,
+    const std::vector<int64_t>& checkpoints, int repetitions,
+    uint64_t base_seed, FusionPolicy fusion = FusionPolicy::kAverage);
+
+}  // namespace uuq
+
+#endif  // UUQ_SIMULATION_EXPERIMENT_H_

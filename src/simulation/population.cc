@@ -1,0 +1,159 @@
+#include "simulation/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+#include "stats/distributions.h"
+
+namespace uuq {
+
+Population::Population(std::vector<PopulationItem> items)
+    : items_(std::move(items)) {
+  std::vector<double> weights;
+  weights.reserve(items_.size());
+  for (const PopulationItem& item : items_) {
+    UUQ_CHECK_MSG(item.publicity >= 0.0, "publicity must be non-negative");
+    weights.push_back(item.publicity);
+  }
+  publicities_ = Normalize(std::move(weights));
+  for (size_t i = 0; i < items_.size(); ++i) {
+    items_[i].publicity = publicities_[i];
+  }
+}
+
+double Population::TrueSum() const {
+  double sum = 0.0;
+  for (const PopulationItem& item : items_) sum += item.value;
+  return sum;
+}
+
+double Population::TrueAvg() const {
+  return items_.empty() ? 0.0 : TrueSum() / static_cast<double>(items_.size());
+}
+
+double Population::TrueMin() const {
+  double out = std::numeric_limits<double>::infinity();
+  for (const PopulationItem& item : items_) out = std::min(out, item.value);
+  return out;
+}
+
+double Population::TrueMax() const {
+  double out = -std::numeric_limits<double>::infinity();
+  for (const PopulationItem& item : items_) out = std::max(out, item.value);
+  return out;
+}
+
+double Population::PublicityValueCorrelation() const {
+  const size_t n = items_.size();
+  if (n < 2) return 0.0;
+  // Spearman: correlation of ranks.
+  auto ranks = [n](std::vector<double> xs) {
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+    std::vector<double> rank(n);
+    for (size_t i = 0; i < n; ++i) rank[order[i]] = static_cast<double>(i);
+    return rank;
+  };
+  std::vector<double> values, pubs;
+  values.reserve(n);
+  pubs.reserve(n);
+  for (const PopulationItem& item : items_) {
+    values.push_back(item.value);
+    pubs.push_back(item.publicity);
+  }
+  const std::vector<double> rv = ranks(std::move(values));
+  const std::vector<double> rp = ranks(std::move(pubs));
+  const double mean = (static_cast<double>(n) - 1.0) / 2.0;
+  double cov = 0.0, var_v = 0.0, var_p = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (rv[i] - mean) * (rp[i] - mean);
+    var_v += (rv[i] - mean) * (rv[i] - mean);
+    var_p += (rp[i] - mean) * (rp[i] - mean);
+  }
+  if (var_v == 0.0 || var_p == 0.0) return 0.0;
+  return cov / std::sqrt(var_v * var_p);
+}
+
+Population MakeSyntheticPopulation(const SyntheticPopulationConfig& config) {
+  UUQ_CHECK(config.num_items > 0);
+  UUQ_CHECK_MSG(config.rho >= 0.0 && config.rho <= 1.0, "rho must be in [0,1]");
+  const int n = config.num_items;
+  Rng rng(config.seed);
+
+  // Publicity by rank: index 0 is most public.
+  const std::vector<double> publicity = ExponentialPublicity(n, config.lambda);
+
+  // Ascending values v_k = min + k·step.
+  std::vector<double> values(n);
+  for (int k = 0; k < n; ++k) {
+    values[k] = config.value_min + config.value_step * k;
+  }
+
+  // Assign values to publicity ranks. ρ = 1: most public item gets the
+  // largest value (descending by rank). ρ = 0: random assignment. In
+  // between: blend the deterministic rank with uniform noise and sort.
+  std::vector<int> value_index(n);
+  std::iota(value_index.begin(), value_index.end(), 0);
+  if (config.rho >= 1.0) {
+    // rank 0 (most public) -> largest value index n-1.
+    for (int i = 0; i < n; ++i) value_index[i] = n - 1 - i;
+  } else if (config.rho <= 0.0) {
+    rng.Shuffle(&value_index);
+  } else {
+    std::vector<std::pair<double, int>> scored(n);
+    for (int i = 0; i < n; ++i) {
+      const double deterministic =
+          static_cast<double>(i) / std::max(n - 1, 1);
+      scored[i] = {config.rho * deterministic +
+                       (1.0 - config.rho) * rng.NextDouble(),
+                   n - 1 - i};
+    }
+    std::sort(scored.begin(), scored.end());
+    for (int i = 0; i < n; ++i) value_index[i] = scored[i].second;
+  }
+
+  std::vector<PopulationItem> items(n);
+  for (int i = 0; i < n; ++i) {
+    items[i].key = "item-" + std::to_string(i);
+    items[i].value = values[value_index[i]];
+    items[i].publicity = publicity[i];
+  }
+  return Population(std::move(items));
+}
+
+Population MakeHeavyTailPopulation(const HeavyTailPopulationConfig& config) {
+  UUQ_CHECK(config.num_items > 0);
+  Rng rng(config.seed);
+  const int n = config.num_items;
+
+  std::vector<double> values(n);
+  double raw_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    values[i] = std::exp(config.lognormal_mu +
+                         config.lognormal_sigma * rng.NextGaussian());
+    raw_sum += values[i];
+  }
+  if (config.target_sum > 0.0 && raw_sum > 0.0) {
+    const double scale = config.target_sum / raw_sum;
+    for (double& v : values) v = std::max(v * scale, config.min_value);
+  }
+
+  std::vector<PopulationItem> items(n);
+  for (int i = 0; i < n; ++i) {
+    items[i].key = config.key_prefix + "-" + std::to_string(i);
+    items[i].value = std::round(values[i]);
+    if (items[i].value < config.min_value) items[i].value = config.min_value;
+    const double noise =
+        std::exp(config.publicity_noise_sigma * rng.NextGaussian());
+    items[i].publicity =
+        std::pow(items[i].value, config.publicity_exponent) * noise;
+  }
+  return Population(std::move(items));
+}
+
+}  // namespace uuq

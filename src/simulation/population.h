@@ -1,0 +1,82 @@
+// Ground-truth populations for simulation (paper §2.2, §6.2).
+//
+// A population is the ground truth D: N unique items, each with an attribute
+// value and a publicity likelihood p_i. The synthetic generator reproduces
+// the paper's §6.2 setup: values 10, 20, ..., 1000; exponential publicity
+// with skew λ; and a publicity-value correlation knob ρ (ρ = 1: the most
+// public item has the largest value; ρ = 0: no correlation).
+#ifndef UUQ_SIMULATION_POPULATION_H_
+#define UUQ_SIMULATION_POPULATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace uuq {
+
+struct PopulationItem {
+  std::string key;
+  double value = 0.0;
+  double publicity = 0.0;  // normalized sampling probability
+};
+
+class Population {
+ public:
+  Population() = default;
+  explicit Population(std::vector<PopulationItem> items);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const std::vector<PopulationItem>& items() const { return items_; }
+  const PopulationItem& item(size_t i) const { return items_[i]; }
+
+  /// Publicity vector (same order as items()).
+  const std::vector<double>& publicities() const { return publicities_; }
+
+  /// Ground-truth aggregates.
+  double TrueSum() const;
+  double TrueAvg() const;
+  double TrueMin() const;
+  double TrueMax() const;
+
+  /// Empirical publicity-value rank correlation (Spearman); diagnostic.
+  double PublicityValueCorrelation() const;
+
+ private:
+  std::vector<PopulationItem> items_;
+  std::vector<double> publicities_;
+};
+
+/// The paper's §6.2 synthetic population.
+struct SyntheticPopulationConfig {
+  int num_items = 100;
+  double value_min = 10.0;
+  double value_step = 10.0;  // values: min, min+step, ..., min+(N−1)·step
+  double lambda = 0.0;       // exponential publicity skew (0 = uniform)
+  double rho = 0.0;          // publicity-value correlation in [0, 1]
+  uint64_t seed = 1;
+};
+
+Population MakeSyntheticPopulation(const SyntheticPopulationConfig& config);
+
+/// A heavy-tailed "company-like" population used by the realistic scenarios:
+/// lognormal values scaled to a target total, publicity ∝ value^exponent
+/// with multiplicative lognormal noise.
+struct HeavyTailPopulationConfig {
+  int num_items = 2000;
+  double lognormal_mu = 4.0;     // of the raw value draw
+  double lognormal_sigma = 1.6;
+  double target_sum = 0.0;       // 0 = no rescaling
+  double publicity_exponent = 0.7;  // publicity ∝ value^exponent
+  double publicity_noise_sigma = 0.5;
+  double min_value = 1.0;        // floor after scaling (a company has ≥1 employee)
+  std::string key_prefix = "item";
+  uint64_t seed = 1;
+};
+
+Population MakeHeavyTailPopulation(const HeavyTailPopulationConfig& config);
+
+}  // namespace uuq
+
+#endif  // UUQ_SIMULATION_POPULATION_H_

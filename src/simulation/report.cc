@@ -1,0 +1,83 @@
+#include "simulation/report.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace uuq {
+
+SeriesTable::SeriesTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  UUQ_CHECK_MSG(!columns_.empty(), "a table needs at least one column");
+}
+
+void SeriesTable::AddRow(std::vector<double> row) {
+  UUQ_CHECK_MSG(row.size() == columns_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string SeriesTable::ToAscii() const {
+  std::vector<size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (size_t j = 0; j < columns_.size(); ++j) widths[j] = columns_[j].size();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    cells[i].resize(columns_.size());
+    for (size_t j = 0; j < columns_.size(); ++j) {
+      cells[i][j] = FormatDouble(rows_[i][j], 2);
+      widths[j] = std::max(widths[j], cells[i][j].size());
+    }
+  }
+  std::string out = "== " + title_ + " ==\n";
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    out += PadLeft(columns_[j], widths[j] + 2);
+  }
+  out += "\n";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    for (size_t j = 0; j < columns_.size(); ++j) {
+      out += PadLeft(cells[i][j], widths[j] + 2);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string SeriesTable::ToCsv() const {
+  std::string out;
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    if (j > 0) out += ",";
+    out += columns_[j];
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) out += ",";
+      out += FormatDouble(row[j], 6);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+SeriesTable SeriesToTable(const std::string& title,
+                          const std::vector<SeriesPoint>& series,
+                          double ground_truth, bool include_ground_truth) {
+  std::vector<std::string> columns{"n", "observed"};
+  if (!series.empty()) {
+    for (const auto& [name, value] : series.front().estimates) {
+      columns.push_back(name);
+    }
+  }
+  if (include_ground_truth) columns.push_back("truth");
+
+  SeriesTable table(title, columns);
+  for (const SeriesPoint& point : series) {
+    std::vector<double> row{static_cast<double>(point.n), point.observed};
+    for (const auto& [name, value] : point.estimates) row.push_back(value);
+    if (include_ground_truth) row.push_back(ground_truth);
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace uuq

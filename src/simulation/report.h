@@ -1,0 +1,42 @@
+// ASCII/CSV series reporting for the benchmark harnesses: each bench prints
+// the same rows/series the corresponding paper figure or table shows.
+#ifndef UUQ_SIMULATION_REPORT_H_
+#define UUQ_SIMULATION_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "simulation/experiment.h"
+
+namespace uuq {
+
+/// A rectangular numeric table with a title and column headers.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<double> row);
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  std::string ToAscii() const;
+  std::string ToCsv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Flattens a convergence series into a table: n, observed, one column per
+/// estimator (sorted by name), plus an optional ground-truth column.
+SeriesTable SeriesToTable(const std::string& title,
+                          const std::vector<SeriesPoint>& series,
+                          double ground_truth = 0.0,
+                          bool include_ground_truth = false);
+
+}  // namespace uuq
+
+#endif  // UUQ_SIMULATION_REPORT_H_

@@ -1,0 +1,151 @@
+#include "simulation/scenarios.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace uuq {
+namespace scenarios {
+namespace {
+
+/// 2015-era US state GDPs in billions (magnitudes matter, not exactness).
+struct StateGdp {
+  const char* state;
+  double gdp;
+};
+constexpr StateGdp kStateGdps[] = {
+    {"California", 2481}, {"Texas", 1648},         {"New York", 1455},
+    {"Florida", 888},     {"Illinois", 776},       {"Pennsylvania", 719},
+    {"Ohio", 608},        {"New Jersey", 575},     {"North Carolina", 510},
+    {"Georgia", 498},     {"Virginia", 481},       {"Massachusetts", 477},
+    {"Michigan", 469},    {"Washington", 445},     {"Maryland", 365},
+    {"Indiana", 336},     {"Minnesota", 328},      {"Colorado", 318},
+    {"Tennessee", 317},   {"Missouri", 293},       {"Wisconsin", 292},
+    {"Arizona", 290},     {"Connecticut", 260},    {"Louisiana", 252},
+    {"Oregon", 228},      {"Alabama", 204},        {"South Carolina", 198},
+    {"Kentucky", 194},    {"Oklahoma", 181},       {"Iowa", 178},
+    {"Kansas", 150},      {"Utah", 146},           {"Nevada", 140},
+    {"Arkansas", 124},    {"Nebraska", 113},       {"Mississippi", 107},
+    {"New Mexico", 92},   {"Hawaii", 80},          {"West Virginia", 74},
+    {"New Hampshire", 72},{"Delaware", 68},        {"Idaho", 66},
+    {"Maine", 57},        {"Rhode Island", 57},    {"North Dakota", 55},
+    {"Alaska", 53},       {"South Dakota", 48},    {"Montana", 46},
+    {"Wyoming", 40},      {"Vermont", 30},
+};
+
+Scenario BuildCrowdScenario(std::string name, std::string value_column,
+                            Population population, const CrowdConfig& crowd) {
+  Scenario scenario;
+  scenario.name = std::move(name);
+  scenario.value_column = std::move(value_column);
+  scenario.ground_truth_sum = population.TrueSum();
+  scenario.population = std::move(population);
+  CrowdSimulator simulator(&scenario.population, crowd);
+  scenario.stream = simulator.GenerateStream();
+  return scenario;
+}
+
+}  // namespace
+
+Scenario UsTechEmployment(uint64_t seed) {
+  // Calibrated so that at 500 answers: observed ≈ 0.70·truth, Ĉ ≈ 0.64,
+  // naive ≈ 1.9·truth, freq ≈ 1.26·truth, bucket ≈ 1.00·truth — the
+  // Figure 2/4 shape.
+  HeavyTailPopulationConfig pop;
+  pop.num_items = 1200;
+  pop.lognormal_mu = 4.0;
+  pop.lognormal_sigma = 1.7;
+  pop.target_sum = 3951730.0;  // Pew Research ground truth [39]
+  pop.publicity_exponent = 0.9;
+  pop.publicity_noise_sigma = 0.5;
+  pop.key_prefix = "company";
+  pop.seed = seed;
+
+  CrowdConfig crowd;
+  crowd.num_workers = 50;
+  crowd.answers_per_worker = 10;
+  crowd.order = ArrivalOrder::kRoundRobin;
+  crowd.seed = seed * 1000003ull + 1;
+
+  return BuildCrowdScenario("us-tech-employment", "employees",
+                            MakeHeavyTailPopulation(pop), crowd);
+}
+
+Scenario UsTechRevenue(uint64_t seed) {
+  HeavyTailPopulationConfig pop;
+  pop.num_items = 2000;
+  pop.lognormal_mu = 2.5;      // $M; most tech companies are small
+  pop.lognormal_sigma = 2.2;   // revenue tail is heavier than headcount
+  pop.target_sum = 750000.0;   // ≈ $750B tech-sector revenue
+  pop.publicity_exponent = 0.75;
+  pop.publicity_noise_sigma = 0.4;
+  pop.key_prefix = "company";
+  pop.seed = seed;
+
+  CrowdConfig crowd;
+  crowd.num_workers = 50;
+  crowd.answers_per_worker = 10;
+  crowd.order = ArrivalOrder::kRoundRobin;
+  crowd.seed = seed * 1000003ull + 1;
+
+  return BuildCrowdScenario("us-tech-revenue", "revenue",
+                            MakeHeavyTailPopulation(pop), crowd);
+}
+
+Scenario UsGdp(uint64_t seed) {
+  std::vector<PopulationItem> items;
+  items.reserve(std::size(kStateGdps));
+  for (const StateGdp& s : kStateGdps) {
+    PopulationItem item;
+    item.key = s.state;
+    item.value = s.gdp;
+    // Bigger states are better known, mildly.
+    item.publicity = std::sqrt(s.gdp);
+    items.push_back(std::move(item));
+  }
+  Population population(std::move(items));
+
+  // The paper's GDP experiment suffered from a streaker: one worker reported
+  // almost all answers at the start. Model: 10 regular workers of 5 answers
+  // each, with a 45-answer streaker injected at position 0.
+  CrowdConfig crowd;
+  crowd.num_workers = 10;
+  crowd.answers_per_worker = 5;
+  crowd.order = ArrivalOrder::kRoundRobin;
+  crowd.streaker_at = 0;
+  crowd.streaker_items = 45;
+  crowd.seed = seed * 1000003ull + 1;
+
+  return BuildCrowdScenario("us-gdp", "gdp", std::move(population), crowd);
+}
+
+Scenario ProtonBeam(uint64_t seed) {
+  HeavyTailPopulationConfig pop;
+  pop.num_items = 450;        // article/study population
+  pop.lognormal_mu = 4.6;     // participants per study, median ≈ 100
+  pop.lognormal_sigma = 1.1;
+  pop.target_sum = 97000.0;   // near the paper's converged bucket estimate
+  pop.publicity_exponent = 0.15;  // which article you screen barely depends
+  pop.publicity_noise_sigma = 0.6;  // on study size: weak correlation
+  pop.key_prefix = "study";
+  pop.seed = seed;
+
+  CrowdConfig crowd;
+  crowd.num_workers = 48;
+  crowd.answers_per_worker = 16;
+  crowd.order = ArrivalOrder::kRoundRobin;
+  crowd.seed = seed * 1000003ull + 1;
+
+  return BuildCrowdScenario("proton-beam", "participants",
+                            MakeHeavyTailPopulation(pop), crowd);
+}
+
+Scenario Synthetic(const SyntheticPopulationConfig& population_config,
+                   const CrowdConfig& crowd_config, const std::string& name) {
+  return BuildCrowdScenario(name, "value",
+                            MakeSyntheticPopulation(population_config),
+                            crowd_config);
+}
+
+}  // namespace scenarios
+}  // namespace uuq

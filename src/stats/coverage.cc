@@ -1,0 +1,47 @@
+#include "stats/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uuq {
+
+double GoodTuringCoverage(const FrequencyStatistics& stats) {
+  if (stats.n() == 0) return 0.0;
+  double coverage =
+      1.0 - static_cast<double>(stats.singletons()) / stats.n();
+  return std::clamp(coverage, 0.0, 1.0);
+}
+
+double UnseenMass(const FrequencyStatistics& stats) {
+  return 1.0 - GoodTuringCoverage(stats);
+}
+
+double SquaredCvEstimate(const FrequencyStatistics& stats) {
+  const int64_t n = stats.n();
+  if (n < 2) return 0.0;
+  const double coverage = GoodTuringCoverage(stats);
+  if (coverage <= 0.0) return 0.0;
+  const double c_over_coverage = stats.c() / coverage;
+  const double dispersion =
+      static_cast<double>(stats.SumIiMinusOneFi()) /
+      (static_cast<double>(n) * (n - 1));
+  return std::max(c_over_coverage * dispersion - 1.0, 0.0);
+}
+
+double ExactCv(const std::vector<double>& publicities) {
+  if (publicities.empty()) return 0.0;
+  const double n = static_cast<double>(publicities.size());
+  double sum = 0.0;
+  for (double p : publicities) sum += p;
+  const double mean = sum / n;
+  if (mean == 0.0) return 0.0;
+  double ss = 0.0;
+  for (double p : publicities) ss += (p - mean) * (p - mean);
+  return std::sqrt(ss / n) / mean;
+}
+
+bool CoverageSufficient(const FrequencyStatistics& stats) {
+  return GoodTuringCoverage(stats) >= kCoverageRecommendationThreshold;
+}
+
+}  // namespace uuq

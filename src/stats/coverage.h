@@ -1,0 +1,38 @@
+// Sample-coverage statistics (paper §3.1.1).
+//
+// The Good-Turing coverage estimate Ĉ = 1 − f1/n (Eq. 4) measures how much
+// of the ground-truth probability mass the sample has touched; the squared
+// coefficient-of-variation estimate γ̂² (Eq. 6) corrects for skew in the
+// publicity distribution. Both feed the Chao92 estimator in src/core.
+#ifndef UUQ_STATS_COVERAGE_H_
+#define UUQ_STATS_COVERAGE_H_
+
+#include "stats/fstats.h"
+
+namespace uuq {
+
+/// Good-Turing sample coverage Ĉ = 1 − f1/n (Eq. 4). Returns 0 for an empty
+/// sample (nothing is covered). Always in [0, 1].
+double GoodTuringCoverage(const FrequencyStatistics& stats);
+
+/// Estimated unknown-unknowns distribution mass M0 = 1 − Ĉ = f1/n.
+double UnseenMass(const FrequencyStatistics& stats);
+
+/// Squared coefficient of variation γ̂² (Eq. 6):
+///   γ̂² = max{ (c/Ĉ) · Σ i(i−1)f_i / (n(n−1)) − 1 , 0 }.
+/// Returns 0 when it is undefined (n < 2 or Ĉ = 0); Chao92 then degenerates
+/// to the pure coverage estimator, matching the paper's treatment.
+double SquaredCvEstimate(const FrequencyStatistics& stats);
+
+/// True coefficient of variation γ (Eq. 5) of an explicit publicity vector;
+/// used by tests and the simulator to label synthetic populations.
+double ExactCv(const std::vector<double>& publicities);
+
+/// The paper's §6.5 usability gate: estimates are recommended only once
+/// Ĉ ≥ 0.4 ("Chao92 is inaccurate with very low sample coverage").
+constexpr double kCoverageRecommendationThreshold = 0.4;
+bool CoverageSufficient(const FrequencyStatistics& stats);
+
+}  // namespace uuq
+
+#endif  // UUQ_STATS_COVERAGE_H_

@@ -1,0 +1,112 @@
+#include "stats/curve_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "stats/linalg.h"
+
+namespace uuq {
+
+Result<QuadraticSurface> FitQuadraticSurface(const std::vector<double>& xs,
+                                             const std::vector<double>& ys,
+                                             const std::vector<double>& zs) {
+  if (xs.size() != ys.size() || xs.size() != zs.size()) {
+    return Status::InvalidArgument("FitQuadraticSurface: length mismatch");
+  }
+  std::vector<size_t> usable;
+  for (size_t i = 0; i < zs.size(); ++i) {
+    if (std::isfinite(zs[i]) && std::isfinite(xs[i]) && std::isfinite(ys[i])) {
+      usable.push_back(i);
+    }
+  }
+  if (usable.size() < 6) {
+    return Status::InvalidArgument(
+        "FitQuadraticSurface: need >= 6 finite samples");
+  }
+  // Normalize coordinates to ~[0,1] to keep the normal equations well
+  // conditioned (raw θN values can be in the thousands).
+  double x_lo = xs[usable[0]], x_hi = xs[usable[0]];
+  double y_lo = ys[usable[0]], y_hi = ys[usable[0]];
+  for (size_t i : usable) {
+    x_lo = std::min(x_lo, xs[i]);
+    x_hi = std::max(x_hi, xs[i]);
+    y_lo = std::min(y_lo, ys[i]);
+    y_hi = std::max(y_hi, ys[i]);
+  }
+  const double x_span = (x_hi > x_lo) ? (x_hi - x_lo) : 1.0;
+  const double y_span = (y_hi > y_lo) ? (y_hi - y_lo) : 1.0;
+
+  Matrix design(usable.size(), 6);
+  std::vector<double> rhs(usable.size());
+  for (size_t row = 0; row < usable.size(); ++row) {
+    const size_t i = usable[row];
+    const double x = (xs[i] - x_lo) / x_span;
+    const double y = (ys[i] - y_lo) / y_span;
+    design.At(row, 0) = 1.0;
+    design.At(row, 1) = x;
+    design.At(row, 2) = y;
+    design.At(row, 3) = x * x;
+    design.At(row, 4) = y * y;
+    design.At(row, 5) = x * y;
+    rhs[row] = zs[i];
+  }
+  auto solved = LeastSquares(design, rhs);
+  if (!solved.ok()) return solved.status();
+  const std::vector<double>& beta = solved.value();
+
+  // Un-normalize: with u=(x-x_lo)/sx, v=(y-y_lo)/sy expand the polynomial
+  // back into raw coordinates.
+  const double sx = 1.0 / x_span;
+  const double sy = 1.0 / y_span;
+  QuadraticSurface s;
+  const double b0 = beta[0], b1 = beta[1], b2 = beta[2], b3 = beta[3],
+               b4 = beta[4], b5 = beta[5];
+  s.bxx = b3 * sx * sx;
+  s.byy = b4 * sy * sy;
+  s.bxy = b5 * sx * sy;
+  s.bx = b1 * sx - 2.0 * b3 * sx * sx * x_lo - b5 * sx * sy * y_lo;
+  s.by = b2 * sy - 2.0 * b4 * sy * sy * y_lo - b5 * sx * sy * x_lo;
+  s.b0 = b0 - b1 * sx * x_lo - b2 * sy * y_lo + b3 * sx * sx * x_lo * x_lo +
+         b4 * sy * sy * y_lo * y_lo + b5 * sx * sy * x_lo * y_lo;
+  return s;
+}
+
+std::pair<double, double> MinimizeOnBox(const QuadraticSurface& surface,
+                                        double x_lo, double x_hi, double y_lo,
+                                        double y_hi, int grid_points) {
+  UUQ_CHECK(grid_points >= 2);
+  if (x_hi < x_lo) std::swap(x_lo, x_hi);
+  if (y_hi < y_lo) std::swap(y_lo, y_hi);
+
+  auto scan = [&surface](double xa, double xb, double ya, double yb,
+                         int points) {
+    double best_x = xa, best_y = ya;
+    double best_z = surface.Eval(xa, ya);
+    for (int i = 0; i < points; ++i) {
+      const double x =
+          xa + (xb - xa) * static_cast<double>(i) / (points - 1);
+      for (int j = 0; j < points; ++j) {
+        const double y =
+            ya + (yb - ya) * static_cast<double>(j) / (points - 1);
+        const double z = surface.Eval(x, y);
+        if (z < best_z) {
+          best_z = z;
+          best_x = x;
+          best_y = y;
+        }
+      }
+    }
+    return std::make_pair(best_x, best_y);
+  };
+
+  auto [x0, y0] = scan(x_lo, x_hi, y_lo, y_hi, grid_points);
+  // One refinement pass around the coarse optimum (one cell in each
+  // direction), clamped to the box.
+  const double dx = (x_hi - x_lo) / (grid_points - 1);
+  const double dy = (y_hi - y_lo) / (grid_points - 1);
+  return scan(std::max(x_lo, x0 - dx), std::min(x_hi, x0 + dx),
+              std::max(y_lo, y0 - dy), std::min(y_hi, y0 + dy), grid_points);
+}
+
+}  // namespace uuq

@@ -1,0 +1,46 @@
+// Two-dimensional quadratic surface fitting (Algorithm 3, lines 11-12).
+//
+// The Monte-Carlo estimator evaluates a KL-divergence objective on a coarse
+// (θN, θλ) grid, fits z ≈ β0 + β1·x + β2·y + β3·x² + β4·y² + β5·x·y by least
+// squares to denoise, and takes the argmin of the fitted surface over the
+// search box as the final parameter estimate.
+#ifndef UUQ_STATS_CURVE_FIT_H_
+#define UUQ_STATS_CURVE_FIT_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uuq {
+
+/// z(x, y) = b0 + bx·x + by·y + bxx·x² + byy·y² + bxy·x·y.
+struct QuadraticSurface {
+  double b0 = 0.0;
+  double bx = 0.0;
+  double by = 0.0;
+  double bxx = 0.0;
+  double byy = 0.0;
+  double bxy = 0.0;
+
+  double Eval(double x, double y) const {
+    return b0 + bx * x + by * y + bxx * x * x + byy * y * y + bxy * x * y;
+  }
+};
+
+/// Fits the surface to samples (xs[i], ys[i]) -> zs[i] by least squares.
+/// Needs at least 6 non-degenerate points. Non-finite z samples (e.g. an
+/// infinite KL divergence) are skipped.
+Result<QuadraticSurface> FitQuadraticSurface(const std::vector<double>& xs,
+                                             const std::vector<double>& ys,
+                                             const std::vector<double>& zs);
+
+/// Minimizes the surface over the box [x_lo, x_hi] × [y_lo, y_hi] with a
+/// dense grid scan followed by one local refinement pass. Returns (x*, y*).
+std::pair<double, double> MinimizeOnBox(const QuadraticSurface& surface,
+                                        double x_lo, double x_hi, double y_lo,
+                                        double y_hi, int grid_points = 64);
+
+}  // namespace uuq
+
+#endif  // UUQ_STATS_CURVE_FIT_H_

@@ -1,0 +1,92 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace uuq {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double PopulationVariance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double mean = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(xs.size());
+}
+
+double SampleStdDev(const std::vector<double>& xs) {
+  return std::sqrt(SampleVariance(xs));
+}
+
+double Sum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum;
+}
+
+double Min(const std::vector<double>& xs) {
+  double out = std::numeric_limits<double>::infinity();
+  for (double x : xs) out = std::min(out, x);
+  return out;
+}
+
+double Max(const std::vector<double>& xs) {
+  double out = -std::numeric_limits<double>::infinity();
+  for (double x : xs) out = std::max(out, x);
+  return out;
+}
+
+double Median(std::vector<double> xs) { return Quantile(std::move(xs), 0.5); }
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double idx = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(idx));
+  const size_t hi = static_cast<size_t>(std::ceil(idx));
+  if (lo == hi) return xs[lo];
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double MeanRelativeError(const std::vector<double>& estimates,
+                         double reference) {
+  if (estimates.empty() || reference == 0.0) return 0.0;
+  double total = 0.0;
+  for (double e : estimates) {
+    total += std::fabs(e - reference) / std::fabs(reference);
+  }
+  return total / static_cast<double>(estimates.size());
+}
+
+double GiniCoefficient(std::vector<double> xs) {
+  if (xs.size() < 2) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  double cum_weighted = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    cum_weighted += (static_cast<double>(i) + 1.0) * xs[i];
+    total += xs[i];
+  }
+  if (total == 0.0) return 0.0;
+  return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;
+}
+
+}  // namespace uuq

@@ -1,0 +1,42 @@
+// Descriptive statistics helpers used across estimators and experiments.
+#ifndef UUQ_STATS_DESCRIPTIVE_H_
+#define UUQ_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace uuq {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased (n−1) sample variance; 0 for fewer than two values.
+double SampleVariance(const std::vector<double>& xs);
+
+/// Population (n) variance; 0 for an empty input.
+double PopulationVariance(const std::vector<double>& xs);
+
+/// sqrt(SampleVariance).
+double SampleStdDev(const std::vector<double>& xs);
+
+double Sum(const std::vector<double>& xs);
+double Min(const std::vector<double>& xs);  ///< +inf for empty input.
+double Max(const std::vector<double>& xs);  ///< -inf for empty input.
+
+/// Median via nth_element (copies the input).
+double Median(std::vector<double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. NaN for empty input.
+double Quantile(std::vector<double> xs, double q);
+
+/// Mean absolute relative error of estimates vs a reference value.
+double MeanRelativeError(const std::vector<double>& estimates,
+                         double reference);
+
+/// Gini coefficient of non-negative contributions; 0 = perfectly even.
+/// Used to diagnose streakers (uneven source contributions, §6.3).
+double GiniCoefficient(std::vector<double> xs);
+
+}  // namespace uuq
+
+#endif  // UUQ_STATS_DESCRIPTIVE_H_

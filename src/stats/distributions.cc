@@ -1,0 +1,62 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace uuq {
+
+std::vector<double> Normalize(std::vector<double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    UUQ_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  if (total <= 0.0) {
+    const double uniform = weights.empty() ? 0.0 : 1.0 / weights.size();
+    for (double& w : weights) w = uniform;
+    return weights;
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+std::vector<double> UniformPublicity(int n) {
+  UUQ_CHECK(n > 0);
+  return std::vector<double>(n, 1.0 / n);
+}
+
+std::vector<double> ExponentialPublicity(int n, double lambda) {
+  UUQ_CHECK(n > 0);
+  if (n == 1) return {1.0};
+  std::vector<double> p(n);
+  for (int i = 0; i < n; ++i) {
+    p[i] = std::exp(-lambda * static_cast<double>(i) / (n - 1));
+  }
+  return Normalize(std::move(p));
+}
+
+std::vector<double> MonteCarloPublicity(int n, double theta_lambda) {
+  return ExponentialPublicity(n, 10.0 * theta_lambda);
+}
+
+std::vector<double> ZipfPublicity(int n, double exponent) {
+  UUQ_CHECK(n > 0);
+  std::vector<double> p(n);
+  for (int i = 0; i < n; ++i) {
+    p[i] = std::pow(static_cast<double>(i + 1), -exponent);
+  }
+  return Normalize(std::move(p));
+}
+
+std::vector<double> LogNormalPublicity(int n, double sigma, Rng* rng) {
+  UUQ_CHECK(n > 0);
+  UUQ_CHECK(rng != nullptr);
+  std::vector<double> p(n);
+  for (int i = 0; i < n; ++i) {
+    p[i] = std::exp(sigma * rng->NextGaussian());
+  }
+  return Normalize(std::move(p));
+}
+
+}  // namespace uuq

@@ -1,0 +1,44 @@
+// Publicity-distribution generators (paper §2.2, §6.2).
+//
+// Each data item d_i has a "publicity" p_i — the probability that a source
+// mentions it. The paper's synthetic experiments use an exponential shape
+// with parameter λ (λ = 0: uniform, λ = 4: highly skewed); the Monte-Carlo
+// estimator searches a skew parameter θλ in [-0.4, 0.4]. All generators here
+// return vectors normalized to sum to 1, sorted so that index 0 is the most
+// public item.
+#ifndef UUQ_STATS_DISTRIBUTIONS_H_
+#define UUQ_STATS_DISTRIBUTIONS_H_
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace uuq {
+
+/// p_i = 1/n for all i.
+std::vector<double> UniformPublicity(int n);
+
+/// p_i ∝ exp(−λ·(i−1)/(n−1)) over ranks i = 1..n. λ = 0 is uniform; λ = 4
+/// gives p_1/p_n = e⁴ ≈ 54.6 — the paper's "highly skewed" setting. Negative
+/// λ reverses the direction (ascending publicity in rank).
+std::vector<double> ExponentialPublicity(int n, double lambda);
+
+/// The Monte-Carlo search parameterization: θλ in [-0.4, 0.4] is mapped to
+/// the exponential shape with λ = 10·θλ, so the grid spans the same "almost
+/// no to heavy skew" range as the synthetic workloads. See DESIGN.md §2.
+std::vector<double> MonteCarloPublicity(int n, double theta_lambda);
+
+/// Zipf / power-law publicity p_i ∝ i^{−s}.
+std::vector<double> ZipfPublicity(int n, double exponent);
+
+/// i.i.d. lognormal publicity mass (re-normalized); heavy tailed but not
+/// rank-deterministic — used by the realistic scenarios.
+std::vector<double> LogNormalPublicity(int n, double sigma, Rng* rng);
+
+/// Normalizes an arbitrary non-negative weight vector to sum to 1.
+/// All-zero input becomes uniform.
+std::vector<double> Normalize(std::vector<double> weights);
+
+}  // namespace uuq
+
+#endif  // UUQ_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,38 @@
+#include "stats/fstats.h"
+
+#include "common/macros.h"
+
+namespace uuq {
+
+FrequencyStatistics FrequencyStatistics::FromCounts(
+    const std::vector<int64_t>& counts) {
+  std::map<int64_t, int64_t> histogram;
+  for (int64_t count : counts) {
+    UUQ_CHECK_MSG(count >= 0, "negative multiplicity");
+    if (count == 0) continue;
+    ++histogram[count];
+  }
+  return FromHistogram(histogram);
+}
+
+FrequencyStatistics FrequencyStatistics::FromHistogram(
+    const std::map<int64_t, int64_t>& histogram) {
+  FrequencyStatistics stats;
+  for (const auto& [occurrences, items] : histogram) {
+    UUQ_CHECK_MSG(occurrences > 0, "histogram key must be positive");
+    UUQ_CHECK_MSG(items >= 0, "histogram value must be non-negative");
+    if (items == 0) continue;
+    stats.histogram_[occurrences] = items;
+    stats.n_ += occurrences * items;
+    stats.c_ += items;
+    stats.sum_i_i_minus_1_fi_ += occurrences * (occurrences - 1) * items;
+  }
+  return stats;
+}
+
+int64_t FrequencyStatistics::f(int64_t j) const {
+  auto it = histogram_.find(j);
+  return it == histogram_.end() ? 0 : it->second;
+}
+
+}  // namespace uuq

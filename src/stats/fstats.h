@@ -1,0 +1,60 @@
+// Frequency statistics (the "f-statistics" of the paper, Appendix A).
+//
+// Given a sample S with duplicates, f_j is the number of distinct data items
+// observed exactly j times. f_1 counts the singletons, f_2 the doubletons.
+// n = Σ j·f_j is the sample size and c = Σ f_j the number of distinct items.
+// Every estimator in src/core consumes this summary, never the raw sample.
+#ifndef UUQ_STATS_FSTATS_H_
+#define UUQ_STATS_FSTATS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace uuq {
+
+/// Immutable snapshot of the f-statistics of a sample.
+class FrequencyStatistics {
+ public:
+  FrequencyStatistics() = default;
+
+  /// Builds the statistics from per-item multiplicities (one entry per
+  /// distinct item; zero entries are ignored, negatives are invalid).
+  static FrequencyStatistics FromCounts(const std::vector<int64_t>& counts);
+
+  /// Builds directly from a histogram {occurrences -> #items}.
+  static FrequencyStatistics FromHistogram(
+      const std::map<int64_t, int64_t>& histogram);
+
+  /// Sample size n = |S| (observations, duplicates included).
+  int64_t n() const { return n_; }
+
+  /// Number of distinct observed items c = |K|.
+  int64_t c() const { return c_; }
+
+  /// f_j: number of items observed exactly j times (0 for absent j).
+  int64_t f(int64_t j) const;
+
+  /// Convenience accessors for the two most used statistics.
+  int64_t singletons() const { return f(1); }
+  int64_t doubletons() const { return f(2); }
+
+  /// Σ_i i·(i−1)·f_i — the numerator of the CV estimator (Eq. 6).
+  int64_t SumIiMinusOneFi() const { return sum_i_i_minus_1_fi_; }
+
+  /// Full histogram, ordered by occurrence count.
+  const std::map<int64_t, int64_t>& histogram() const { return histogram_; }
+
+  /// True when the sample is empty.
+  bool empty() const { return n_ == 0; }
+
+ private:
+  std::map<int64_t, int64_t> histogram_;
+  int64_t n_ = 0;
+  int64_t c_ = 0;
+  int64_t sum_i_i_minus_1_fi_ = 0;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_STATS_FSTATS_H_

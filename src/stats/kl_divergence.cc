@@ -1,0 +1,58 @@
+#include "stats/kl_divergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace uuq {
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  UUQ_CHECK_MSG(p.size() == q.size(), "KL requires equal supports");
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    if (q[i] <= 0.0) return std::numeric_limits<double>::infinity();
+    kl += p[i] * std::log(p[i] / q[i]);
+  }
+  // Guard tiny negative values caused by floating-point rounding.
+  return std::max(kl, 0.0);
+}
+
+void AlignMultiplicities(std::vector<double>* observed,
+                         std::vector<double>* simulated) {
+  std::sort(observed->begin(), observed->end(), std::greater<double>());
+  std::sort(simulated->begin(), simulated->end(), std::greater<double>());
+  const size_t support = std::max(observed->size(), simulated->size());
+  observed->resize(support, 0.0);
+  simulated->resize(support, 0.0);
+}
+
+std::vector<double> SmoothAndNormalize(std::vector<double> counts,
+                                       double epsilon) {
+  double total = 0.0;
+  for (double& v : counts) {
+    if (v <= 0.0) v = epsilon;
+    total += v;
+  }
+  if (total > 0.0) {
+    for (double& v : counts) v /= total;
+  }
+  return counts;
+}
+
+double AlignedKlDivergence(std::vector<double> observed_counts,
+                           std::vector<double> simulated_counts,
+                           double epsilon) {
+  if (observed_counts.empty() && simulated_counts.empty()) return 0.0;
+  AlignMultiplicities(&observed_counts, &simulated_counts);
+  const std::vector<double> p =
+      SmoothAndNormalize(std::move(observed_counts), epsilon);
+  const std::vector<double> q =
+      SmoothAndNormalize(std::move(simulated_counts), epsilon);
+  return KlDivergence(p, q);
+}
+
+}  // namespace uuq

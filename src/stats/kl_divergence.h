@@ -1,0 +1,39 @@
+// Discrete Kullback-Leibler divergence with the paper's index-alignment and
+// smoothing steps (Algorithm 2, lines 9-11).
+//
+// The Monte-Carlo estimator compares an observed sample S against a simulated
+// sample Q. Both are reduced to multiplicity histograms (observation count
+// per distinct item), rank-aligned by sorting descending, padded to a common
+// support, smoothed so KL stays finite when S has fewer distinct items than
+// the simulation, and normalized to probability vectors.
+#ifndef UUQ_STATS_KL_DIVERGENCE_H_
+#define UUQ_STATS_KL_DIVERGENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace uuq {
+
+/// KL(p || q) for two probability vectors of equal length. Terms with
+/// p_i = 0 contribute 0; a term with p_i > 0 and q_i = 0 yields +infinity.
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// The "indexing" step: sorts multiplicities descending and pads both vectors
+/// with zeros to a common length.
+void AlignMultiplicities(std::vector<double>* observed,
+                         std::vector<double>* simulated);
+
+/// Adds `epsilon` to every zero cell, then renormalizes to sum 1.
+std::vector<double> SmoothAndNormalize(std::vector<double> counts,
+                                       double epsilon);
+
+/// Full Algorithm-2 distance between two multiplicity vectors: align, smooth
+/// (epsilon on zero cells), normalize, KL(observed' || simulated').
+/// Returns 0 when both samples are empty.
+double AlignedKlDivergence(std::vector<double> observed_counts,
+                           std::vector<double> simulated_counts,
+                           double epsilon = 1e-6);
+
+}  // namespace uuq
+
+#endif  // UUQ_STATS_KL_DIVERGENCE_H_

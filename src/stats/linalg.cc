@@ -1,0 +1,99 @@
+#include "stats/linalg.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace uuq {
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  UUQ_CHECK(cols_ == other.rows());
+  Matrix out(rows_, other.cols());
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a_ik = At(i, k);
+      if (a_ik == 0.0) continue;
+      for (size_t j = 0; j < other.cols(); ++j) {
+        out.At(i, j) += a_ik * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out.At(j, i) = At(i, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+  UUQ_CHECK(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += At(i, j) * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Result<std::vector<double>> SolveLinearSystem(Matrix a, std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("SolveLinearSystem requires square A");
+  }
+  // Forward elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(a.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double cand = std::fabs(a.At(r, col));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::NumericError("singular or ill-conditioned system");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(a.At(col, j), a.At(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a.At(r, col) / a.At(col, col);
+      if (factor == 0.0) continue;
+      for (size_t j = col; j < n; ++j) a.At(r, j) -= factor * a.At(col, j);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= a.At(i, j) * x[j];
+    x[i] = acc / a.At(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("LeastSquares: |b| must equal rows(A)");
+  }
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument("LeastSquares: underdetermined system");
+  }
+  const Matrix at = a.Transposed();
+  Matrix normal = at.Multiply(a);
+  std::vector<double> rhs = at.MultiplyVector(b);
+  return SolveLinearSystem(std::move(normal), std::move(rhs));
+}
+
+}  // namespace uuq

@@ -1,0 +1,53 @@
+// Minimal dense linear algebra: just enough for least-squares curve fitting
+// (Algorithm 3, line 11) without pulling in an external BLAS.
+#ifndef UUQ_STATS_LINALG_H_
+#define UUQ_STATS_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uuq {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// this * other; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// this * v; requires v.size() == cols().
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A·x = b by Gaussian elimination with partial pivoting. A must be
+/// square with rows() == b.size(). Fails with NumericError on a (near-)
+/// singular system.
+Result<std::vector<double>> SolveLinearSystem(Matrix a, std::vector<double> b);
+
+/// Least-squares solve of an overdetermined system A·x ≈ b via the normal
+/// equations AᵀA·x = Aᵀb. Fails when AᵀA is singular (collinear columns).
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& b);
+
+}  // namespace uuq
+
+#endif  // UUQ_STATS_LINALG_H_

@@ -1,0 +1,109 @@
+#include "stats/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace uuq {
+
+std::vector<int> WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, int k, Rng* rng) {
+  UUQ_CHECK(rng != nullptr);
+  UUQ_CHECK(k >= 0);
+  int drawable = 0;
+  for (double w : weights) {
+    UUQ_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+    if (w > 0.0) ++drawable;
+  }
+  k = std::min(k, drawable);
+  if (k == 0) return {};
+
+  // Efraimidis-Spirakis: item i gets key u^(1/w_i); the k largest keys form
+  // an exact weighted sample without replacement. Work in log space for
+  // numerical stability: log key = log(u)/w_i.
+  using Entry = std::pair<double, int>;  // (log-key, index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    double u = 0.0;
+    do {
+      u = rng->NextDouble();
+    } while (u <= 1e-300);
+    const double log_key = std::log(u) / weights[i];
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace(log_key, static_cast<int>(i));
+    } else if (log_key > heap.top().first) {
+      heap.pop();
+      heap.emplace(log_key, static_cast<int>(i));
+    }
+  }
+  std::vector<int> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top().second);
+    heap.pop();
+  }
+  // Highest key = first drawn under successive sampling; reverse so callers
+  // can treat the vector as arrival order.
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> WeightedSampleWithReplacement(
+    const std::vector<double>& weights, int k, Rng* rng) {
+  UUQ_CHECK(rng != nullptr);
+  UUQ_CHECK(k >= 0);
+  if (k == 0) return {};
+  AliasSampler sampler(weights);
+  std::vector<int> out;
+  out.reserve(k);
+  for (int i = 0; i < k; ++i) out.push_back(sampler.Sample(rng));
+  return out;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  UUQ_CHECK_MSG(!weights.empty(), "AliasSampler needs at least one weight");
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    UUQ_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  UUQ_CHECK_MSG(total > 0.0, "AliasSampler needs a positive total weight");
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<int> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<int>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const int s = small.back();
+    small.pop_back();
+    const int l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (int i : large) probability_[i] = 1.0;
+  for (int i : small) probability_[i] = 1.0;
+}
+
+int AliasSampler::Sample(Rng* rng) const {
+  UUQ_CHECK(rng != nullptr);
+  const size_t column = rng->NextBounded(probability_.size());
+  return rng->NextDouble() < probability_[column]
+             ? static_cast<int>(column)
+             : alias_[column];
+}
+
+}  // namespace uuq

@@ -1,0 +1,48 @@
+// Weighted sampling primitives for the data-integration sampling model
+// (paper §2.2) and the Monte-Carlo simulator (Algorithm 2, line 6).
+//
+// Sources sample WITHOUT replacement from the ground truth (a web page lists
+// a company once); the union of many sources approximates sampling WITH
+// replacement. Both modes are provided.
+#ifndef UUQ_STATS_SAMPLING_H_
+#define UUQ_STATS_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace uuq {
+
+/// Draws k distinct indices from {0..|weights|-1} without replacement with
+/// probability proportional to weight (successive sampling). Implemented via
+/// the Efraimidis-Spirakis exponential-jumps-free A-ES scheme: key_i =
+/// u_i^(1/w_i), take the k largest keys. Zero-weight items are never drawn
+/// unless k exceeds the number of positive weights. k is clamped to the
+/// number of drawable items.
+std::vector<int> WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, int k, Rng* rng);
+
+/// Draws k indices i.i.d. with probability proportional to weight.
+std::vector<int> WeightedSampleWithReplacement(
+    const std::vector<double>& weights, int k, Rng* rng);
+
+/// O(1)-per-draw sampler over a fixed weight vector (Vose's alias method).
+class AliasSampler {
+ public:
+  /// Builds the alias tables; weights must be non-negative with positive sum.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws one index with probability proportional to its weight.
+  int Sample(Rng* rng) const;
+
+  size_t size() const { return probability_.size(); }
+
+ private:
+  std::vector<double> probability_;
+  std::vector<int> alias_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_STATS_SAMPLING_H_

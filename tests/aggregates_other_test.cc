@@ -1,0 +1,180 @@
+// COUNT / AVG / MIN / MAX adapters (paper §5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/avg.h"
+#include "core/chao92.h"
+#include "core/count.h"
+#include "core/minmax.h"
+#include "simulation/crowd.h"
+#include "simulation/population.h"
+
+namespace uuq {
+namespace {
+
+IntegratedSample CorrelatedSample(int prefix = 300, uint64_t seed = 3) {
+  SyntheticPopulationConfig pop;
+  pop.num_items = 100;
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  pop.seed = seed;
+  const Population population = MakeSyntheticPopulation(pop);
+  CrowdConfig crowd;
+  crowd.num_workers = 20;
+  crowd.answers_per_worker = 20;
+  crowd.seed = seed + 1;
+  const auto stream = CrowdSimulator(&population, crowd).GenerateStream();
+  IntegratedSample sample;
+  for (size_t i = 0; i < std::min<size_t>(prefix, stream.size()); ++i) {
+    sample.Add(stream[i].source_id, stream[i].entity_key, stream[i].value);
+  }
+  return sample;
+}
+
+TEST(CountEstimator, Chao92MethodMatchesChao92) {
+  const auto sample = CorrelatedSample();
+  const Estimate est =
+      CountEstimator(CountMethod::kChao92).EstimateCount(sample);
+  const double chao = Chao92Nhat(SampleStats::FromSample(sample));
+  EXPECT_DOUBLE_EQ(est.n_hat, chao);
+  EXPECT_DOUBLE_EQ(est.corrected_sum, chao);
+  EXPECT_DOUBLE_EQ(est.delta, chao - static_cast<double>(sample.c()));
+}
+
+TEST(CountEstimator, GoodTuringMethodIsSmallerOrEqual) {
+  const auto sample = CorrelatedSample();
+  const double chao =
+      CountEstimator(CountMethod::kChao92).EstimateCount(sample).n_hat;
+  const double gt =
+      CountEstimator(CountMethod::kGoodTuring).EstimateCount(sample).n_hat;
+  EXPECT_LE(gt, chao);
+}
+
+TEST(CountEstimator, MonteCarloMethodStaysInRange) {
+  MonteCarloOptions mc;
+  mc.runs_per_point = 2;
+  mc.n_grid_steps = 5;
+  const auto sample = CorrelatedSample(200);
+  const Estimate est =
+      CountEstimator(CountMethod::kMonteCarlo, mc).EstimateCount(sample);
+  EXPECT_GE(est.n_hat, static_cast<double>(sample.c()) - 1e-9);
+}
+
+TEST(CountEstimator, EmptySample) {
+  IntegratedSample sample;
+  const Estimate est = CountEstimator().EstimateCount(sample);
+  EXPECT_DOUBLE_EQ(est.corrected_sum, 0.0);
+  EXPECT_FALSE(est.coverage_ok);
+}
+
+TEST(CountEstimator, MissingValueIsOne) {
+  const auto sample = CorrelatedSample();
+  EXPECT_DOUBLE_EQ(CountEstimator().EstimateCount(sample).missing_value, 1.0);
+}
+
+TEST(AvgEstimator, CorrectsPublicityValueBias) {
+  // With ρ = 1 popular items have large values, so the observed mean is
+  // biased HIGH; the bucket-weighted correction must pull it down toward
+  // the true mean (505 for values 10..1000).
+  const auto sample = CorrelatedSample(250, 7);
+  const SampleStats stats = SampleStats::FromSample(sample);
+  const Estimate est = AvgEstimator().EstimateAvg(sample);
+  if (est.finite) {
+    EXPECT_LT(est.corrected_sum, stats.ValueMean());
+    EXPECT_LT(est.delta, 0.0);
+  }
+}
+
+TEST(AvgEstimator, CompleteSampleKeepsObservedMean) {
+  IntegratedSample sample;
+  for (int e = 0; e < 20; ++e) {
+    for (int w = 0; w < 5; ++w) {
+      sample.Add("w" + std::to_string(w), "e" + std::to_string(e),
+                 10.0 * (e + 1));
+    }
+  }
+  const Estimate est = AvgEstimator().EstimateAvg(sample);
+  const SampleStats stats = SampleStats::FromSample(sample);
+  EXPECT_NEAR(est.corrected_sum, stats.ValueMean(), 1e-9);
+}
+
+TEST(AvgEstimator, EmptySample) {
+  IntegratedSample sample;
+  const Estimate est = AvgEstimator().EstimateAvg(sample);
+  EXPECT_DOUBLE_EQ(est.corrected_sum, 0.0);
+  EXPECT_FALSE(est.coverage_ok);
+}
+
+TEST(AvgEstimator, SingletonOnlySampleFallsBackToObservedMean) {
+  IntegratedSample sample;
+  sample.Add("w1", "a", 10);
+  sample.Add("w2", "b", 20);
+  const Estimate est = AvgEstimator().EstimateAvg(sample);
+  EXPECT_FALSE(est.finite);
+  EXPECT_DOUBLE_EQ(est.corrected_sum, 15.0);
+}
+
+TEST(MinMaxEstimator, CompleteSampleClaimsExtremes) {
+  IntegratedSample sample;
+  for (int e = 0; e < 20; ++e) {
+    for (int w = 0; w < 5; ++w) {
+      sample.Add("w" + std::to_string(w), "e" + std::to_string(e),
+                 10.0 * (e + 1));
+    }
+  }
+  const MinMaxEstimator minmax;
+  const ExtremeEstimate max_est = minmax.EstimateMax(sample);
+  EXPECT_TRUE(max_est.has_data);
+  EXPECT_TRUE(max_est.claim_true_extreme);
+  EXPECT_DOUBLE_EQ(max_est.observed_extreme, 200.0);
+  const ExtremeEstimate min_est = minmax.EstimateMin(sample);
+  EXPECT_TRUE(min_est.claim_true_extreme);
+  EXPECT_DOUBLE_EQ(min_est.observed_extreme, 10.0);
+}
+
+TEST(MinMaxEstimator, SparseSampleDoesNotClaim) {
+  // Everything is a singleton: unknown count estimates blow up, so no
+  // trustworthy extreme.
+  IntegratedSample sample;
+  for (int e = 0; e < 10; ++e) {
+    sample.Add("w1", "e" + std::to_string(e), 10.0 * e);
+  }
+  const MinMaxEstimator minmax;
+  EXPECT_FALSE(minmax.EstimateMax(sample).claim_true_extreme);
+  EXPECT_FALSE(minmax.EstimateMin(sample).claim_true_extreme);
+}
+
+TEST(MinMaxEstimator, EmptySample) {
+  IntegratedSample sample;
+  const ExtremeEstimate est = MinMaxEstimator().EstimateMax(sample);
+  EXPECT_FALSE(est.has_data);
+  EXPECT_FALSE(est.claim_true_extreme);
+}
+
+TEST(MinMaxEstimator, ReportsExtremeBucketRange) {
+  const auto sample = CorrelatedSample(400, 9);
+  const ExtremeEstimate est = MinMaxEstimator().EstimateMax(sample);
+  ASSERT_TRUE(est.has_data);
+  EXPECT_LE(est.bucket_lo, est.bucket_hi);
+  EXPECT_DOUBLE_EQ(est.observed_extreme, est.bucket_hi);
+}
+
+TEST(MinMaxEstimator, ThresholdControlsClaims) {
+  const auto sample = CorrelatedSample(300, 11);
+  // An absurdly generous threshold always claims; a zero threshold never
+  // does (missing counts are >= 0 and usually > 0 somewhere).
+  const MinMaxEstimator generous(1e12);
+  EXPECT_TRUE(generous.EstimateMax(sample).claim_true_extreme);
+  const MinMaxEstimator strict(0.0);
+  EXPECT_FALSE(strict.EstimateMax(sample).claim_true_extreme);
+}
+
+TEST(CountMethodName, Names) {
+  EXPECT_STREQ(CountMethodName(CountMethod::kChao92), "chao92");
+  EXPECT_STREQ(CountMethodName(CountMethod::kGoodTuring), "good-turing");
+  EXPECT_STREQ(CountMethodName(CountMethod::kMonteCarlo), "monte-carlo");
+}
+
+}  // namespace
+}  // namespace uuq

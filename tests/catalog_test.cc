@@ -1,0 +1,83 @@
+#include "db/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace uuq {
+namespace {
+
+Table CompaniesFixture() {
+  Table table("companies", Schema({{"name", ValueType::kString},
+                                   {"employees", ValueType::kDouble}}));
+  EXPECT_TRUE(table.Append({Value("ibm"), Value(1000.0)}).ok());
+  EXPECT_TRUE(table.Append({Value("tiny"), Value(3.0)}).ok());
+  return table;
+}
+
+TEST(Catalog, RegisterAndLookup) {
+  Catalog catalog;
+  catalog.Register(CompaniesFixture());
+  EXPECT_TRUE(catalog.Contains("companies"));
+  EXPECT_TRUE(catalog.Contains("COMPANIES"));  // case-insensitive
+  EXPECT_FALSE(catalog.Contains("missing"));
+}
+
+TEST(Catalog, LookupMissingIsNotFound) {
+  Catalog catalog;
+  auto t = catalog.Lookup("nope");
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Catalog, ReRegisterReplaces) {
+  Catalog catalog;
+  catalog.Register(CompaniesFixture());
+  Table bigger("companies", Schema({{"name", ValueType::kString},
+                                    {"employees", ValueType::kDouble}}));
+  ASSERT_TRUE(bigger.Append({Value("x"), Value(1.0)}).ok());
+  catalog.Register(std::move(bigger));
+  EXPECT_EQ(catalog.Lookup("companies").value()->num_rows(), 1u);
+}
+
+TEST(Catalog, TableNames) {
+  Catalog catalog;
+  catalog.Register(CompaniesFixture());
+  Table other("other", Schema({{"x", ValueType::kInt64}}));
+  catalog.Register(std::move(other));
+  const auto names = catalog.TableNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(Catalog, ExecuteSqlEndToEnd) {
+  Catalog catalog;
+  catalog.Register(CompaniesFixture());
+  auto result = catalog.ExecuteSql("SELECT SUM(employees) FROM companies");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result.value().value.AsDouble(), 1003.0);
+}
+
+TEST(Catalog, ExecuteSqlWithPredicate) {
+  Catalog catalog;
+  catalog.Register(CompaniesFixture());
+  auto result = catalog.ExecuteSql(
+      "SELECT COUNT(name) FROM companies WHERE employees < 10");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().value.AsInt64(), 1);
+}
+
+TEST(Catalog, ExecuteSqlUnknownTableFails) {
+  Catalog catalog;
+  auto result = catalog.ExecuteSql("SELECT SUM(x) FROM ghosts");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Catalog, ExecuteSqlParseErrorPropagates) {
+  Catalog catalog;
+  catalog.Register(CompaniesFixture());
+  auto result = catalog.ExecuteSql("SELECTZ SUM(x) FROM companies");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace uuq

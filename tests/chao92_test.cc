@@ -1,0 +1,98 @@
+#include "core/chao92.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uuq {
+namespace {
+
+SampleStats StatsFromCounts(const std::vector<int64_t>& counts) {
+  SampleStats stats;
+  for (int64_t m : counts) {
+    EntityStat e{"k" + std::to_string(stats.c), 1.0, m};
+    stats.Add(e);
+  }
+  return stats;
+}
+
+TEST(Chao92Nhat, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(Chao92Nhat(SampleStats{}), 0.0);
+}
+
+TEST(Chao92Nhat, AllSingletonsIsInfinite) {
+  EXPECT_TRUE(std::isinf(Chao92Nhat(StatsFromCounts({1, 1, 1}))));
+}
+
+TEST(Chao92Nhat, CompleteSampleEstimatesC) {
+  // No singletons, uniform multiplicities: Ĉ = 1, γ̂² = 0 -> N̂ = c.
+  const auto stats = StatsFromCounts({3, 3, 3, 3});
+  EXPECT_DOUBLE_EQ(Chao92Nhat(stats), 4.0);
+}
+
+TEST(Chao92Nhat, ToyExampleBeforeFifthSource) {
+  // Appendix F: counts {1,2,4} -> N̂ = 3.5 + 1.1667·0.1667 ≈ 3.694.
+  const auto stats = StatsFromCounts({1, 2, 4});
+  EXPECT_NEAR(Chao92Nhat(stats), 3.6944, 1e-3);
+}
+
+TEST(Chao92Nhat, ToyExampleAfterFifthSource) {
+  // counts {2,2,4,1}: Ĉ = 8/9, γ̂² = 0 -> N̂ = 4.5.
+  const auto stats = StatsFromCounts({2, 2, 4, 1});
+  EXPECT_NEAR(Chao92Nhat(stats), 4.5, 1e-12);
+}
+
+TEST(Chao92Nhat, NeverBelowObservedDistinctCount) {
+  const std::vector<std::vector<int64_t>> cases = {
+      {2, 2, 2}, {1, 2, 3}, {1, 1, 5, 5}, {4}, {1, 10, 10, 10}};
+  for (const auto& counts : cases) {
+    const auto stats = StatsFromCounts(counts);
+    EXPECT_GE(Chao92Nhat(stats), static_cast<double>(stats.c));
+  }
+}
+
+TEST(Chao92Nhat, MoreSingletonsMeansLargerEstimate) {
+  // Fixing c and adding singleton pressure raises N̂.
+  const double low = Chao92Nhat(StatsFromCounts({3, 3, 3, 1}));
+  const double high = Chao92Nhat(StatsFromCounts({3, 1, 1, 1}));
+  EXPECT_GT(high, low);
+}
+
+TEST(Chao92Nhat, MatchesHandComputedSkewCase) {
+  // counts {1,1,3,5}: n=10, c=4, f1=2, Ĉ=0.8, Σm(m−1)=0+0+6+20=26.
+  // γ̂² = max(4/0.8·26/90 − 1, 0) = max(1.4444−1,0)=0.4444
+  // N̂ = 4/0.8 + 10·0.2/0.8·0.4444 = 5 + 1.1111 = 6.1111.
+  const auto stats = StatsFromCounts({1, 1, 3, 5});
+  EXPECT_NEAR(Chao92Nhat(stats), 6.1111, 1e-3);
+}
+
+TEST(GoodTuringNhat, IgnoresSkewCorrection) {
+  // Same case as above: c/Ĉ = 5 exactly.
+  const auto stats = StatsFromCounts({1, 1, 3, 5});
+  EXPECT_NEAR(GoodTuringNhat(stats), 5.0, 1e-12);
+  EXPECT_LE(GoodTuringNhat(stats), Chao92Nhat(stats));
+}
+
+TEST(GoodTuringNhat, EmptyAndAllSingletonEdgeCases) {
+  EXPECT_DOUBLE_EQ(GoodTuringNhat(SampleStats{}), 0.0);
+  EXPECT_TRUE(std::isinf(GoodTuringNhat(StatsFromCounts({1, 1}))));
+}
+
+TEST(Chao92Nhat, FstatsOverloadAgrees) {
+  const auto counts = std::vector<int64_t>{1, 2, 2, 3, 7};
+  const auto from_scalar = Chao92Nhat(StatsFromCounts(counts));
+  const auto from_fstats =
+      Chao92Nhat(FrequencyStatistics::FromCounts(counts));
+  EXPECT_DOUBLE_EQ(from_scalar, from_fstats);
+}
+
+TEST(Chao92Nhat, ConvergesToTruthOnUniformResampling) {
+  // Sanity: sampling 100 items uniformly with replacement 2000 times gives a
+  // near-complete sample; Chao92 should estimate ≈ 100.
+  // Multiplicities are deterministic here: each item seen 20 times.
+  std::vector<int64_t> counts(100, 20);
+  EXPECT_NEAR(Chao92Nhat(StatsFromCounts(counts)), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,106 @@
+#include "stats/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uuq {
+namespace {
+
+TEST(GoodTuringCoverage, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(GoodTuringCoverage(FrequencyStatistics()), 0.0);
+}
+
+TEST(GoodTuringCoverage, AllSingletonsIsZero) {
+  const auto stats = FrequencyStatistics::FromCounts({1, 1, 1});
+  EXPECT_DOUBLE_EQ(GoodTuringCoverage(stats), 0.0);
+}
+
+TEST(GoodTuringCoverage, NoSingletonsIsOne) {
+  const auto stats = FrequencyStatistics::FromCounts({2, 3, 4});
+  EXPECT_DOUBLE_EQ(GoodTuringCoverage(stats), 1.0);
+}
+
+TEST(GoodTuringCoverage, MatchesFormula) {
+  // f1 = 2, n = 9 -> Ĉ = 1 − 2/9.
+  const auto stats = FrequencyStatistics::FromCounts({1, 1, 3, 4});
+  EXPECT_DOUBLE_EQ(GoodTuringCoverage(stats), 1.0 - 2.0 / 9.0);
+}
+
+TEST(GoodTuringCoverage, AlwaysInUnitInterval) {
+  for (int f1 = 0; f1 <= 5; ++f1) {
+    std::vector<int64_t> counts(f1, 1);
+    counts.push_back(3);
+    const auto stats = FrequencyStatistics::FromCounts(counts);
+    const double coverage = GoodTuringCoverage(stats);
+    EXPECT_GE(coverage, 0.0);
+    EXPECT_LE(coverage, 1.0);
+  }
+}
+
+TEST(UnseenMass, ComplementsCoverage) {
+  const auto stats = FrequencyStatistics::FromCounts({1, 2, 2, 5});
+  EXPECT_DOUBLE_EQ(UnseenMass(stats) + GoodTuringCoverage(stats), 1.0);
+}
+
+TEST(SquaredCvEstimate, UniformLikeSampleIsZero) {
+  // Every item seen the same number of times: dispersion at its minimum and
+  // the max(...) clamp should floor the estimate at 0.
+  const auto stats = FrequencyStatistics::FromCounts({3, 3, 3, 3});
+  EXPECT_DOUBLE_EQ(SquaredCvEstimate(stats), 0.0);
+}
+
+TEST(SquaredCvEstimate, ToyExampleValue) {
+  // Appendix F: counts {1,2,4} -> γ̂² = 0.1667.
+  const auto stats = FrequencyStatistics::FromCounts({1, 2, 4});
+  EXPECT_NEAR(SquaredCvEstimate(stats), 0.16667, 1e-4);
+}
+
+TEST(SquaredCvEstimate, ToyExampleAfterFifthSourceIsZero) {
+  // Appendix F after s5: counts {2,2,4,1} -> γ̂² = 0 exactly.
+  const auto stats = FrequencyStatistics::FromCounts({2, 2, 4, 1});
+  EXPECT_DOUBLE_EQ(SquaredCvEstimate(stats), 0.0);
+}
+
+TEST(SquaredCvEstimate, NeverNegative) {
+  const std::vector<std::vector<int64_t>> cases = {
+      {1}, {1, 1}, {2}, {5, 5}, {1, 2, 3, 4}, {10, 1, 1}};
+  for (const auto& counts : cases) {
+    EXPECT_GE(SquaredCvEstimate(FrequencyStatistics::FromCounts(counts)), 0.0);
+  }
+}
+
+TEST(SquaredCvEstimate, SkewedSampleIsPositive) {
+  const auto stats = FrequencyStatistics::FromCounts({1, 1, 1, 20});
+  EXPECT_GT(SquaredCvEstimate(stats), 0.0);
+}
+
+TEST(SquaredCvEstimate, TinySamplesAreZero) {
+  EXPECT_DOUBLE_EQ(SquaredCvEstimate(FrequencyStatistics()), 0.0);
+  EXPECT_DOUBLE_EQ(
+      SquaredCvEstimate(FrequencyStatistics::FromCounts({1})), 0.0);
+}
+
+TEST(ExactCv, UniformIsZero) {
+  EXPECT_DOUBLE_EQ(ExactCv({0.25, 0.25, 0.25, 0.25}), 0.0);
+}
+
+TEST(ExactCv, KnownValue) {
+  // publicities {0.5, 0.5, 1.0, 2.0}: mean 1, pop-variance 0.375.
+  const double cv = ExactCv({0.5, 0.5, 1.0, 2.0});
+  EXPECT_NEAR(cv, std::sqrt(0.375), 1e-12);
+}
+
+TEST(ExactCv, EmptyIsZero) { EXPECT_DOUBLE_EQ(ExactCv({}), 0.0); }
+
+TEST(CoverageSufficient, GateAtFortyPercent) {
+  // f1 = 3, n = 5: Ĉ = 0.4 exactly -> sufficient (>=).
+  const auto at_gate = FrequencyStatistics::FromCounts({1, 1, 1, 2});
+  EXPECT_TRUE(CoverageSufficient(at_gate));
+  // f1 = 5, n = 7: Ĉ ≈ 0.286 -> insufficient.
+  const auto below = FrequencyStatistics::FromCounts({1, 1, 1, 1, 1, 2});
+  EXPECT_FALSE(CoverageSufficient(below));
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,171 @@
+#include "db/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace uuq {
+namespace {
+
+TEST(ParseCsv, SimpleRows) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ParseCsv, NoTrailingNewline) {
+  auto rows = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 2u);
+}
+
+TEST(ParseCsv, CrlfLineEndings) {
+  auto rows = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1][1], "2");
+}
+
+TEST(ParseCsv, QuotedFieldWithComma) {
+  auto rows = ParseCsv("name,size\n\"Acme, Inc\",5\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[1][0], "Acme, Inc");
+}
+
+TEST(ParseCsv, EscapedQuotes) {
+  auto rows = ParseCsv("a\n\"He said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[1][0], "He said \"hi\"");
+}
+
+TEST(ParseCsv, NewlineInsideQuotes) {
+  auto rows = ParseCsv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1][0], "line1\nline2");
+}
+
+TEST(ParseCsv, EmptyFieldsPreserved) {
+  auto rows = ParseCsv("a,,c\n,,\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsv, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(ParseCsv, QuoteInsideUnquotedFieldFails) {
+  EXPECT_FALSE(ParseCsv("ab\"c\n").ok());
+}
+
+TEST(ParseCsv, EmptyInputIsNoRows) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows.value().empty());
+}
+
+TEST(CsvEscapeField, OnlyQuotesWhenNeeded) {
+  EXPECT_EQ(CsvEscapeField("plain"), "plain");
+  EXPECT_EQ(CsvEscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscapeField("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(WriteTableCsv, RoundTripsThroughReadTableCsv) {
+  Table table("t", Schema({{"name", ValueType::kString},
+                           {"employees", ValueType::kInt64},
+                           {"score", ValueType::kDouble}}));
+  ASSERT_TRUE(
+      table.Append({Value("Acme, Inc"), Value(int64_t{5}), Value(1.5)}).ok());
+  ASSERT_TRUE(
+      table.Append({Value("Plain"), Value(int64_t{7}), Value::Null()}).ok());
+
+  const std::string csv = WriteTableCsv(table);
+  auto round = ReadTableCsv("t", csv);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  const Table& t2 = round.value();
+  ASSERT_EQ(t2.num_rows(), 2u);
+  EXPECT_EQ(t2.row(0)[0].AsString(), "Acme, Inc");
+  EXPECT_EQ(t2.row(0)[1].AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(t2.row(0)[2].AsDouble(), 1.5);
+  EXPECT_TRUE(t2.row(1)[2].is_null());
+}
+
+TEST(ReadTableCsv, InfersIntThenDoubleThenString) {
+  auto table = ReadTableCsv("t", "i,d,s\n1,1.5,x\n2,2,y\n");
+  ASSERT_TRUE(table.ok());
+  const Schema& schema = table.value().schema();
+  EXPECT_EQ(schema.field(0).type, ValueType::kInt64);
+  EXPECT_EQ(schema.field(1).type, ValueType::kDouble);
+  EXPECT_EQ(schema.field(2).type, ValueType::kString);
+}
+
+TEST(ReadTableCsv, MixedIntDoubleColumnBecomesDouble) {
+  auto table = ReadTableCsv("t", "x\n1\n2.5\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().schema().field(0).type, ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(table.value().row(0)[0].AsDouble(), 1.0);
+}
+
+TEST(ReadTableCsv, EmptyCellsAreNull) {
+  auto table = ReadTableCsv("t", "x,y\n1,\n,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table.value().row(0)[1].is_null());
+  EXPECT_TRUE(table.value().row(1)[0].is_null());
+}
+
+TEST(ReadTableCsv, RaggedRowsRejected) {
+  EXPECT_FALSE(ReadTableCsv("t", "a,b\n1\n").ok());
+}
+
+TEST(ReadTableCsv, MissingHeaderRejected) {
+  EXPECT_FALSE(ReadTableCsv("t", "").ok());
+}
+
+TEST(ReadTableCsv, EmptyHeaderNameRejected) {
+  EXPECT_FALSE(ReadTableCsv("t", "a,,c\n1,2,3\n").ok());
+}
+
+TEST(ReadObservationsCsv, Basic) {
+  auto obs = ReadObservationsCsv(
+      "source,entity,value\nw1,IBM,1000\nw2,Acme,5\n");
+  ASSERT_TRUE(obs.ok());
+  ASSERT_EQ(obs.value().size(), 2u);
+  EXPECT_EQ(obs.value()[0].source_id, "w1");
+  EXPECT_EQ(obs.value()[0].entity_key, "IBM");
+  EXPECT_DOUBLE_EQ(obs.value()[0].value, 1000.0);
+}
+
+TEST(ReadObservationsCsv, ColumnOrderFreeAndCaseInsensitive) {
+  auto obs = ReadObservationsCsv(
+      "Value,SOURCE,extra,Entity\n3.5,w9,zz,thing\n");
+  ASSERT_TRUE(obs.ok());
+  EXPECT_EQ(obs.value()[0].source_id, "w9");
+  EXPECT_EQ(obs.value()[0].entity_key, "thing");
+  EXPECT_DOUBLE_EQ(obs.value()[0].value, 3.5);
+}
+
+TEST(ReadObservationsCsv, MissingColumnRejected) {
+  EXPECT_FALSE(ReadObservationsCsv("source,entity\nw1,x\n").ok());
+}
+
+TEST(ReadObservationsCsv, NonNumericValueRejected) {
+  EXPECT_FALSE(
+      ReadObservationsCsv("source,entity,value\nw1,x,many\n").ok());
+}
+
+TEST(WriteObservationsCsv, RoundTrips) {
+  const std::vector<Observation> stream{{"w1", "IBM, Inc", 1000.0, ""},
+                                        {"w2", "Acme", 5.5, ""}};
+  const std::string csv = WriteObservationsCsv(stream);
+  auto round = ReadObservationsCsv(csv);
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round.value().size(), 2u);
+  EXPECT_EQ(round.value()[0].entity_key, "IBM, Inc");
+  EXPECT_DOUBLE_EQ(round.value()[1].value, 5.5);
+}
+
+}  // namespace
+}  // namespace uuq

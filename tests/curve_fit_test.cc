@@ -1,0 +1,127 @@
+#include "stats/curve_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace uuq {
+namespace {
+
+// Samples a known surface on a grid and checks coefficient recovery.
+TEST(FitQuadraticSurface, RecoversKnownCoefficients) {
+  QuadraticSurface truth{1.0, -2.0, 3.0, 0.5, -0.25, 0.75};
+  std::vector<double> xs, ys, zs;
+  for (double x = -2; x <= 2; x += 0.5) {
+    for (double y = -2; y <= 2; y += 0.5) {
+      xs.push_back(x);
+      ys.push_back(y);
+      zs.push_back(truth.Eval(x, y));
+    }
+  }
+  auto fit = FitQuadraticSurface(xs, ys, zs);
+  ASSERT_TRUE(fit.ok());
+  for (double x = -1.7; x <= 1.7; x += 0.31) {
+    for (double y = -1.7; y <= 1.7; y += 0.31) {
+      EXPECT_NEAR(fit.value().Eval(x, y), truth.Eval(x, y), 1e-6);
+    }
+  }
+}
+
+TEST(FitQuadraticSurface, HandlesLargeCoordinateScales) {
+  // θN-like coordinates in the hundreds with λ in [-0.4, 0.4]; internal
+  // normalization must keep the normal equations solvable.
+  QuadraticSurface truth{5.0, -0.01, 2.0, 1e-5, 4.0, -0.005};
+  std::vector<double> xs, ys, zs;
+  for (double x = 100; x <= 1000; x += 100) {
+    for (double y = -0.4; y <= 0.41; y += 0.1) {
+      xs.push_back(x);
+      ys.push_back(y);
+      zs.push_back(truth.Eval(x, y));
+    }
+  }
+  auto fit = FitQuadraticSurface(xs, ys, zs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().Eval(550, 0.05), truth.Eval(550, 0.05),
+              1e-6 * std::fabs(truth.Eval(550, 0.05)) + 1e-6);
+}
+
+TEST(FitQuadraticSurface, SkipsNonFiniteSamples) {
+  QuadraticSurface truth{0.0, 1.0, 1.0, 1.0, 1.0, 0.0};
+  std::vector<double> xs, ys, zs;
+  for (double x = 0; x <= 3; x += 1) {
+    for (double y = 0; y <= 3; y += 1) {
+      xs.push_back(x);
+      ys.push_back(y);
+      zs.push_back(truth.Eval(x, y));
+    }
+  }
+  // Poison two samples with infinities; fit should still succeed.
+  zs[3] = std::numeric_limits<double>::infinity();
+  zs[7] = std::numeric_limits<double>::quiet_NaN();
+  auto fit = FitQuadraticSurface(xs, ys, zs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().Eval(1.5, 1.5), truth.Eval(1.5, 1.5), 1e-6);
+}
+
+TEST(FitQuadraticSurface, RejectsTooFewPoints) {
+  auto fit = FitQuadraticSurface({0, 1, 2}, {0, 1, 2}, {0, 1, 2});
+  EXPECT_FALSE(fit.ok());
+}
+
+TEST(FitQuadraticSurface, RejectsLengthMismatch) {
+  auto fit = FitQuadraticSurface({0, 1}, {0, 1, 2}, {0, 1, 2});
+  EXPECT_FALSE(fit.ok());
+}
+
+TEST(FitQuadraticSurface, ToleratesNoise) {
+  QuadraticSurface truth{2.0, 0.0, 0.0, 1.0, 1.0, 0.0};  // bowl at origin
+  Rng rng(5);
+  std::vector<double> xs, ys, zs;
+  for (double x = -2; x <= 2; x += 0.25) {
+    for (double y = -2; y <= 2; y += 0.25) {
+      xs.push_back(x);
+      ys.push_back(y);
+      zs.push_back(truth.Eval(x, y) + rng.NextUniform(-0.05, 0.05));
+    }
+  }
+  auto fit = FitQuadraticSurface(xs, ys, zs);
+  ASSERT_TRUE(fit.ok());
+  auto [x_min, y_min] = MinimizeOnBox(fit.value(), -2, 2, -2, 2);
+  EXPECT_NEAR(x_min, 0.0, 0.15);
+  EXPECT_NEAR(y_min, 0.0, 0.15);
+}
+
+TEST(MinimizeOnBox, FindsInteriorMinimum) {
+  // (x−1)² + (y+0.5)²: minimum at (1, −0.5).
+  QuadraticSurface s{1.25, -2.0, 1.0, 1.0, 1.0, 0.0};
+  auto [x, y] = MinimizeOnBox(s, -3, 3, -3, 3);
+  EXPECT_NEAR(x, 1.0, 0.02);
+  EXPECT_NEAR(y, -0.5, 0.02);
+}
+
+TEST(MinimizeOnBox, ClampsToBoundary) {
+  // Plane decreasing in x: minimum at the right edge.
+  QuadraticSurface s{0.0, -1.0, 0.0, 0.0, 0.0, 0.0};
+  auto [x, y] = MinimizeOnBox(s, 0, 10, -1, 1);
+  EXPECT_NEAR(x, 10.0, 1e-9);
+  (void)y;
+}
+
+TEST(MinimizeOnBox, HandlesSwappedBounds) {
+  QuadraticSurface s{0.0, 0.0, 0.0, 1.0, 1.0, 0.0};
+  auto [x, y] = MinimizeOnBox(s, 2, -2, 2, -2);
+  EXPECT_NEAR(x, 0.0, 0.05);
+  EXPECT_NEAR(y, 0.0, 0.05);
+}
+
+TEST(MinimizeOnBox, DegenerateBoxReturnsThePoint) {
+  QuadraticSurface s{0.0, 1.0, 1.0, 0.0, 0.0, 0.0};
+  auto [x, y] = MinimizeOnBox(s, 3, 3, 4, 4);
+  EXPECT_DOUBLE_EQ(x, 3.0);
+  EXPECT_DOUBLE_EQ(y, 4.0);
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,111 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uuq {
+namespace {
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({5}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(Mean, NegativeValues) { EXPECT_DOUBLE_EQ(Mean({-2, 2}), 0.0); }
+
+TEST(SampleVariance, KnownValue) {
+  // {2,4,4,4,5,5,7,9}: mean 5, sum sq dev 32, sample variance 32/7.
+  EXPECT_NEAR(SampleVariance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+}
+
+TEST(SampleVariance, DegenerateInputsAreZero) {
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({3.0}), 0.0);
+}
+
+TEST(PopulationVariance, KnownValue) {
+  EXPECT_NEAR(PopulationVariance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0, 1e-12);
+}
+
+TEST(SampleStdDev, IsSqrtOfVariance) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(SampleStdDev(xs), std::sqrt(SampleVariance(xs)));
+}
+
+TEST(SumMinMax, Basics) {
+  const std::vector<double> xs{3, -1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(Sum(xs), 12.0);
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 5.0);
+}
+
+TEST(SumMinMax, EmptyConventions) {
+  EXPECT_DOUBLE_EQ(Sum({}), 0.0);
+  EXPECT_TRUE(std::isinf(Min({})));
+  EXPECT_GT(Min({}), 0.0);
+  EXPECT_TRUE(std::isinf(Max({})));
+  EXPECT_LT(Max({}), 0.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.1), 14.0);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(Quantile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.5), 3.0);
+}
+
+TEST(Quantile, EmptyIsNan) { EXPECT_TRUE(std::isnan(Quantile({}, 0.5))); }
+
+TEST(MeanRelativeError, KnownValue) {
+  // estimates {90, 110} vs 100: errors 0.1 and 0.1 -> mean 0.1.
+  EXPECT_NEAR(MeanRelativeError({90, 110}, 100.0), 0.1, 1e-12);
+}
+
+TEST(MeanRelativeError, ZeroReferenceIsZero) {
+  EXPECT_DOUBLE_EQ(MeanRelativeError({1, 2}, 0.0), 0.0);
+}
+
+TEST(GiniCoefficient, PerfectlyEvenIsZero) {
+  EXPECT_NEAR(GiniCoefficient({5, 5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(GiniCoefficient, ExtremeConcentration) {
+  // One source holds everything: Gini -> (n−1)/n.
+  const double gini = GiniCoefficient({0, 0, 0, 100});
+  EXPECT_NEAR(gini, 0.75, 1e-12);
+}
+
+TEST(GiniCoefficient, KnownIntermediateValue) {
+  // {1,3}: Gini = (2·(1·1+2·3))/(2·4) − 3/2 = 14/8 − 1.5 = 0.25.
+  EXPECT_NEAR(GiniCoefficient({1, 3}), 0.25, 1e-12);
+}
+
+TEST(GiniCoefficient, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({7}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({0, 0}), 0.0);
+}
+
+TEST(GiniCoefficient, ScaleInvariant) {
+  const double a = GiniCoefficient({1, 2, 3, 10});
+  const double b = GiniCoefficient({10, 20, 30, 100});
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,100 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace uuq {
+namespace {
+
+double SumOf(const std::vector<double>& p) {
+  return std::accumulate(p.begin(), p.end(), 0.0);
+}
+
+TEST(Normalize, SumsToOne) {
+  const auto p = Normalize({1, 2, 3, 4});
+  EXPECT_NEAR(SumOf(p), 1.0, 1e-12);
+  EXPECT_NEAR(p[3], 0.4, 1e-12);
+}
+
+TEST(Normalize, AllZeroBecomesUniform) {
+  const auto p = Normalize({0, 0, 0, 0});
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(NormalizeDeathTest, NegativeWeightAborts) {
+  EXPECT_DEATH(Normalize({1, -1}), "non-negative");
+}
+
+TEST(UniformPublicity, AllEqual) {
+  const auto p = UniformPublicity(5);
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.2);
+}
+
+TEST(ExponentialPublicity, LambdaZeroIsUniform) {
+  const auto p = ExponentialPublicity(10, 0.0);
+  for (double v : p) EXPECT_NEAR(v, 0.1, 1e-12);
+}
+
+TEST(ExponentialPublicity, HeadToTailRatioIsExpLambda) {
+  const auto p = ExponentialPublicity(100, 4.0);
+  EXPECT_NEAR(p.front() / p.back(), std::exp(4.0), 1e-9);
+}
+
+TEST(ExponentialPublicity, MonotoneDecreasing) {
+  const auto p = ExponentialPublicity(50, 2.0);
+  for (size_t i = 1; i < p.size(); ++i) EXPECT_LT(p[i], p[i - 1]);
+}
+
+TEST(ExponentialPublicity, NegativeLambdaReverses) {
+  const auto p = ExponentialPublicity(50, -2.0);
+  for (size_t i = 1; i < p.size(); ++i) EXPECT_GT(p[i], p[i - 1]);
+}
+
+TEST(ExponentialPublicity, SingleItem) {
+  const auto p = ExponentialPublicity(1, 3.0);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+TEST(MonteCarloPublicity, ThetaMapsToTenXLambda) {
+  // θλ = 0.4 must equal the λ = 4 exponential shape (DESIGN.md §2).
+  const auto a = MonteCarloPublicity(64, 0.4);
+  const auto b = ExponentialPublicity(64, 4.0);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(ZipfPublicity, FollowsPowerLaw) {
+  const auto p = ZipfPublicity(10, 1.0);
+  // p_1 / p_2 = 2 for s = 1.
+  EXPECT_NEAR(p[0] / p[1], 2.0, 1e-9);
+  EXPECT_NEAR(SumOf(p), 1.0, 1e-12);
+}
+
+TEST(ZipfPublicity, ExponentZeroIsUniform) {
+  const auto p = ZipfPublicity(4, 0.0);
+  for (double v : p) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(LogNormalPublicity, NormalizedAndPositive) {
+  Rng rng(3);
+  const auto p = LogNormalPublicity(100, 1.0, &rng);
+  EXPECT_NEAR(SumOf(p), 1.0, 1e-9);
+  for (double v : p) EXPECT_GT(v, 0.0);
+}
+
+TEST(LogNormalPublicity, HigherSigmaIsMoreSkewed) {
+  Rng rng1(3), rng2(3);
+  auto mild = LogNormalPublicity(1000, 0.2, &rng1);
+  auto wild = LogNormalPublicity(1000, 2.0, &rng2);
+  std::sort(mild.begin(), mild.end(), std::greater<double>());
+  std::sort(wild.begin(), wild.end(), std::greater<double>());
+  // Top-10 mass should be much larger under heavy skew.
+  const double mild_top = std::accumulate(mild.begin(), mild.begin() + 10, 0.0);
+  const double wild_top = std::accumulate(wild.begin(), wild.begin() + 10, 0.0);
+  EXPECT_GT(wild_top, mild_top * 2);
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,91 @@
+#include "stats/fstats.h"
+
+#include <gtest/gtest.h>
+
+namespace uuq {
+namespace {
+
+TEST(FrequencyStatistics, EmptyByDefault) {
+  FrequencyStatistics stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.n(), 0);
+  EXPECT_EQ(stats.c(), 0);
+  EXPECT_EQ(stats.f(1), 0);
+}
+
+TEST(FrequencyStatistics, FromCountsBasic) {
+  // Items observed 1, 1, 2, 3 times: f1=2, f2=1, f3=1; n=7; c=4.
+  const auto stats = FrequencyStatistics::FromCounts({1, 1, 2, 3});
+  EXPECT_EQ(stats.n(), 7);
+  EXPECT_EQ(stats.c(), 4);
+  EXPECT_EQ(stats.f(1), 2);
+  EXPECT_EQ(stats.f(2), 1);
+  EXPECT_EQ(stats.f(3), 1);
+  EXPECT_EQ(stats.f(4), 0);
+}
+
+TEST(FrequencyStatistics, SingletonsAndDoubletons) {
+  const auto stats = FrequencyStatistics::FromCounts({1, 1, 1, 2, 2, 5});
+  EXPECT_EQ(stats.singletons(), 3);
+  EXPECT_EQ(stats.doubletons(), 2);
+}
+
+TEST(FrequencyStatistics, ZeroCountsIgnored) {
+  const auto stats = FrequencyStatistics::FromCounts({0, 0, 1, 2});
+  EXPECT_EQ(stats.c(), 2);
+  EXPECT_EQ(stats.n(), 3);
+}
+
+TEST(FrequencyStatistics, SumIiMinusOneFi) {
+  // counts {1,2,4}: Σ m(m−1) = 0 + 2 + 12 = 14 (the Appendix F toy data).
+  const auto stats = FrequencyStatistics::FromCounts({1, 2, 4});
+  EXPECT_EQ(stats.SumIiMinusOneFi(), 14);
+}
+
+TEST(FrequencyStatistics, FromHistogramMatchesFromCounts) {
+  const auto a = FrequencyStatistics::FromCounts({1, 1, 2, 2, 2, 3});
+  const auto b =
+      FrequencyStatistics::FromHistogram({{1, 2}, {2, 3}, {3, 1}});
+  EXPECT_EQ(a.n(), b.n());
+  EXPECT_EQ(a.c(), b.c());
+  EXPECT_EQ(a.histogram(), b.histogram());
+  EXPECT_EQ(a.SumIiMinusOneFi(), b.SumIiMinusOneFi());
+}
+
+TEST(FrequencyStatistics, FromHistogramSkipsZeroEntries) {
+  const auto stats = FrequencyStatistics::FromHistogram({{1, 0}, {2, 3}});
+  EXPECT_EQ(stats.f(1), 0);
+  EXPECT_EQ(stats.f(2), 3);
+  EXPECT_EQ(stats.c(), 3);
+}
+
+TEST(FrequencyStatistics, NEqualsSumOfJTimesFj) {
+  const auto stats = FrequencyStatistics::FromCounts({1, 2, 3, 4, 5, 5});
+  int64_t n = 0;
+  for (const auto& [occurrences, items] : stats.histogram()) {
+    n += occurrences * items;
+  }
+  EXPECT_EQ(stats.n(), n);
+}
+
+TEST(FrequencyStatistics, CEqualsSumOfFj) {
+  const auto stats = FrequencyStatistics::FromCounts({1, 1, 2, 7, 7, 7});
+  int64_t c = 0;
+  for (const auto& [occurrences, items] : stats.histogram()) c += items;
+  EXPECT_EQ(stats.c(), c);
+}
+
+TEST(FrequencyStatistics, AllSingletons) {
+  const auto stats = FrequencyStatistics::FromCounts({1, 1, 1, 1});
+  EXPECT_EQ(stats.n(), 4);
+  EXPECT_EQ(stats.c(), 4);
+  EXPECT_EQ(stats.singletons(), 4);
+  EXPECT_EQ(stats.SumIiMinusOneFi(), 0);
+}
+
+TEST(FrequencyStatisticsDeathTest, NegativeCountAborts) {
+  EXPECT_DEATH(FrequencyStatistics::FromCounts({-1}), "negative");
+}
+
+}  // namespace
+}  // namespace uuq

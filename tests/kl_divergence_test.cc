@@ -1,0 +1,106 @@
+#include "stats/kl_divergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uuq {
+namespace {
+
+TEST(KlDivergence, IdenticalDistributionsAreZero) {
+  const std::vector<double> p{0.25, 0.25, 0.5};
+  EXPECT_DOUBLE_EQ(KlDivergence(p, p), 0.0);
+}
+
+TEST(KlDivergence, IsNonNegative) {
+  const std::vector<double> p{0.7, 0.2, 0.1};
+  const std::vector<double> q{0.1, 0.2, 0.7};
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+  EXPECT_GT(KlDivergence(q, p), 0.0);
+}
+
+TEST(KlDivergence, Asymmetric) {
+  const std::vector<double> p{0.9, 0.1};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_NE(KlDivergence(p, q), KlDivergence(q, p));
+}
+
+TEST(KlDivergence, KnownValue) {
+  // KL({1,0} || {0.5,0.5}) = 1·ln(2) = ln 2.
+  EXPECT_NEAR(KlDivergence({1.0, 0.0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(KlDivergence, InfiniteWhenSupportMismatch) {
+  EXPECT_TRUE(std::isinf(KlDivergence({0.5, 0.5}, {1.0, 0.0})));
+}
+
+TEST(KlDivergence, ZeroPTermContributesNothing) {
+  EXPECT_NEAR(KlDivergence({0.0, 1.0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(KlDivergenceDeathTest, LengthMismatchAborts) {
+  EXPECT_DEATH(KlDivergence({1.0}, {0.5, 0.5}), "equal supports");
+}
+
+TEST(AlignMultiplicities, SortsDescendingAndPads) {
+  std::vector<double> observed{1, 3, 2};
+  std::vector<double> simulated{5, 4, 3, 2, 1};
+  AlignMultiplicities(&observed, &simulated);
+  EXPECT_EQ(observed.size(), 5u);
+  EXPECT_EQ(simulated.size(), 5u);
+  EXPECT_EQ(observed[0], 3);
+  EXPECT_EQ(observed[2], 1);
+  EXPECT_EQ(observed[3], 0);  // padded
+  EXPECT_EQ(observed[4], 0);
+}
+
+TEST(SmoothAndNormalize, SumsToOne) {
+  const auto p = SmoothAndNormalize({3, 0, 1, 0}, 1e-6);
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (double v : p) EXPECT_GT(v, 0.0);
+}
+
+TEST(SmoothAndNormalize, ZeroCellsGetEpsilonMass) {
+  const auto p = SmoothAndNormalize({1, 0}, 0.5);
+  // masses 1 and 0.5 -> normalized {2/3, 1/3}.
+  EXPECT_NEAR(p[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(AlignedKlDivergence, IdenticalHistogramsNearZero) {
+  EXPECT_NEAR(AlignedKlDivergence({4, 3, 2, 1}, {4, 3, 2, 1}), 0.0, 1e-9);
+}
+
+TEST(AlignedKlDivergence, OrderInsensitive) {
+  // Rank alignment: only the multiset of multiplicities matters.
+  const double a = AlignedKlDivergence({1, 2, 3}, {3, 1, 2});
+  EXPECT_NEAR(a, 0.0, 1e-9);
+}
+
+TEST(AlignedKlDivergence, PenalizesExtraSimulatedUniques) {
+  // Simulation hypothesizes far more unique items than observed.
+  const double close = AlignedKlDivergence({5, 5, 5}, {5, 5, 5});
+  const double far = AlignedKlDivergence({5, 5, 5}, {2, 2, 2, 2, 2, 2, 1, 1});
+  EXPECT_GT(far, close);
+}
+
+TEST(AlignedKlDivergence, MoreSimilarShapesScoreLower) {
+  const std::vector<double> observed{10, 5, 2, 1, 1};
+  const double near = AlignedKlDivergence(observed, {9, 6, 2, 1, 1});
+  const double far = AlignedKlDivergence(observed, {4, 4, 4, 4, 3});
+  EXPECT_LT(near, far);
+}
+
+TEST(AlignedKlDivergence, BothEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(AlignedKlDivergence({}, {}), 0.0);
+}
+
+TEST(AlignedKlDivergence, FiniteDespiteZeroCells) {
+  EXPECT_TRUE(std::isfinite(AlignedKlDivergence({3, 2}, {1, 1, 1, 1})));
+  EXPECT_TRUE(std::isfinite(AlignedKlDivergence({3, 2, 1, 1}, {5})));
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,166 @@
+#include "stats/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace uuq {
+namespace {
+
+TEST(Matrix, StoresAndRetrieves) {
+  Matrix m(2, 3, 0.0);
+  m.At(0, 0) = 1.0;
+  m.At(1, 2) = -2.5;
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), -2.5);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  Matrix b(2, 2);
+  b.At(0, 0) = 5;
+  b.At(0, 1) = 6;
+  b.At(1, 0) = 7;
+  b.At(1, 1) = 8;
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50);
+}
+
+TEST(Matrix, TransposedSwapsDims) {
+  Matrix m(2, 3);
+  m.At(0, 2) = 9.0;
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 9.0);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix m(2, 3);
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 2;
+  m.At(0, 2) = 3;
+  m.At(1, 0) = 4;
+  m.At(1, 1) = 5;
+  m.At(1, 2) = 6;
+  const auto v = m.MultiplyVector({1, 1, 1});
+  EXPECT_DOUBLE_EQ(v[0], 6);
+  EXPECT_DOUBLE_EQ(v[1], 15);
+}
+
+TEST(SolveLinearSystem, SolvesTwoByTwo) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 3;
+  auto x = SolveLinearSystem(a, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, NeedsPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a.At(0, 0) = 0;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 0;
+  auto x = SolveLinearSystem(a, {2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 3.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RejectsSingular) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 4;
+  auto x = SolveLinearSystem(a, {1, 2});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericError);
+}
+
+TEST(SolveLinearSystem, RejectsNonSquare) {
+  Matrix a(2, 3);
+  auto x = SolveLinearSystem(a, {1, 2});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolveLinearSystem, RandomRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.NextBounded(6);
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.NextUniform(-5, 5);
+      for (size_t j = 0; j < n; ++j) a.At(i, j) = rng.NextUniform(-1, 1);
+      a.At(i, i) += static_cast<double>(n);  // diagonally dominant
+    }
+    const std::vector<double> b = a.MultiplyVector(x_true);
+    auto x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x.value()[i], x_true[i], 1e-8);
+    }
+  }
+}
+
+TEST(LeastSquares, ExactSystemRecovered) {
+  // Overdetermined but consistent: y = 2x + 1 at x = 0..3.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a.At(i, 0) = 1.0;
+    a.At(i, 1) = i;
+    b[i] = 2.0 * i + 1.0;
+  }
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-10);
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidualForNoisyData) {
+  // y = 3x with symmetric noise: slope estimate stays near 3.
+  Matrix a(6, 1);
+  std::vector<double> b{3.1, 5.9, 9.05, 11.95, 15.1, 17.9};
+  for (int i = 0; i < 6; ++i) a.At(i, 0) = i + 1;
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 3.0, 0.05);
+}
+
+TEST(LeastSquares, RejectsUnderdetermined) {
+  Matrix a(2, 3);
+  auto x = LeastSquares(a, {1, 2});
+  EXPECT_FALSE(x.ok());
+}
+
+TEST(LeastSquares, RejectsCollinearColumns) {
+  Matrix a(4, 2);
+  for (int i = 0; i < 4; ++i) {
+    a.At(i, 0) = i + 1.0;
+    a.At(i, 1) = 2.0 * (i + 1.0);  // exactly collinear
+  }
+  auto x = LeastSquares(a, {1, 2, 3, 4});
+  EXPECT_FALSE(x.ok());
+}
+
+}  // namespace
+}  // namespace uuq

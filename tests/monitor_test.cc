@@ -1,0 +1,136 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uuq {
+namespace {
+
+TEST(ConvergenceMonitor, NotStableUntilWindowFills) {
+  ConvergenceMonitor monitor(MonitorOptions{.window = 3,
+                                            .stability_threshold = 0.05});
+  monitor.Record(100.0);
+  EXPECT_FALSE(monitor.IsStable());
+  monitor.Record(100.0);
+  EXPECT_FALSE(monitor.IsStable());
+  monitor.Record(100.0);
+  EXPECT_TRUE(monitor.IsStable());
+}
+
+TEST(ConvergenceMonitor, SpreadComputedOverWindow) {
+  ConvergenceMonitor monitor(MonitorOptions{.window = 3,
+                                            .stability_threshold = 0.05});
+  monitor.Record(100.0);
+  monitor.Record(102.0);
+  monitor.Record(98.0);
+  EXPECT_NEAR(monitor.RelativeSpread(), 4.0 / 100.0, 1e-12);
+  EXPECT_TRUE(monitor.IsStable());
+}
+
+TEST(ConvergenceMonitor, UnstableWhenEstimatesJump) {
+  ConvergenceMonitor monitor(MonitorOptions{.window = 3,
+                                            .stability_threshold = 0.05});
+  monitor.Record(100.0);
+  monitor.Record(150.0);
+  monitor.Record(100.0);
+  EXPECT_FALSE(monitor.IsStable());
+}
+
+TEST(ConvergenceMonitor, OldPointsSlideOut) {
+  ConvergenceMonitor monitor(MonitorOptions{.window = 3,
+                                            .stability_threshold = 0.05});
+  monitor.Record(500.0);  // will slide out
+  monitor.Record(100.0);
+  monitor.Record(100.0);
+  monitor.Record(101.0);
+  EXPECT_TRUE(monitor.IsStable());
+}
+
+TEST(ConvergenceMonitor, NonFiniteClearsWindow) {
+  ConvergenceMonitor monitor(MonitorOptions{.window = 2,
+                                            .stability_threshold = 0.05});
+  monitor.Record(100.0);
+  monitor.Record(100.0);
+  EXPECT_TRUE(monitor.IsStable());
+  monitor.Record(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(monitor.IsStable());
+  monitor.Record(100.0);
+  monitor.Record(100.0);
+  EXPECT_TRUE(monitor.IsStable());
+}
+
+TEST(ConvergenceMonitor, ResetClears) {
+  ConvergenceMonitor monitor(MonitorOptions{.window = 2,
+                                            .stability_threshold = 0.05});
+  monitor.Record(1.0);
+  monitor.Record(1.0);
+  monitor.Reset();
+  EXPECT_FALSE(monitor.IsStable());
+  EXPECT_EQ(monitor.recorded(), 0);
+}
+
+TEST(ConvergenceMonitor, CountsRecordedPoints) {
+  ConvergenceMonitor monitor;
+  for (int i = 0; i < 7; ++i) monitor.Record(1.0);
+  EXPECT_EQ(monitor.recorded(), 7);
+}
+
+TEST(ConvergenceMonitorDeathTest, BadOptionsAbort) {
+  EXPECT_DEATH(ConvergenceMonitor(MonitorOptions{.window = 1,
+                                                 .stability_threshold = 0.05}),
+               "window");
+  EXPECT_DEATH(ConvergenceMonitor(MonitorOptions{.window = 3,
+                                                 .stability_threshold = 0.0}),
+               "threshold");
+}
+
+TEST(MarginalNewEntityRate, EmptySampleIsCertainlyNew) {
+  IntegratedSample sample;
+  EXPECT_DOUBLE_EQ(ConvergenceMonitor::MarginalNewEntityRate(sample), 1.0);
+}
+
+TEST(MarginalNewEntityRate, IsGoodTuringUnseenMass) {
+  IntegratedSample sample;
+  sample.Add("w1", "a", 1);
+  sample.Add("w2", "a", 1);
+  sample.Add("w1", "b", 1);  // f1 = 1, n = 3
+  EXPECT_NEAR(ConvergenceMonitor::MarginalNewEntityRate(sample), 1.0 / 3.0,
+              1e-12);
+}
+
+TEST(MarginalNewEntityRate, ZeroWhenNoSingletons) {
+  IntegratedSample sample;
+  sample.Add("w1", "a", 1);
+  sample.Add("w2", "a", 1);
+  EXPECT_DOUBLE_EQ(ConvergenceMonitor::MarginalNewEntityRate(sample), 0.0);
+  EXPECT_TRUE(
+      std::isinf(ConvergenceMonitor::AnswersPerNewEntity(sample)));
+}
+
+TEST(AnswersPerNewEntity, InverseOfRate) {
+  IntegratedSample sample;
+  sample.Add("w1", "a", 1);
+  sample.Add("w2", "a", 1);
+  sample.Add("w1", "b", 1);
+  sample.Add("w2", "c", 1);  // f1 = 2, n = 4 -> rate 0.5
+  EXPECT_DOUBLE_EQ(ConvergenceMonitor::AnswersPerNewEntity(sample), 2.0);
+}
+
+TEST(MarginalNewEntityRate, DecreasesAsSampleSaturates) {
+  IntegratedSample sample;
+  for (int e = 0; e < 10; ++e) {
+    sample.Add("w1", "e" + std::to_string(e), 1.0);
+  }
+  const double early = ConvergenceMonitor::MarginalNewEntityRate(sample);
+  for (int w = 2; w < 6; ++w) {
+    for (int e = 0; e < 10; ++e) {
+      sample.Add("w" + std::to_string(w), "e" + std::to_string(e), 1.0);
+    }
+  }
+  const double late = ConvergenceMonitor::MarginalNewEntityRate(sample);
+  EXPECT_LT(late, early);
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,192 @@
+// Negative attribute values (paper §3.3.2: the dynamic bucket strategy takes
+// |Δ| "to underestimate the impact of unknown unknowns even for the case of
+// having negative attribute values (e.g., net losses of companies)").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bound.h"
+#include "core/bucket.h"
+#include "core/frequency.h"
+#include "core/minmax.h"
+#include "core/naive.h"
+#include "core/query_correction.h"
+#include "simulation/crowd.h"
+#include "simulation/population.h"
+
+namespace uuq {
+namespace {
+
+// Companies with profits AND losses: values −500..+500.
+IntegratedSample MixedSignSample(uint64_t seed = 3) {
+  SyntheticPopulationConfig pop;
+  pop.num_items = 100;
+  pop.value_min = -500.0;
+  pop.value_step = 10.0;  // −500, −490, ..., 490
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  pop.seed = seed;
+  const Population population = MakeSyntheticPopulation(pop);
+  CrowdConfig crowd;
+  crowd.num_workers = 20;
+  crowd.answers_per_worker = 20;
+  crowd.seed = seed + 1;
+  IntegratedSample sample;
+  for (const Observation& obs :
+       CrowdSimulator(&population, crowd).GenerateStream()) {
+    sample.Add(obs);
+  }
+  return sample;
+}
+
+TEST(NegativeValues, SyntheticPopulationSupportsNegativeRange) {
+  SyntheticPopulationConfig pop;
+  pop.value_min = -500.0;
+  pop.value_step = 10.0;
+  const Population population = MakeSyntheticPopulation(pop);
+  EXPECT_DOUBLE_EQ(population.TrueMin(), -500.0);
+  EXPECT_DOUBLE_EQ(population.TrueMax(), 490.0);
+  EXPECT_DOUBLE_EQ(population.TrueSum(), -500.0);  // Σ of −500..490 step 10
+}
+
+TEST(NegativeValues, EstimatorsStayFinite) {
+  const auto sample = MixedSignSample();
+  for (const SumEstimator* est :
+       std::initializer_list<const SumEstimator*>{
+           new NaiveEstimator(), new FrequencyEstimator(),
+           new BucketSumEstimator()}) {
+    const Estimate e = est->EstimateImpact(sample);
+    EXPECT_TRUE(std::isfinite(e.corrected_sum)) << e.estimator;
+    delete est;
+  }
+}
+
+TEST(NegativeValues, DeltaCanBeNegative) {
+  // With mean substitution over a mostly-negative sample the correction
+  // itself goes negative — the unknown unknowns REDUCE the sum.
+  IntegratedSample sample;
+  for (int e = 0; e < 20; ++e) {
+    const int copies = 1 + (e % 3);
+    for (int k = 0; k < copies; ++k) {
+      sample.Add("w" + std::to_string(k), "e" + std::to_string(e),
+                 -100.0 - e);
+    }
+  }
+  const Estimate est = NaiveEstimator().EstimateImpact(sample);
+  EXPECT_LT(est.missing_value, 0.0);
+  EXPECT_LT(est.delta, 0.0);
+  EXPECT_LT(est.corrected_sum, sample.ObservedSum());
+}
+
+TEST(NegativeValues, BucketPartitionCoversNegativeRange) {
+  const auto sample = MixedSignSample();
+  const auto buckets = BucketSumEstimator().ComputeBuckets(sample);
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_LT(buckets.front().lo, 0.0);  // negative values present
+  SampleStats merged;
+  for (const ValueBucket& b : buckets) merged.Merge(b.stats);
+  EXPECT_EQ(merged.c, sample.c());
+}
+
+TEST(NegativeValues, DynamicObjectiveStillBounded) {
+  // Σ|Δ(b)| over the final partition never exceeds |Δ| of one bucket.
+  const auto sample = MixedSignSample(7);
+  const SampleStats whole = SampleStats::FromSample(sample);
+  const Estimate single = NaiveEstimator().FromStats(whole);
+  const auto buckets = BucketSumEstimator().ComputeBuckets(sample);
+  double objective = 0.0;
+  for (const ValueBucket& b : buckets) {
+    objective += std::fabs(b.estimate.delta);
+  }
+  if (std::isfinite(single.delta)) {
+    EXPECT_LE(objective, std::fabs(single.delta) + 1e-6);
+  }
+}
+
+TEST(NegativeValues, MinMaxHandlesNegativeExtremes) {
+  IntegratedSample sample;
+  for (int e = 0; e < 15; ++e) {
+    for (int w = 0; w < 4; ++w) {
+      sample.Add("w" + std::to_string(w), "e" + std::to_string(e),
+                 -10.0 * e);
+    }
+  }
+  const MinMaxEstimator minmax;
+  const ExtremeEstimate min_est = minmax.EstimateMin(sample);
+  EXPECT_TRUE(min_est.has_data);
+  EXPECT_DOUBLE_EQ(min_est.observed_extreme, -140.0);
+  EXPECT_TRUE(min_est.claim_true_extreme);  // fully saturated sample
+}
+
+TEST(NegativeValues, QueryCorrectorEndToEnd) {
+  const auto sample = MixedSignSample(11);
+  const QueryCorrector corrector;
+  auto answer = corrector.CorrectSql(
+      sample, "SELECT SUM(value) FROM companies WHERE value < 0");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_LT(answer.value().observed, 0.0);
+  // Correcting a negative-only class must push the sum further down.
+  EXPECT_LE(answer.value().corrected, answer.value().observed + 1e-9);
+}
+
+TEST(NegativeValues, BoundValueTermCanStayPositive) {
+  // φK/c + 3σ can be positive even when the mean is negative; the bound
+  // machinery must not produce NaN.
+  const auto sample = MixedSignSample(13);
+  const SumUpperBound bound = ComputeSumUpperBound(sample);
+  EXPECT_FALSE(std::isnan(bound.phi_upper));
+  EXPECT_FALSE(std::isnan(bound.value_upper));
+}
+
+TEST(BucketedBound, TighterUnderCorrelation) {
+  // Positive-valued correlated workload: per-bucket σ is small, so the
+  // bucketed bound should beat (or match) the global §4 bound.
+  SyntheticPopulationConfig pop;
+  pop.num_items = 100;
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  pop.seed = 17;
+  const Population population = MakeSyntheticPopulation(pop);
+  CrowdConfig crowd;
+  crowd.num_workers = 20;
+  crowd.answers_per_worker = 30;
+  crowd.seed = 18;
+  IntegratedSample sample;
+  for (const Observation& obs :
+       CrowdSimulator(&population, crowd).GenerateStream()) {
+    sample.Add(obs);
+  }
+  const SumUpperBound global = ComputeSumUpperBound(sample);
+  const SumUpperBound bucketed = ComputeBucketedSumUpperBound(sample);
+  ASSERT_TRUE(global.finite);
+  ASSERT_TRUE(bucketed.finite);
+  EXPECT_LE(bucketed.phi_upper, global.phi_upper + 1e-6);
+  // Still a bound: above the truth.
+  EXPECT_GE(bucketed.phi_upper, population.TrueSum());
+}
+
+TEST(BucketedBound, SingleBucketFallsBackToGlobal) {
+  IntegratedSample sample;
+  for (int e = 0; e < 50; ++e) {
+    for (int w = 0; w < 4; ++w) {
+      sample.Add("w" + std::to_string(w), "e" + std::to_string(e), 100.0);
+    }
+  }
+  const SumUpperBound global = ComputeSumUpperBound(sample);
+  const SumUpperBound bucketed = ComputeBucketedSumUpperBound(sample);
+  EXPECT_DOUBLE_EQ(global.phi_upper, bucketed.phi_upper);
+}
+
+TEST(BucketedBound, NeverLooserThanGlobal) {
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const auto sample = MixedSignSample(seed);
+    const SumUpperBound global = ComputeSumUpperBound(sample);
+    const SumUpperBound bucketed = ComputeBucketedSumUpperBound(sample);
+    if (global.finite && bucketed.finite) {
+      EXPECT_LE(bucketed.phi_upper, global.phi_upper + 1e-6) << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uuq

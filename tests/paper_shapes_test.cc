@@ -1,0 +1,208 @@
+// Reproduction regression suite: the paper's headline qualitative claims,
+// pinned as fast automated assertions so future changes cannot silently
+// break the reproduction. Each test mirrors one bench binary (which prints
+// the full series); see EXPERIMENTS.md for the complete record.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "core/bucket.h"
+#include "core/frequency.h"
+#include "core/monte_carlo.h"
+#include "core/naive.h"
+#include "simulation/scenarios.h"
+
+namespace uuq {
+namespace {
+
+MonteCarloOptions FastMc() {
+  MonteCarloOptions options;
+  options.runs_per_point = 2;
+  options.n_grid_steps = 6;
+  return options;
+}
+
+IntegratedSample Ingest(const std::vector<Observation>& stream,
+                        size_t prefix = SIZE_MAX) {
+  IntegratedSample sample;
+  for (size_t i = 0; i < std::min(prefix, stream.size()); ++i) {
+    sample.Add(stream[i]);
+  }
+  return sample;
+}
+
+// Figure 2: the observed sum shows diminishing returns and a persistent gap.
+TEST(PaperShapes, Fig2DiminishingReturnsAndGap) {
+  const Scenario s = scenarios::UsTechEmployment();
+  const auto half = Ingest(s.stream, s.stream.size() / 2);
+  const auto full = Ingest(s.stream);
+  const double first_half_gain = half.ObservedSum();
+  const double second_half_gain = full.ObservedSum() - half.ObservedSum();
+  EXPECT_GT(first_half_gain, 2.0 * second_half_gain);
+  EXPECT_LT(full.ObservedSum(), 0.85 * s.ground_truth_sum);
+}
+
+// Figure 4: naive > freq > truth; bucket closest to truth and below naive.
+TEST(PaperShapes, Fig4EstimatorOrdering) {
+  const Scenario s = scenarios::UsTechEmployment();
+  const auto sample = Ingest(s.stream);
+  const double truth = s.ground_truth_sum;
+  const double naive =
+      NaiveEstimator().EstimateImpact(sample).corrected_sum;
+  const double freq =
+      FrequencyEstimator().EstimateImpact(sample).corrected_sum;
+  const double bucket =
+      BucketSumEstimator().EstimateImpact(sample).corrected_sum;
+
+  EXPECT_GT(naive, 1.3 * truth);   // heavy overestimation
+  EXPECT_GT(freq, truth);          // overestimates too...
+  EXPECT_LT(freq, naive);          // ...but less than naive
+  EXPECT_LT(std::fabs(bucket - truth), std::fabs(naive - truth));
+  EXPECT_LT(std::fabs(bucket - truth), std::fabs(freq - truth));
+  EXPECT_LT(std::fabs(bucket / truth - 1.0), 0.15);  // within 15%
+}
+
+// Figure 5(b): under the GDP streaker, Chao92-based estimators are
+// unusable early while Monte-Carlo equals the observed sum.
+TEST(PaperShapes, Fig5bStreakerBreaksChaoOnlyMcSurvives) {
+  const Scenario s = scenarios::UsGdp();
+  const auto early = Ingest(s.stream, 45);  // streaker-only prefix
+  EXPECT_FALSE(std::isfinite(
+      NaiveEstimator().EstimateImpact(early).corrected_sum));
+  EXPECT_FALSE(std::isfinite(
+      BucketSumEstimator().EstimateImpact(early).corrected_sum));
+  const double mc =
+      MonteCarloEstimator(FastMc()).EstimateImpact(early).corrected_sum;
+  EXPECT_NEAR(mc, early.ObservedSum(), 1e-6);
+
+  // Everyone recovers with the honest workers' answers.
+  const auto late = Ingest(s.stream);
+  const double naive_late =
+      NaiveEstimator().EstimateImpact(late).corrected_sum;
+  EXPECT_TRUE(std::isfinite(naive_late));
+  EXPECT_LT(naive_late / s.ground_truth_sum, 1.6);
+}
+
+// Figure 5(c): bucket converges near the paper's ~95k reference.
+TEST(PaperShapes, Fig5cProtonBeamBucketNearReference) {
+  const Scenario s = scenarios::ProtonBeam();
+  const auto sample = Ingest(s.stream);
+  const double bucket =
+      BucketSumEstimator().EstimateImpact(sample).corrected_sum;
+  EXPECT_GT(bucket, 85000.0);
+  EXPECT_LT(bucket, 110000.0);
+}
+
+// Figure 6 "rare events" row: with skew but NO correlation, everyone
+// underestimates (black swans hide in the tail).
+TEST(PaperShapes, Fig6RareEventsEveryoneUnderestimates) {
+  SyntheticPopulationConfig pop;
+  pop.num_items = 100;
+  pop.lambda = 4.0;
+  pop.rho = 0.0;
+  pop.seed = 31;
+  CrowdConfig crowd;
+  crowd.num_workers = 10;
+  crowd.answers_per_worker = 30;
+  crowd.seed = 32;
+  const Scenario s = scenarios::Synthetic(pop, crowd);
+  const auto sample = Ingest(s.stream);
+  constexpr double kTruth = 50500.0;
+  for (const SumEstimator* est :
+       std::initializer_list<const SumEstimator*>{
+           new NaiveEstimator(), new FrequencyEstimator(),
+           new BucketSumEstimator()}) {
+    const Estimate e = est->EstimateImpact(sample);
+    if (e.finite) EXPECT_LT(e.corrected_sum, kTruth) << e.estimator;
+    delete est;
+  }
+}
+
+// Figure 6 "realistic" row: bucket does not overestimate.
+TEST(PaperShapes, Fig6RealisticBucketDoesNotOverestimate) {
+  constexpr double kTruth = 50500.0;
+  int overshoots = 0;
+  for (uint64_t seed = 41; seed < 49; ++seed) {
+    SyntheticPopulationConfig pop;
+    pop.num_items = 100;
+    pop.lambda = 4.0;
+    pop.rho = 1.0;
+    pop.seed = seed;
+    CrowdConfig crowd;
+    crowd.num_workers = 10;
+    crowd.answers_per_worker = 40;
+    crowd.seed = seed + 100;
+    const Scenario s = scenarios::Synthetic(pop, crowd);
+    const double bucket =
+        BucketSumEstimator().EstimateImpact(Ingest(s.stream)).corrected_sum;
+    if (bucket > kTruth * 1.05) ++overshoots;
+  }
+  EXPECT_LE(overshoots, 1);  // "does not over-estimate" (allow seed noise)
+}
+
+// Figure 7(b): an injected streaker breaks Chao-based estimators but not MC.
+TEST(PaperShapes, Fig7bInjectedStreakerMcRobust) {
+  SyntheticPopulationConfig pop;
+  pop.num_items = 100;
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  pop.seed = 51;
+  CrowdConfig crowd;
+  crowd.num_workers = 20;
+  crowd.answers_per_worker = 20;
+  crowd.streaker_at = 160;
+  crowd.streaker_items = 100;
+  crowd.seed = 52;
+  const Scenario s = scenarios::Synthetic(pop, crowd);
+  // Right after the streaker finished (n = 260).
+  const auto sample = Ingest(s.stream, 260);
+  constexpr double kTruth = 50500.0;
+  const double mc =
+      MonteCarloEstimator(FastMc()).EstimateImpact(sample).corrected_sum;
+  const double naive =
+      NaiveEstimator().EstimateImpact(sample).corrected_sum;
+  EXPECT_LT(std::fabs(mc - kTruth), std::fabs(naive - kTruth));
+  EXPECT_NEAR(mc / kTruth, 1.0, 0.10);
+}
+
+// §6.1.5: Monte-Carlo is orders of magnitude slower than bucket.
+TEST(PaperShapes, RuntimeOrderingMcSlowerThanBucket) {
+  const Scenario s = scenarios::UsTechEmployment();
+  const auto sample = Ingest(s.stream, 250);
+  const BucketSumEstimator bucket;
+  const MonteCarloEstimator mc(FastMc());
+
+  const auto time = [](auto&& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  // One warmup each, then measure.
+  (void)bucket.EstimateImpact(sample);
+  (void)mc.EstimateImpact(sample);
+  const double bucket_seconds =
+      time([&] { (void)bucket.EstimateImpact(sample); });
+  const double mc_seconds = time([&] { (void)mc.EstimateImpact(sample); });
+  EXPECT_GT(mc_seconds, 10.0 * bucket_seconds);
+}
+
+// Table 2: the exact toy-example values (already unit-tested in
+// toy_example_test; here as a one-line reproduction invariant).
+TEST(PaperShapes, Table2BucketValues) {
+  IntegratedSample sample;
+  sample.Add("s1", "A", 1000);
+  sample.Add("s1", "B", 2000);
+  sample.Add("s1", "D", 10000);
+  sample.Add("s2", "B", 2000);
+  sample.Add("s2", "D", 10000);
+  sample.Add("s3", "D", 10000);
+  sample.Add("s4", "D", 10000);
+  EXPECT_NEAR(BucketSumEstimator().EstimateImpact(sample).corrected_sum,
+              14500.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,117 @@
+#include "db/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace uuq {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  Schema schema_{{{"name", ValueType::kString},
+                  {"employees", ValueType::kDouble}}};
+  Row ibm_{Value("ibm"), Value(100.0)};
+  Row tiny_{Value("tiny"), Value(3.0)};
+  Row unknown_{Value("ghost"), Value::Null()};
+
+  bool Eval(const PredicatePtr& p, const Row& row) {
+    auto result = p->Eval(row, schema_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value_or(false);
+  }
+};
+
+TEST_F(PredicateTest, ComparisonOperators) {
+  EXPECT_TRUE(Eval(MakeComparison("employees", CompareOp::kGt, Value(50.0)),
+                   ibm_));
+  EXPECT_FALSE(Eval(MakeComparison("employees", CompareOp::kGt, Value(50.0)),
+                    tiny_));
+  EXPECT_TRUE(Eval(MakeComparison("employees", CompareOp::kLe, Value(3.0)),
+                   tiny_));
+  EXPECT_TRUE(Eval(MakeComparison("employees", CompareOp::kGe, Value(100.0)),
+                   ibm_));
+  EXPECT_TRUE(Eval(MakeComparison("employees", CompareOp::kNe, Value(5.0)),
+                   ibm_));
+  EXPECT_TRUE(
+      Eval(MakeComparison("name", CompareOp::kEq, Value("ibm")), ibm_));
+}
+
+TEST_F(PredicateTest, IntLiteralMatchesDoubleColumn) {
+  EXPECT_TRUE(Eval(
+      MakeComparison("employees", CompareOp::kEq, Value(int64_t{100})), ibm_));
+}
+
+TEST_F(PredicateTest, NullCellNeverMatches) {
+  EXPECT_FALSE(Eval(MakeComparison("employees", CompareOp::kEq, Value(0.0)),
+                    unknown_));
+  EXPECT_FALSE(Eval(MakeComparison("employees", CompareOp::kNe, Value(0.0)),
+                    unknown_));
+}
+
+TEST_F(PredicateTest, NullLiteralNeverMatches) {
+  EXPECT_FALSE(
+      Eval(MakeComparison("employees", CompareOp::kEq, Value::Null()), ibm_));
+}
+
+TEST_F(PredicateTest, AndShortCircuits) {
+  const auto p = MakeAnd(
+      MakeComparison("employees", CompareOp::kGt, Value(50.0)),
+      MakeComparison("name", CompareOp::kEq, Value("ibm")));
+  EXPECT_TRUE(Eval(p, ibm_));
+  EXPECT_FALSE(Eval(p, tiny_));
+}
+
+TEST_F(PredicateTest, OrEitherSide) {
+  const auto p = MakeOr(
+      MakeComparison("employees", CompareOp::kLt, Value(10.0)),
+      MakeComparison("name", CompareOp::kEq, Value("ibm")));
+  EXPECT_TRUE(Eval(p, ibm_));
+  EXPECT_TRUE(Eval(p, tiny_));
+  EXPECT_FALSE(Eval(p, unknown_));
+}
+
+TEST_F(PredicateTest, NotInverts) {
+  const auto p =
+      MakeNot(MakeComparison("employees", CompareOp::kGt, Value(50.0)));
+  EXPECT_FALSE(Eval(p, ibm_));
+  EXPECT_TRUE(Eval(p, tiny_));
+}
+
+TEST_F(PredicateTest, TrueMatchesEverything) {
+  EXPECT_TRUE(Eval(MakeTrue(), ibm_));
+  EXPECT_TRUE(Eval(MakeTrue(), unknown_));
+}
+
+TEST_F(PredicateTest, EvalUnknownColumnFails) {
+  const auto p = MakeComparison("revenue", CompareOp::kGt, Value(1.0));
+  EXPECT_FALSE(p->Eval(ibm_, schema_).ok());
+}
+
+TEST_F(PredicateTest, ValidateChecksAllLeaves) {
+  const auto good = MakeAnd(
+      MakeComparison("name", CompareOp::kEq, Value("x")),
+      MakeComparison("employees", CompareOp::kGt, Value(0.0)));
+  EXPECT_TRUE(good->Validate(schema_).ok());
+  const auto bad = MakeAnd(
+      MakeComparison("name", CompareOp::kEq, Value("x")),
+      MakeNot(MakeComparison("ghost_col", CompareOp::kGt, Value(0.0))));
+  EXPECT_FALSE(bad->Validate(schema_).ok());
+}
+
+TEST_F(PredicateTest, ToStringRendering) {
+  const auto p = MakeAnd(
+      MakeComparison("employees", CompareOp::kGe, Value(10.0)),
+      MakeNot(MakeComparison("name", CompareOp::kEq, Value("ibm"))));
+  EXPECT_EQ(p->ToString(), "((employees >= 10) AND (NOT (name = 'ibm')))");
+}
+
+TEST(CompareOpSymbol, AllSymbols) {
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kNe), "!=");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kLt), "<");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kLe), "<=");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kGt), ">");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kGe), ">=");
+}
+
+}  // namespace
+}  // namespace uuq

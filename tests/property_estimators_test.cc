@@ -1,0 +1,203 @@
+// Parameterized property sweeps over the paper's synthetic workload space:
+// publicity skew λ × publicity-value correlation ρ × number of sources w.
+// These assert estimator INVARIANTS (well-definedness, ordering, coverage
+// behaviour), not point values — the point values are the benches' job.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bound.h"
+#include "core/bucket.h"
+#include "core/chao92.h"
+#include "core/frequency.h"
+#include "core/naive.h"
+#include "integration/sample.h"
+#include "simulation/crowd.h"
+#include "simulation/population.h"
+
+namespace uuq {
+namespace {
+
+struct SweepParam {
+  double lambda;
+  double rho;
+  int workers;
+  uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<SweepParam>& info) {
+  const SweepParam& p = info.param;
+  std::string name = "lambda" + std::to_string(static_cast<int>(p.lambda)) +
+                     "_rho" + std::to_string(static_cast<int>(p.rho * 10)) +
+                     "_w" + std::to_string(p.workers) + "_s" +
+                     std::to_string(p.seed);
+  return name;
+}
+
+class EstimatorSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override {
+    const SweepParam& p = GetParam();
+    SyntheticPopulationConfig pop;
+    pop.num_items = 100;
+    pop.lambda = p.lambda;
+    pop.rho = p.rho;
+    pop.seed = p.seed;
+    population_ = MakeSyntheticPopulation(pop);
+
+    CrowdConfig crowd;
+    crowd.num_workers = p.workers;
+    crowd.answers_per_worker = 400 / p.workers;  // ~400 answers total
+    crowd.seed = p.seed * 977 + 3;
+    const auto stream = CrowdSimulator(&population_, crowd).GenerateStream();
+    for (const auto& obs : stream) {
+      sample_.Add(obs.source_id, obs.entity_key, obs.value);
+    }
+  }
+
+  Population population_;
+  IntegratedSample sample_;
+};
+
+TEST_P(EstimatorSweep, SampleStatsAreConsistent) {
+  const SampleStats stats = SampleStats::FromSample(sample_);
+  EXPECT_EQ(stats.n, sample_.n());
+  EXPECT_EQ(stats.c, sample_.c());
+  EXPECT_LE(stats.c, stats.n);
+  EXPECT_LE(stats.f1, stats.c);
+  EXPECT_GE(stats.Coverage(), 0.0);
+  EXPECT_LE(stats.Coverage(), 1.0);
+  EXPECT_GE(stats.Gamma2(), 0.0);
+  EXPECT_NEAR(stats.value_sum, sample_.ObservedSum(), 1e-6);
+}
+
+TEST_P(EstimatorSweep, ChaoNhatDominatesObservedCount) {
+  const SampleStats stats = SampleStats::FromSample(sample_);
+  const double n_hat = Chao92Nhat(stats);
+  EXPECT_GE(n_hat, static_cast<double>(stats.c) - 1e-9);
+  EXPECT_GE(GoodTuringNhat(stats), static_cast<double>(stats.c) - 1e-9);
+  EXPECT_LE(GoodTuringNhat(stats), n_hat + 1e-9);
+}
+
+TEST_P(EstimatorSweep, CorrectionsAreNonNegativeForPositiveValues) {
+  // All synthetic values are positive, so Δ̂ ≥ 0 for every estimator.
+  for (const SumEstimator* est :
+       std::initializer_list<const SumEstimator*>{
+           new NaiveEstimator(), new FrequencyEstimator(),
+           new BucketSumEstimator()}) {
+    const Estimate e = est->EstimateImpact(sample_);
+    if (e.finite) {
+      EXPECT_GE(e.delta, -1e-9) << e.estimator;
+      EXPECT_GE(e.corrected_sum, sample_.ObservedSum() - 1e-9) << e.estimator;
+    }
+    delete est;
+  }
+}
+
+TEST_P(EstimatorSweep, CorrectedSumsNeverBelowObserved) {
+  // The observed sum is a hard lower bound on the truth here (positive
+  // values); corrected answers must respect it.
+  const Estimate bucket = BucketSumEstimator().EstimateImpact(sample_);
+  EXPECT_GE(bucket.corrected_sum, sample_.ObservedSum() - 1e-9);
+}
+
+TEST_P(EstimatorSweep, BucketObjectiveNeverExceedsSingleBucket) {
+  const SampleStats whole = SampleStats::FromSample(sample_);
+  const Estimate single = NaiveEstimator().FromStats(whole);
+  const Estimate bucket = BucketSumEstimator().EstimateImpact(sample_);
+  if (std::isfinite(single.delta)) {
+    EXPECT_LE(std::fabs(bucket.delta), std::fabs(single.delta) + 1e-6);
+  }
+}
+
+TEST_P(EstimatorSweep, BucketPartitionCoversSampleExactly) {
+  const auto buckets = BucketSumEstimator().ComputeBuckets(sample_);
+  SampleStats merged;
+  double prev_hi = -1e300;
+  for (const ValueBucket& b : buckets) {
+    EXPECT_LE(b.lo, b.hi);
+    EXPECT_GT(b.lo, prev_hi);  // disjoint, ascending
+    prev_hi = b.hi;
+    merged.Merge(b.stats);
+  }
+  const SampleStats whole = SampleStats::FromSample(sample_);
+  EXPECT_EQ(merged.n, whole.n);
+  EXPECT_EQ(merged.c, whole.c);
+  EXPECT_EQ(merged.f1, whole.f1);
+  EXPECT_NEAR(merged.value_sum, whole.value_sum, 1e-6);
+}
+
+TEST_P(EstimatorSweep, UpperBoundDominatesEstimatesWhenFinite) {
+  const SampleStats stats = SampleStats::FromSample(sample_);
+  const SumUpperBound bound = ComputeSumUpperBound(stats);
+  if (!bound.finite) return;
+  const Estimate naive = NaiveEstimator().FromStats(stats);
+  // The bound is a worst case on the truth; it must sit above the naive
+  // point estimate (same count machinery, inflated).
+  if (naive.finite) {
+    EXPECT_GE(bound.phi_upper, naive.corrected_sum - 1e-6);
+  }
+  EXPECT_GE(bound.phi_upper, stats.value_sum);
+}
+
+TEST_P(EstimatorSweep, TruthBelowUpperBoundWhenFinite) {
+  const SumUpperBound bound = ComputeSumUpperBound(sample_);
+  if (bound.finite) {
+    EXPECT_GE(bound.phi_upper, 0.9 * population_.TrueSum());
+  }
+}
+
+TEST_P(EstimatorSweep, EstimatorsAreDeterministic) {
+  const Estimate a = BucketSumEstimator().EstimateImpact(sample_);
+  const Estimate b = BucketSumEstimator().EstimateImpact(sample_);
+  EXPECT_DOUBLE_EQ(a.delta, b.delta);
+  EXPECT_EQ(a.num_buckets, b.num_buckets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SyntheticGrid, EstimatorSweep,
+    ::testing::Values(
+        // The paper's Figure 6 grid (λ, ρ) × worker counts, two seeds each.
+        SweepParam{0.0, 0.0, 100, 1}, SweepParam{0.0, 0.0, 10, 2},
+        SweepParam{0.0, 0.0, 5, 3}, SweepParam{4.0, 1.0, 100, 4},
+        SweepParam{4.0, 1.0, 10, 5}, SweepParam{4.0, 1.0, 5, 6},
+        SweepParam{4.0, 0.0, 100, 7}, SweepParam{4.0, 0.0, 10, 8},
+        SweepParam{4.0, 0.0, 5, 9}, SweepParam{1.0, 1.0, 20, 10},
+        SweepParam{2.0, 0.5, 8, 11}, SweepParam{1.0, 1.0, 20, 12}),
+    ParamName);
+
+// Coverage-driven property: as the sample grows, Good-Turing coverage rises
+// and the bucket estimate approaches the truth from below (for ρ = 1).
+class ConvergenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvergenceSweep, CoverageGrowsWithSampleSize) {
+  SyntheticPopulationConfig pop;
+  pop.num_items = 100;
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  pop.seed = 21;
+  const Population population = MakeSyntheticPopulation(pop);
+  CrowdConfig crowd;
+  crowd.num_workers = 20;
+  crowd.answers_per_worker = 25;
+  crowd.seed = static_cast<uint64_t>(GetParam());
+  const auto stream = CrowdSimulator(&population, crowd).GenerateStream();
+
+  IntegratedSample sample;
+  double coverage_at_100 = 0.0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    sample.Add(stream[i].source_id, stream[i].entity_key, stream[i].value);
+    if (i + 1 == 100) {
+      coverage_at_100 = SampleStats::FromSample(sample).Coverage();
+    }
+  }
+  const double coverage_at_end = SampleStats::FromSample(sample).Coverage();
+  EXPECT_GE(coverage_at_end, coverage_at_100 - 0.05);
+  EXPECT_GT(coverage_at_end, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvergenceSweep,
+                         ::testing::Values(101, 102, 103, 104, 105));
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,130 @@
+#include "core/query_correction.h"
+
+#include <gtest/gtest.h>
+
+namespace uuq {
+namespace {
+
+// A healthy sample: 8 even sources over 30 entities with values 10..300,
+// most entities seen 2+ times, a few singletons left.
+IntegratedSample HealthySample() {
+  IntegratedSample sample;
+  for (int e = 0; e < 30; ++e) {
+    const int copies = 1 + (e % 4);  // 1..4 observations per entity
+    for (int k = 0; k < copies; ++k) {
+      sample.Add("w" + std::to_string((e + k) % 8), "e" + std::to_string(e),
+                 10.0 * (e + 1));
+    }
+  }
+  return sample;
+}
+
+TEST(QueryCorrector, SumHasBoundAndAdvice) {
+  const QueryCorrector corrector;
+  auto answer = corrector.Correct(HealthySample(), AggregateKind::kSum);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GT(answer.value().observed, 0.0);
+  EXPECT_GE(answer.value().corrected, answer.value().observed);
+  EXPECT_TRUE(answer.value().bound_valid);
+  EXPECT_FALSE(answer.value().advice.rationale.empty());
+}
+
+TEST(QueryCorrector, FixedEstimatorChoiceIsHonored) {
+  QueryCorrector::Options options;
+  options.estimator = CorrectionEstimator::kNaive;
+  const QueryCorrector corrector(options);
+  auto answer = corrector.Correct(HealthySample(), AggregateKind::kSum);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value().estimate.estimator, "naive");
+}
+
+TEST(QueryCorrector, CountCorrection) {
+  const QueryCorrector corrector;
+  auto answer = corrector.Correct(HealthySample(), AggregateKind::kCount);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer.value().observed, 30.0);
+  EXPECT_GE(answer.value().corrected, 30.0);
+}
+
+TEST(QueryCorrector, AvgCorrection) {
+  const QueryCorrector corrector;
+  auto answer = corrector.Correct(HealthySample(), AggregateKind::kAvg);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GT(answer.value().observed, 0.0);
+}
+
+TEST(QueryCorrector, MinMaxReportsClaim) {
+  const QueryCorrector corrector;
+  auto answer = corrector.Correct(HealthySample(), AggregateKind::kMax);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer.value().observed, 300.0);
+  EXPECT_DOUBLE_EQ(answer.value().corrected, 300.0);
+}
+
+TEST(QueryCorrector, SqlEndToEnd) {
+  const QueryCorrector corrector;
+  auto answer = corrector.CorrectSql(HealthySample(),
+                                     "SELECT SUM(value) FROM integrated");
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer.value().aggregate, AggregateKind::kSum);
+  EXPECT_NE(answer.value().query_text.find("SUM"), std::string::npos);
+}
+
+TEST(QueryCorrector, SqlPredicateFiltersSample) {
+  const QueryCorrector corrector;
+  // Only entities with value > 150 (e16..e30 -> 15 entities).
+  auto all = corrector.CorrectSql(HealthySample(),
+                                  "SELECT COUNT(value) FROM integrated");
+  auto filtered = corrector.CorrectSql(
+      HealthySample(),
+      "SELECT COUNT(value) FROM integrated WHERE value > 150");
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_DOUBLE_EQ(all.value().observed, 30.0);
+  EXPECT_DOUBLE_EQ(filtered.value().observed, 15.0);
+  EXPECT_LT(filtered.value().corrected, all.value().corrected);
+}
+
+TEST(QueryCorrector, SqlPredicateOnEntityName) {
+  const QueryCorrector corrector;
+  auto answer = corrector.CorrectSql(
+      HealthySample(), "SELECT SUM(value) FROM integrated WHERE entity = 'e0'");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer.value().observed, 10.0);
+}
+
+TEST(QueryCorrector, SqlBadPredicateColumnFails) {
+  const QueryCorrector corrector;
+  auto answer = corrector.CorrectSql(
+      HealthySample(), "SELECT SUM(value) FROM integrated WHERE bogus > 1");
+  EXPECT_FALSE(answer.ok());
+}
+
+TEST(QueryCorrector, SqlParseErrorPropagates) {
+  const QueryCorrector corrector;
+  auto answer = corrector.CorrectSql(HealthySample(), "SELEC SUM(v) FROM t");
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kParseError);
+}
+
+TEST(QueryCorrector, ToStringMentionsKeyNumbers) {
+  const QueryCorrector corrector;
+  auto answer = corrector.Correct(HealthySample(), AggregateKind::kSum);
+  ASSERT_TRUE(answer.ok());
+  const std::string report = answer.value().ToString();
+  EXPECT_NE(report.find("observed"), std::string::npos);
+  EXPECT_NE(report.find("corrected"), std::string::npos);
+  EXPECT_NE(report.find("advice"), std::string::npos);
+}
+
+TEST(QueryCorrector, EmptySampleStillAnswers) {
+  IntegratedSample sample;
+  const QueryCorrector corrector;
+  auto answer = corrector.Correct(sample, AggregateKind::kSum);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer.value().observed, 0.0);
+  EXPECT_EQ(answer.value().advice.choice, EstimatorChoice::kCollectMoreData);
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,138 @@
+#include "integration/resolution.h"
+
+#include <gtest/gtest.h>
+
+namespace uuq {
+namespace {
+
+TEST(JaroSimilarity, IdenticalAndEmpty) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+}
+
+TEST(JaroSimilarity, ClassicTextbookValues) {
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DWAYNE", "DUANE"), 0.822222, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+}
+
+TEST(JaroSimilarity, NoCommonCharacters) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroSimilarity, Symmetric) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("kitten", "sitting"),
+                   JaroSimilarity("sitting", "kitten"));
+}
+
+TEST(JaroWinklerSimilarity, ClassicTextbookValues) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("DWAYNE", "DUANE"), 0.84, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("DIXON", "DICKSONX"), 0.813333, 1e-5);
+}
+
+TEST(JaroWinklerSimilarity, PrefixBoostsScore) {
+  // Same Jaro, different shared prefix.
+  const double with_prefix = JaroWinklerSimilarity("prefixed", "prefixes");
+  const double jaro_only = JaroSimilarity("prefixed", "prefixes");
+  EXPECT_GT(with_prefix, jaro_only);
+}
+
+TEST(JaroWinklerSimilarity, PrefixCappedAtFour) {
+  // Identical 10-char prefix must not boost more than 4 chars' worth.
+  const double a = JaroWinklerSimilarity("abcdefghij-x", "abcdefghij-y");
+  const double jaro = JaroSimilarity("abcdefghij-x", "abcdefghij-y");
+  EXPECT_NEAR(a, jaro + 4 * 0.1 * (1 - jaro), 1e-12);
+}
+
+TEST(JaroWinklerSimilarityDeathTest, BadScaleAborts) {
+  EXPECT_DEATH(JaroWinklerSimilarity("a", "b", 0.5), "prefix scale");
+}
+
+TEST(TokenJaccardSimilarity, SetSemantics) {
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("acme robotics", "robotics acme"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("a b", "a c"), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("x", "y"), 0.0);
+}
+
+TEST(TokenJaccardSimilarity, NormalizesCase) {
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("ACME Robotics", "acme robotics"),
+                   1.0);
+}
+
+TEST(FuzzyResolver, ExactRepeatsShareCanonicalKey) {
+  FuzzyResolver resolver;
+  const std::string a = resolver.Resolve("IBM");
+  const std::string b = resolver.Resolve(" ibm ");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(resolver.num_entities(), 1u);
+}
+
+TEST(FuzzyResolver, CorporateSuffixesIgnored) {
+  FuzzyResolver resolver;
+  const std::string a = resolver.Resolve("Acme Robotics Inc.");
+  const std::string b = resolver.Resolve("Acme Robotics");
+  const std::string c = resolver.Resolve("ACME ROBOTICS CORP");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(resolver.num_entities(), 1u);
+}
+
+TEST(FuzzyResolver, PunctuationIgnored) {
+  FuzzyResolver resolver;
+  EXPECT_EQ(resolver.Resolve("I.B.M."), resolver.Resolve("IBM"));
+}
+
+TEST(FuzzyResolver, TypoMapsToKnownEntity) {
+  FuzzyResolver resolver;
+  const std::string canonical = resolver.Resolve("Microsoft");
+  EXPECT_EQ(resolver.Resolve("Microsfot"), canonical);  // transposition
+  EXPECT_EQ(resolver.num_entities(), 1u);
+}
+
+TEST(FuzzyResolver, DistinctEntitiesStayDistinct) {
+  FuzzyResolver resolver;
+  const std::string apple = resolver.Resolve("Apple");
+  const std::string amazon = resolver.Resolve("Amazon");
+  EXPECT_NE(apple, amazon);
+  EXPECT_EQ(resolver.num_entities(), 2u);
+}
+
+TEST(FuzzyResolver, FirstMentionBecomesCanonical) {
+  FuzzyResolver resolver;
+  EXPECT_EQ(resolver.Resolve("Acme Robotics Inc"), "acme robotics inc");
+  // Later variant maps to the FIRST mention's normalized key.
+  EXPECT_EQ(resolver.Resolve("Acme Robotics"), "acme robotics inc");
+}
+
+TEST(FuzzyResolver, ThresholdControlsAggressiveness) {
+  FuzzyResolver::Options strict;
+  strict.threshold = 0.999;
+  strict.use_token_jaccard = false;
+  strict.strip_corporate_suffixes = false;
+  FuzzyResolver resolver(strict);
+  (void)resolver.Resolve("Microsoft");
+  (void)resolver.Resolve("Microsfot");
+  EXPECT_EQ(resolver.num_entities(), 2u);  // typo NOT merged under 0.999
+}
+
+TEST(FuzzyResolver, ComparisonFormExposed) {
+  FuzzyResolver resolver;
+  EXPECT_EQ(resolver.ComparisonForm("  I.B.M. Corp. "), "ibm");
+  EXPECT_EQ(resolver.ComparisonForm("Solo"), "solo");
+  // The lone-token guard: a bare suffix word is kept.
+  EXPECT_EQ(resolver.ComparisonForm("Inc"), "inc");
+}
+
+TEST(FuzzyResolver, WordReorderMergesViaTokenJaccard) {
+  FuzzyResolver resolver;
+  const std::string a = resolver.Resolve("Robotics Acme");
+  const std::string b = resolver.Resolve("Acme Robotics");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bootstrap.h"
+#include "core/bucket.h"
+#include "core/naive.h"
+#include "core/robust.h"
+#include "simulation/crowd.h"
+#include "simulation/population.h"
+
+namespace uuq {
+namespace {
+
+IntegratedSample HealthySample(uint64_t seed = 3) {
+  SyntheticPopulationConfig pop;
+  pop.num_items = 100;
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  pop.seed = seed;
+  const Population population = MakeSyntheticPopulation(pop);
+  CrowdConfig crowd;
+  crowd.num_workers = 20;
+  crowd.answers_per_worker = 20;
+  crowd.seed = seed + 1;
+  IntegratedSample sample;
+  for (const Observation& obs :
+       CrowdSimulator(&population, crowd).GenerateStream()) {
+    sample.Add(obs);
+  }
+  return sample;
+}
+
+IntegratedSample StreakerSample() {
+  // The streaker must dominate: >50% of all observations (§6.3 heuristics).
+  IntegratedSample sample = HealthySample(5);
+  for (int i = 0; i < 500; ++i) {
+    sample.Add("streaker", "extra-" + std::to_string(i % 150), 50.0 + i % 150);
+  }
+  return sample;
+}
+
+TEST(RobustSumEstimator, DelegatesToBucketWhenHealthy) {
+  const RobustSumEstimator robust;
+  const auto sample = HealthySample();
+  const Estimate est = robust.EstimateImpact(sample);
+  EXPECT_EQ(est.estimator, "robust[bucket[dynamic]]");
+  EXPECT_EQ(robust.LastAdviceFor(sample).choice, EstimatorChoice::kBucket);
+}
+
+TEST(RobustSumEstimator, DelegatesToMonteCarloUnderStreaker) {
+  EstimatorAdvisor::Options options;
+  options.mc_options.runs_per_point = 2;
+  options.mc_options.n_grid_steps = 5;
+  const RobustSumEstimator robust(options);
+  const auto sample = StreakerSample();
+  const Estimate est = robust.EstimateImpact(sample);
+  EXPECT_EQ(est.estimator, "robust[monte-carlo]");
+}
+
+TEST(RobustSumEstimator, FlagsLowCoverage) {
+  IntegratedSample sparse;
+  for (int w = 0; w < 8; ++w) {
+    for (int e = 0; e < 4; ++e) {
+      sparse.Add("w" + std::to_string(w), "e" + std::to_string(w * 10 + e),
+                 1.0);
+    }
+  }
+  const RobustSumEstimator robust;
+  const Estimate est = robust.EstimateImpact(sparse);
+  EXPECT_FALSE(est.coverage_ok);
+}
+
+TEST(RobustSumEstimator, MatchesDelegateNumerically) {
+  const auto sample = HealthySample();
+  const Estimate robust = RobustSumEstimator().EstimateImpact(sample);
+  const Estimate bucket = BucketSumEstimator().EstimateImpact(sample);
+  EXPECT_DOUBLE_EQ(robust.delta, bucket.delta);
+}
+
+TEST(ResampleSources, PreservesSourceCountAndPolicy) {
+  const auto sample = HealthySample();
+  Rng rng(9);
+  const IntegratedSample resampled = ResampleSources(sample, &rng);
+  EXPECT_EQ(resampled.num_sources(), sample.num_sources());
+  EXPECT_EQ(resampled.policy(), sample.policy());
+  EXPECT_GT(resampled.n(), 0);
+}
+
+TEST(ResampleSources, EmptySampleStaysEmpty) {
+  IntegratedSample empty;
+  Rng rng(1);
+  EXPECT_TRUE(ResampleSources(empty, &rng).empty());
+}
+
+TEST(ResampleSources, DrawsWithReplacement) {
+  // With 20 sources, P(no duplicate draw) is ~ 20!/20^20 ≈ 2e-8 per trial;
+  // across trials the resampled n must differ from the original sometimes.
+  const auto sample = HealthySample();
+  Rng rng(11);
+  bool saw_difference = false;
+  for (int t = 0; t < 10 && !saw_difference; ++t) {
+    const IntegratedSample resampled = ResampleSources(sample, &rng);
+    // n can only differ if some source was drawn twice AND collides with
+    // itself on an entity (duplicate within the merged stream collapses in
+    // c but not n)... n is actually preserved: every draw replays a full
+    // source. c differs when the multiset of sources differs.
+    if (resampled.c() != sample.c()) saw_difference = true;
+  }
+  EXPECT_TRUE(saw_difference);
+}
+
+TEST(BootstrapCorrectedSum, IntervalCoversPointEstimate) {
+  const auto sample = HealthySample();
+  const BucketSumEstimator bucket;
+  BootstrapOptions options;
+  options.replicates = 60;
+  const BootstrapInterval interval =
+      BootstrapCorrectedSum(sample, bucket, options);
+  EXPECT_GT(interval.finite_replicates, 40);
+  EXPECT_LE(interval.lo, interval.hi);
+  // The point estimate should fall inside (or at least very near) the CI.
+  EXPECT_GE(interval.point, interval.lo * 0.9);
+  EXPECT_LE(interval.point, interval.hi * 1.1);
+}
+
+TEST(BootstrapCorrectedSum, DeterministicForSeed) {
+  const auto sample = HealthySample();
+  const NaiveEstimator naive;
+  BootstrapOptions options;
+  options.replicates = 30;
+  const auto a = BootstrapCorrectedSum(sample, naive, options);
+  const auto b = BootstrapCorrectedSum(sample, naive, options);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapCorrectedSum, WiderIntervalAtHigherConfidence) {
+  const auto sample = HealthySample();
+  const NaiveEstimator naive;
+  BootstrapOptions narrow;
+  narrow.replicates = 100;
+  narrow.confidence = 0.5;
+  BootstrapOptions wide;
+  wide.replicates = 100;
+  wide.confidence = 0.99;
+  const auto narrow_ci = BootstrapCorrectedSum(sample, naive, narrow);
+  const auto wide_ci = BootstrapCorrectedSum(sample, naive, wide);
+  EXPECT_GE(wide_ci.hi - wide_ci.lo, narrow_ci.hi - narrow_ci.lo);
+}
+
+TEST(BootstrapCorrectedSum, MedianBetweenBounds) {
+  const auto sample = HealthySample();
+  const BucketSumEstimator bucket;
+  BootstrapOptions options;
+  options.replicates = 50;
+  const auto interval = BootstrapCorrectedSum(sample, bucket, options);
+  EXPECT_GE(interval.median, interval.lo);
+  EXPECT_LE(interval.median, interval.hi);
+}
+
+TEST(BootstrapCorrectedSumDeathTest, BadOptionsAbort) {
+  IntegratedSample sample;
+  const NaiveEstimator naive;
+  BootstrapOptions zero;
+  zero.replicates = 0;
+  EXPECT_DEATH(BootstrapCorrectedSum(sample, naive, zero), "replicate");
+}
+
+TEST(JackknifeCorrectedSum, IntervalCentersOnPoint) {
+  const auto sample = HealthySample();
+  const BucketSumEstimator bucket;
+  const JackknifeInterval jk = JackknifeCorrectedSum(sample, bucket);
+  EXPECT_EQ(jk.sources, 20);
+  EXPECT_EQ(jk.finite_replicates, 20);
+  EXPECT_GT(jk.standard_error, 0.0);
+  EXPECT_LT(jk.lo, jk.point);
+  EXPECT_GT(jk.hi, jk.point);
+  EXPECT_NEAR((jk.lo + jk.hi) / 2.0, jk.point, 1e-6);
+}
+
+TEST(JackknifeCorrectedSum, Deterministic) {
+  const auto sample = HealthySample();
+  const NaiveEstimator naive;
+  const JackknifeInterval a = JackknifeCorrectedSum(sample, naive);
+  const JackknifeInterval b = JackknifeCorrectedSum(sample, naive);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(JackknifeCorrectedSum, WiderWithLargerZ) {
+  const auto sample = HealthySample();
+  const NaiveEstimator naive;
+  const JackknifeInterval narrow = JackknifeCorrectedSum(sample, naive, 1.0);
+  const JackknifeInterval wide = JackknifeCorrectedSum(sample, naive, 3.0);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(JackknifeCorrectedSum, DegenerateSingleSource) {
+  IntegratedSample sample;
+  sample.Add("only", "a", 1.0);
+  const NaiveEstimator naive;
+  const JackknifeInterval jk = JackknifeCorrectedSum(sample, naive);
+  EXPECT_EQ(jk.sources, 1);
+  EXPECT_DOUBLE_EQ(jk.lo, jk.point);
+  EXPECT_DOUBLE_EQ(jk.hi, jk.point);
+}
+
+TEST(JackknifeCorrectedSum, CoversTruthOnHealthyData) {
+  // Not a guarantee in general, but on a benign workload the ±3σ jackknife
+  // interval should cover the known truth (50,500 here).
+  const auto sample = HealthySample(21);
+  const BucketSumEstimator bucket;
+  const JackknifeInterval jk = JackknifeCorrectedSum(sample, bucket, 3.0);
+  EXPECT_LE(jk.lo, 50500.0 * 1.05);
+  EXPECT_GE(jk.hi, 50500.0 * 0.8);
+}
+
+TEST(ObservationLog, RoundTripsTheStream) {
+  IntegratedSample sample;
+  sample.Add("w1", "a", 10);
+  sample.Add("w2", "a", 20);
+  sample.Add("w1", "b", 5);
+  const auto log = sample.ObservationLog();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].source_id, "w1");
+  EXPECT_EQ(log[0].entity_key, "a");
+  EXPECT_DOUBLE_EQ(log[0].value, 10.0);   // raw report, not the fused 15
+  EXPECT_DOUBLE_EQ(log[1].value, 20.0);
+  EXPECT_EQ(log[2].entity_key, "b");
+
+  // Replaying the log reproduces the sample exactly.
+  IntegratedSample replay;
+  for (const Observation& obs : log) replay.Add(obs);
+  EXPECT_EQ(replay.n(), sample.n());
+  EXPECT_EQ(replay.c(), sample.c());
+  EXPECT_DOUBLE_EQ(replay.ObservedSum(), sample.ObservedSum());
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,148 @@
+#include "stats/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace uuq {
+namespace {
+
+TEST(WeightedSampleWithoutReplacement, NoDuplicates) {
+  Rng rng(1);
+  const std::vector<double> weights(20, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = WeightedSampleWithoutReplacement(weights, 10, &rng);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), sample.size());
+  }
+}
+
+TEST(WeightedSampleWithoutReplacement, ExactSizeRequested) {
+  Rng rng(2);
+  const std::vector<double> weights(30, 1.0);
+  EXPECT_EQ(WeightedSampleWithoutReplacement(weights, 7, &rng).size(), 7u);
+  EXPECT_EQ(WeightedSampleWithoutReplacement(weights, 0, &rng).size(), 0u);
+}
+
+TEST(WeightedSampleWithoutReplacement, ClampsToDrawable) {
+  Rng rng(3);
+  const std::vector<double> weights{1.0, 0.0, 2.0, 0.0};
+  const auto sample = WeightedSampleWithoutReplacement(weights, 10, &rng);
+  EXPECT_EQ(sample.size(), 2u);  // only two positive weights
+  for (int idx : sample) {
+    EXPECT_TRUE(idx == 0 || idx == 2);
+  }
+}
+
+TEST(WeightedSampleWithoutReplacement, FullDrawIsPermutation) {
+  Rng rng(4);
+  const std::vector<double> weights{1, 2, 3, 4, 5};
+  auto sample = WeightedSampleWithoutReplacement(weights, 5, &rng);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(WeightedSampleWithoutReplacement, HeavyItemDrawnFirstMoreOften) {
+  Rng rng(5);
+  // Item 0 has 10x the weight of each of the others.
+  std::vector<double> weights{10, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  int first_count = 0;
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    const auto sample = WeightedSampleWithoutReplacement(weights, 3, &rng);
+    if (!sample.empty() && sample[0] == 0) ++first_count;
+  }
+  // P(item 0 drawn first) = 10/20 = 0.5 under successive sampling.
+  EXPECT_NEAR(static_cast<double>(first_count) / trials, 0.5, 0.04);
+}
+
+TEST(WeightedSampleWithoutReplacement, InclusionSkewsToWeight) {
+  Rng rng(6);
+  std::vector<double> weights{5, 1, 1, 1, 1, 1};
+  int heavy_in = 0, light_in = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const auto sample = WeightedSampleWithoutReplacement(weights, 2, &rng);
+    for (int idx : sample) {
+      if (idx == 0) ++heavy_in;
+      if (idx == 1) ++light_in;
+    }
+  }
+  EXPECT_GT(heavy_in, light_in * 2);
+}
+
+TEST(WeightedSampleWithReplacement, SizeAndRange) {
+  Rng rng(7);
+  const std::vector<double> weights{1, 2, 3};
+  const auto sample = WeightedSampleWithReplacement(weights, 100, &rng);
+  EXPECT_EQ(sample.size(), 100u);
+  for (int idx : sample) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 3);
+  }
+}
+
+TEST(WeightedSampleWithReplacement, CanRepeat) {
+  Rng rng(8);
+  const std::vector<double> weights{1.0};
+  const auto sample = WeightedSampleWithReplacement(weights, 5, &rng);
+  EXPECT_EQ(sample, (std::vector<int>{0, 0, 0, 0, 0}));
+}
+
+TEST(AliasSampler, MatchesWeightsEmpirically) {
+  Rng rng(9);
+  const std::vector<double> weights{1, 2, 3, 4};
+  AliasSampler sampler(weights);
+  std::vector<int> counts(4, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[sampler.Sample(&rng)];
+  for (int i = 0; i < 4; ++i) {
+    const double expected = weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / draws, expected, 0.01);
+  }
+}
+
+TEST(AliasSampler, HandlesZeroWeightEntries) {
+  Rng rng(10);
+  AliasSampler sampler({0.0, 1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sampler.Sample(&rng), 1);
+  }
+}
+
+TEST(AliasSampler, SingleItem) {
+  Rng rng(11);
+  AliasSampler sampler({3.0});
+  EXPECT_EQ(sampler.Sample(&rng), 0);
+}
+
+TEST(AliasSamplerDeathTest, RejectsEmptyAndZeroTotal) {
+  EXPECT_DEATH(AliasSampler({}), "at least one weight");
+  EXPECT_DEATH(AliasSampler({0.0, 0.0}), "positive total");
+}
+
+TEST(WeightedSampleWithoutReplacement, UniformWeightsCoverUniformly) {
+  Rng rng(12);
+  const std::vector<double> weights(10, 1.0);
+  std::vector<int> inclusion(10, 0);
+  const int trials = 10000;
+  for (int t = 0; t < trials; ++t) {
+    for (int idx : WeightedSampleWithoutReplacement(weights, 5, &rng)) {
+      ++inclusion[idx];
+    }
+  }
+  for (int count : inclusion) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 0.5, 0.03);
+  }
+}
+
+TEST(WeightedSampleWithoutReplacement, DeterministicGivenSeed) {
+  Rng rng1(13), rng2(13);
+  const std::vector<double> weights{1, 5, 2, 8, 3};
+  EXPECT_EQ(WeightedSampleWithoutReplacement(weights, 3, &rng1),
+            WeightedSampleWithoutReplacement(weights, 3, &rng2));
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/naive.h"
+#include "simulation/experiment.h"
+#include "simulation/report.h"
+#include "simulation/scenarios.h"
+
+namespace uuq {
+namespace {
+
+TEST(Scenarios, UsTechEmploymentCalibration) {
+  const Scenario s = scenarios::UsTechEmployment();
+  EXPECT_EQ(s.name, "us-tech-employment");
+  EXPECT_EQ(s.value_column, "employees");
+  // Calibrated to the Pew ground truth within rounding slack.
+  EXPECT_NEAR(s.ground_truth_sum, 3951730.0, 40000.0);
+  EXPECT_EQ(s.stream.size(), 500u);  // 50 workers × 10 answers
+  EXPECT_GT(s.population.PublicityValueCorrelation(), 0.5);
+}
+
+TEST(Scenarios, UsTechRevenueHasHeavierTail) {
+  const Scenario employment = scenarios::UsTechEmployment();
+  const Scenario revenue = scenarios::UsTechRevenue();
+  // Heavier tail: the top item carries a larger share of the total.
+  EXPECT_GT(revenue.population.TrueMax() / revenue.ground_truth_sum,
+            employment.population.TrueMax() / employment.ground_truth_sum);
+}
+
+TEST(Scenarios, UsGdpHasExactly50StatesAndAStreaker) {
+  const Scenario s = scenarios::UsGdp();
+  EXPECT_EQ(s.population.size(), 50u);
+  // First 45 arrivals come from the streaker.
+  for (int i = 0; i < 45; ++i) {
+    EXPECT_EQ(s.stream[i].source_id, "streaker") << i;
+  }
+  // California dominates the total.
+  EXPECT_DOUBLE_EQ(s.population.TrueMax(), 2481.0);
+}
+
+TEST(Scenarios, ProtonBeamHasNoStreaker) {
+  const Scenario s = scenarios::ProtonBeam();
+  std::map<std::string, int> per_source;
+  for (const auto& obs : s.stream) ++per_source[obs.source_id];
+  for (const auto& [id, count] : per_source) {
+    EXPECT_LE(count, 16) << id;
+  }
+  EXPECT_NEAR(s.ground_truth_sum, 97000.0, 5000.0);
+}
+
+TEST(Scenarios, SyntheticWiresConfigsThrough) {
+  SyntheticPopulationConfig pop;
+  pop.num_items = 40;
+  CrowdConfig crowd;
+  crowd.num_workers = 4;
+  crowd.answers_per_worker = 6;
+  const Scenario s = scenarios::Synthetic(pop, crowd, "my-synth");
+  EXPECT_EQ(s.name, "my-synth");
+  EXPECT_EQ(s.stream.size(), 24u);
+  EXPECT_EQ(s.population.size(), 40u);
+}
+
+TEST(MakeCheckpoints, StrideAndFinal) {
+  EXPECT_EQ(MakeCheckpoints(10, 3), (std::vector<int64_t>{3, 6, 9, 10}));
+  EXPECT_EQ(MakeCheckpoints(9, 3), (std::vector<int64_t>{3, 6, 9}));
+  EXPECT_EQ(MakeCheckpoints(0, 5), (std::vector<int64_t>{}));
+}
+
+TEST(RunConvergence, EvaluatesAtCheckpoints) {
+  const Scenario s = scenarios::UsGdp();
+  const NaiveEstimator naive;
+  const EstimatorSet estimators{&naive};
+  const auto series =
+      RunConvergence(s.stream, estimators, MakeCheckpoints(60, 20));
+  ASSERT_EQ(series.size(), 3u);  // checkpoints {20, 40, 60}
+  EXPECT_EQ(series[0].n, 20);
+  EXPECT_EQ(series.back().n, 60);
+  for (const auto& point : series) {
+    EXPECT_TRUE(point.estimates.count("naive"));
+    EXPECT_GT(point.observed, 0.0);
+    EXPECT_LE(point.c, point.n);
+  }
+}
+
+TEST(RunConvergence, ObservedSumIsMonotoneForPositiveValues) {
+  const Scenario s = scenarios::UsTechEmployment();
+  const auto series = RunConvergence(s.stream, {}, MakeCheckpoints(500, 50));
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].observed, series[i - 1].observed);
+  }
+}
+
+TEST(RunConvergence, CheckpointsBeyondStreamIgnored) {
+  const Scenario s = scenarios::UsGdp();
+  const auto series =
+      RunConvergence(s.stream, {}, MakeCheckpoints(100000, 50000));
+  EXPECT_TRUE(series.empty());
+}
+
+TEST(RunAveragedConvergence, AveragesAcrossRepetitions) {
+  SyntheticPopulationConfig pop;
+  pop.num_items = 50;
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  const auto factory = [&pop](uint64_t seed) {
+    SyntheticPopulationConfig p = pop;
+    p.seed = seed;
+    CrowdConfig crowd;
+    crowd.num_workers = 10;
+    crowd.answers_per_worker = 10;
+    crowd.seed = seed * 31 + 1;
+    return scenarios::Synthetic(p, crowd).stream;
+  };
+  const NaiveEstimator naive;
+  const auto series = RunAveragedConvergence(factory, {&naive},
+                                             MakeCheckpoints(100, 25), 5, 77);
+  ASSERT_EQ(series.size(), 4u);
+  for (const auto& point : series) {
+    EXPECT_GT(point.observed, 0.0);
+    EXPECT_GT(point.c, 0);
+  }
+}
+
+TEST(SeriesTable, AsciiContainsTitleHeaderAndData) {
+  SeriesTable table("Figure X", {"n", "value"});
+  table.AddRow({10, 3.5});
+  table.AddRow({20, 7.25});
+  const std::string ascii = table.ToAscii();
+  EXPECT_NE(ascii.find("Figure X"), std::string::npos);
+  EXPECT_NE(ascii.find("value"), std::string::npos);
+  EXPECT_NE(ascii.find("7.25"), std::string::npos);
+}
+
+TEST(SeriesTable, CsvRoundTripShape) {
+  SeriesTable table("t", {"a", "b"});
+  table.AddRow({1, 2});
+  const std::string csv = table.ToCsv();
+  EXPECT_EQ(csv, "a,b\n1,2\n");
+}
+
+TEST(SeriesTableDeathTest, ArityMismatchAborts) {
+  SeriesTable table("t", {"a", "b"});
+  EXPECT_DEATH(table.AddRow({1}), "arity");
+}
+
+TEST(SeriesToTable, FlattensEstimatesAlphabetically) {
+  SeriesPoint point;
+  point.n = 5;
+  point.observed = 1.0;
+  point.estimates["naive"] = 2.0;
+  point.estimates["bucket[dynamic]"] = 3.0;
+  const SeriesTable table = SeriesToTable("t", {point}, 42.0, true);
+  const auto& cols = table.columns();
+  ASSERT_EQ(cols.size(), 5u);
+  EXPECT_EQ(cols[0], "n");
+  EXPECT_EQ(cols[1], "observed");
+  EXPECT_EQ(cols[2], "bucket[dynamic]");  // map order: alphabetical
+  EXPECT_EQ(cols[3], "naive");
+  EXPECT_EQ(cols[4], "truth");
+}
+
+}  // namespace
+}  // namespace uuq

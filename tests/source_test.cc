@@ -1,0 +1,56 @@
+#include "integration/source.h"
+
+#include <gtest/gtest.h>
+
+namespace uuq {
+namespace {
+
+TEST(NormalizeEntityKey, LowercasesAndTrims) {
+  EXPECT_EQ(NormalizeEntityKey("  IBM  "), "ibm");
+  EXPECT_EQ(NormalizeEntityKey("Google"), "google");
+}
+
+TEST(NormalizeEntityKey, CollapsesInnerWhitespace) {
+  EXPECT_EQ(NormalizeEntityKey("IBM   Corp"), "ibm corp");
+  EXPECT_EQ(NormalizeEntityKey("a\t b\n c"), "a b c");
+}
+
+TEST(NormalizeEntityKey, EmptyAndWhitespaceOnly) {
+  EXPECT_EQ(NormalizeEntityKey(""), "");
+  EXPECT_EQ(NormalizeEntityKey("   "), "");
+}
+
+TEST(NormalizeEntityKey, EquivalentSpellingsCollide) {
+  EXPECT_EQ(NormalizeEntityKey("IBM Corp"), NormalizeEntityKey(" ibm   CORP "));
+}
+
+TEST(DataSource, AddsClaims) {
+  DataSource source("w1");
+  EXPECT_TRUE(source.Add("IBM", 1000).ok());
+  EXPECT_TRUE(source.Add("Google", 2000).ok());
+  EXPECT_EQ(source.size(), 2u);
+  EXPECT_EQ(source.claims()[0].entity_key, "ibm");
+}
+
+TEST(DataSource, RejectsDuplicateEntity) {
+  // A source samples without replacement: one mention per entity.
+  DataSource source("w1");
+  ASSERT_TRUE(source.Add("IBM", 1000).ok());
+  Status s = source.Add("ibm ", 999);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(source.size(), 1u);
+}
+
+TEST(DataSource, RejectsEmptyKey) {
+  DataSource source("w1");
+  EXPECT_FALSE(source.Add("   ", 5).ok());
+}
+
+TEST(DataSource, KeepsId) {
+  DataSource source("crowd-worker-17");
+  EXPECT_EQ(source.id(), "crowd-worker-17");
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,141 @@
+#include "core/species.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/chao92.h"
+
+namespace uuq {
+namespace {
+
+FrequencyStatistics Stats(const std::vector<int64_t>& counts) {
+  return FrequencyStatistics::FromCounts(counts);
+}
+
+TEST(Chao1Nhat, KnownValue) {
+  // c=4, f1=2, f2=1: N̂ = 4 + 2·1/(2·2) = 4.5.
+  EXPECT_DOUBLE_EQ(Chao1Nhat(Stats({1, 1, 2, 3})), 4.5);
+}
+
+TEST(Chao1Nhat, FiniteWithoutDoubletons) {
+  // Bias-corrected form: c + f1(f1−1)/2 when f2 = 0.
+  EXPECT_DOUBLE_EQ(Chao1Nhat(Stats({1, 1, 1, 3})), 4.0 + 3.0);
+}
+
+TEST(Chao1Nhat, CompleteSampleEstimatesC) {
+  EXPECT_DOUBLE_EQ(Chao1Nhat(Stats({2, 3, 4})), 3.0);
+}
+
+TEST(Chao1Nhat, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Chao1Nhat(FrequencyStatistics()), 0.0);
+}
+
+TEST(Jackknife1Nhat, KnownValue) {
+  // c=3, f1=2, n=4: N̂ = 3 + 2·3/4 = 4.5.
+  EXPECT_DOUBLE_EQ(Jackknife1Nhat(Stats({1, 1, 2})), 4.5);
+}
+
+TEST(Jackknife1Nhat, NoSingletonsEstimatesC) {
+  EXPECT_DOUBLE_EQ(Jackknife1Nhat(Stats({2, 2, 5})), 3.0);
+}
+
+TEST(Jackknife2Nhat, ReducesToJackknife1OnTinySamples) {
+  EXPECT_DOUBLE_EQ(Jackknife2Nhat(Stats({1, 1})),
+                   Jackknife1Nhat(Stats({1, 1})));
+}
+
+TEST(Jackknife2Nhat, KnownValue) {
+  // counts {1,1,2,3}: n=7, c=4, f1=2, f2=1.
+  // N̂ = 4 + 2·11/7 − 1·25/42 = 4 + 22/7 − 25/42.
+  const double expected = 4.0 + 22.0 / 7.0 - 25.0 / 42.0;
+  EXPECT_NEAR(Jackknife2Nhat(Stats({1, 1, 2, 3})), expected, 1e-12);
+}
+
+TEST(Jackknife2Nhat, NeverBelowC) {
+  // Heavy f2 can push the raw formula below c; the clamp must hold.
+  const auto stats = Stats({2, 2, 2, 2, 2, 2});
+  EXPECT_GE(Jackknife2Nhat(stats), 6.0);
+}
+
+TEST(AceNhat, CompleteAbundantSampleEstimatesC) {
+  // Every class abundant (> cutoff): N̂ = c_abundant.
+  EXPECT_DOUBLE_EQ(AceNhat(Stats({11, 12, 20})), 3.0);
+}
+
+TEST(AceNhat, AllSingletonsFallsBackToChao1) {
+  const auto stats = Stats({1, 1, 1});
+  EXPECT_DOUBLE_EQ(AceNhat(stats), Chao1Nhat(stats));
+}
+
+TEST(AceNhat, MixedSampleAboveC) {
+  const auto stats = Stats({1, 1, 2, 3, 15, 20});
+  EXPECT_GT(AceNhat(stats), 6.0);
+  EXPECT_TRUE(std::isfinite(AceNhat(stats)));
+}
+
+TEST(AceNhat, CutoffSeparatesRareAndAbundant) {
+  // With cutoff 2, the class observed 3 times counts as abundant and is
+  // excluded from the coverage machinery.
+  const auto stats = Stats({1, 2, 3});
+  const double ace_small_cutoff = AceNhat(stats, 2);
+  const double ace_large_cutoff = AceNhat(stats, 10);
+  EXPECT_TRUE(std::isfinite(ace_small_cutoff));
+  EXPECT_TRUE(std::isfinite(ace_large_cutoff));
+  EXPECT_NE(ace_small_cutoff, ace_large_cutoff);
+}
+
+TEST(SpeciesNhat, DispatchMatchesDirectCalls) {
+  const auto stats = Stats({1, 1, 2, 3, 5});
+  EXPECT_DOUBLE_EQ(SpeciesNhat(SpeciesEstimator::kChao1, stats),
+                   Chao1Nhat(stats));
+  EXPECT_DOUBLE_EQ(SpeciesNhat(SpeciesEstimator::kJackknife1, stats),
+                   Jackknife1Nhat(stats));
+  EXPECT_DOUBLE_EQ(SpeciesNhat(SpeciesEstimator::kJackknife2, stats),
+                   Jackknife2Nhat(stats));
+  EXPECT_DOUBLE_EQ(SpeciesNhat(SpeciesEstimator::kAce, stats),
+                   AceNhat(stats));
+  EXPECT_DOUBLE_EQ(SpeciesNhat(SpeciesEstimator::kChao92, stats),
+                   Chao92Nhat(stats));
+}
+
+TEST(SpeciesNhat, AllEstimatorsDominateC) {
+  const std::vector<std::vector<int64_t>> cases = {
+      {1, 2, 3}, {1, 1, 4, 4}, {2, 2, 2}, {1, 1, 1, 2, 5, 11}};
+  for (const auto& counts : cases) {
+    const auto stats = Stats(counts);
+    for (SpeciesEstimator est :
+         {SpeciesEstimator::kChao1, SpeciesEstimator::kJackknife1,
+          SpeciesEstimator::kJackknife2, SpeciesEstimator::kAce,
+          SpeciesEstimator::kGoodTuring}) {
+      EXPECT_GE(SpeciesNhat(est, stats), static_cast<double>(stats.c()))
+          << SpeciesEstimatorName(est);
+    }
+  }
+}
+
+TEST(SpeciesNhat, GoodTuringMatchesChao92WithoutSkewTerm) {
+  // For a sample with γ̂² = 0 the two coincide.
+  const auto stats = Stats({2, 2, 2, 1});
+  EXPECT_NEAR(SpeciesNhat(SpeciesEstimator::kGoodTuring, stats),
+              Chao92Nhat(stats), 1e-9);
+}
+
+TEST(SpeciesEstimatorName, Names) {
+  EXPECT_STREQ(SpeciesEstimatorName(SpeciesEstimator::kChao1), "chao1");
+  EXPECT_STREQ(SpeciesEstimatorName(SpeciesEstimator::kAce), "ace");
+  EXPECT_STREQ(SpeciesEstimatorName(SpeciesEstimator::kJackknife2),
+               "jackknife2");
+}
+
+TEST(SpeciesNhat, EmptySampleIsZeroEverywhere) {
+  const FrequencyStatistics empty;
+  for (SpeciesEstimator est :
+       {SpeciesEstimator::kChao1, SpeciesEstimator::kJackknife1,
+        SpeciesEstimator::kJackknife2, SpeciesEstimator::kAce}) {
+    EXPECT_DOUBLE_EQ(SpeciesNhat(est, empty), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,243 @@
+#include "db/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "db/predicate.h"
+
+namespace uuq {
+namespace {
+
+TEST(ParseQuery, MinimalSum) {
+  auto q = ParseQuery("SELECT SUM(employees) FROM companies");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().aggregate, AggregateKind::kSum);
+  EXPECT_EQ(q.value().attribute, "employees");
+  EXPECT_EQ(q.value().table_name, "companies");
+  EXPECT_EQ(q.value().predicate->ToString(), "TRUE");
+}
+
+TEST(ParseQuery, CaseInsensitiveKeywords) {
+  auto q = ParseQuery("select avg(x) from t where x > 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().aggregate, AggregateKind::kAvg);
+}
+
+TEST(ParseQuery, AllAggregates) {
+  for (const auto& [sql, kind] :
+       std::vector<std::pair<std::string, AggregateKind>>{
+           {"SELECT SUM(a) FROM t", AggregateKind::kSum},
+           {"SELECT COUNT(a) FROM t", AggregateKind::kCount},
+           {"SELECT AVG(a) FROM t", AggregateKind::kAvg},
+           {"SELECT MIN(a) FROM t", AggregateKind::kMin},
+           {"SELECT MAX(a) FROM t", AggregateKind::kMax}}) {
+    auto q = ParseQuery(sql);
+    ASSERT_TRUE(q.ok()) << sql;
+    EXPECT_EQ(q.value().aggregate, kind) << sql;
+  }
+}
+
+TEST(ParseQuery, CountStar) {
+  auto q = ParseQuery("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().attribute, "*");
+}
+
+TEST(ParseQuery, StarOnlyForCount) {
+  EXPECT_FALSE(ParseQuery("SELECT SUM(*) FROM t").ok());
+}
+
+TEST(ParseQuery, SimpleComparisonPredicate) {
+  auto q = ParseQuery("SELECT SUM(v) FROM t WHERE v >= 10");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().predicate->ToString(), "(v >= 10)");
+}
+
+TEST(ParseQuery, AllComparisonOperators) {
+  for (const char* op : {"=", "!=", "<>", "<", "<=", ">", ">="}) {
+    const std::string sql =
+        std::string("SELECT SUM(v) FROM t WHERE v ") + op + " 5";
+    EXPECT_TRUE(ParseQuery(sql).ok()) << sql;
+  }
+}
+
+TEST(ParseQuery, StringLiteralWithEscapes) {
+  auto q = ParseQuery("SELECT COUNT(v) FROM t WHERE name = 'O''Brien & Co'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().predicate->ToString(), "(name = 'O'Brien & Co')");
+}
+
+TEST(ParseQuery, NumericLiteralForms) {
+  EXPECT_TRUE(ParseQuery("SELECT SUM(v) FROM t WHERE v > -5").ok());
+  EXPECT_TRUE(ParseQuery("SELECT SUM(v) FROM t WHERE v > 2.5").ok());
+  EXPECT_TRUE(ParseQuery("SELECT SUM(v) FROM t WHERE v > 1e3").ok());
+  EXPECT_TRUE(ParseQuery("SELECT SUM(v) FROM t WHERE v > .5").ok());
+  EXPECT_TRUE(ParseQuery("SELECT SUM(v) FROM t WHERE v > -1.5e-2").ok());
+}
+
+TEST(ParseQuery, BooleanLiterals) {
+  auto q = ParseQuery("SELECT COUNT(v) FROM t WHERE active = true");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().predicate->ToString(), "(active = true)");
+}
+
+TEST(ParseQuery, AndOrNotPrecedence) {
+  // AND binds tighter than OR.
+  auto q = ParseQuery(
+      "SELECT SUM(v) FROM t WHERE a > 1 OR b > 2 AND c > 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().predicate->ToString(),
+            "((a > 1) OR ((b > 2) AND (c > 3)))");
+}
+
+TEST(ParseQuery, ParenthesesOverridePrecedence) {
+  auto q = ParseQuery(
+      "SELECT SUM(v) FROM t WHERE (a > 1 OR b > 2) AND c > 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().predicate->ToString(),
+            "(((a > 1) OR (b > 2)) AND (c > 3))");
+}
+
+TEST(ParseQuery, NotPredicate) {
+  auto q = ParseQuery("SELECT SUM(v) FROM t WHERE NOT v < 0");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().predicate->ToString(), "(NOT (v < 0))");
+}
+
+TEST(ParseQuery, NestedNotAndParens) {
+  auto q = ParseQuery("SELECT SUM(v) FROM t WHERE NOT (a = 1 AND b = 2)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().predicate->ToString(),
+            "(NOT ((a = 1) AND (b = 2)))");
+}
+
+TEST(ParseQuery, ErrorsReportOffsets) {
+  auto q = ParseQuery("SELECT SUM(v FROM t");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kParseError);
+  EXPECT_NE(q.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParseQuery, RejectsMalformedInputs) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT").ok());
+  EXPECT_FALSE(ParseQuery("SELECT MEDIAN(x) FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(x) companies").ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(x) FROM").ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(x) FROM t WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(x) FROM t WHERE x >").ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(x) FROM t trailing junk").ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(x) FROM t WHERE x ~ 3").ok());
+}
+
+TEST(ParseQuery, RejectsUnterminatedString) {
+  auto q = ParseQuery("SELECT SUM(x) FROM t WHERE name = 'oops");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(ParseQuery, UnderscoredIdentifiers) {
+  auto q = ParseQuery(
+      "SELECT SUM(num_employees) FROM us_tech_companies WHERE "
+      "_region = 'silicon valley'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().attribute, "num_employees");
+  EXPECT_EQ(q.value().table_name, "us_tech_companies");
+}
+
+TEST(ParseQuery, RoundTripThroughToString) {
+  const std::string sql =
+      "SELECT SUM(employees) FROM companies WHERE (employees > 10)";
+  auto q1 = ParseQuery(sql);
+  ASSERT_TRUE(q1.ok());
+  auto q2 = ParseQuery(q1.value().ToString());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q1.value().ToString(), q2.value().ToString());
+}
+
+// Randomized round-trip fuzzing: generate random (valid) queries, render
+// them, re-parse, and require a fixed point. Exercises operator precedence,
+// literal forms, nesting and GROUP BY together.
+class RandomQueryGenerator {
+ public:
+  explicit RandomQueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  std::string Query() {
+    static const char* kAggs[] = {"SUM", "COUNT", "AVG", "MIN", "MAX"};
+    std::string sql = std::string("SELECT ") +
+                      kAggs[rng_.NextBounded(5)] + "(col" +
+                      std::to_string(rng_.NextBounded(4)) + ") FROM t" +
+                      std::to_string(rng_.NextBounded(3));
+    if (rng_.NextBernoulli(0.8)) sql += " WHERE " + Predicate(0);
+    if (rng_.NextBernoulli(0.3)) sql += " GROUP BY category";
+    return sql;
+  }
+
+ private:
+  std::string Predicate(int depth) {
+    if (depth >= 3 || rng_.NextBernoulli(0.4)) return Comparison();
+    switch (rng_.NextBounded(3)) {
+      case 0:
+        return "(" + Predicate(depth + 1) + " AND " + Predicate(depth + 1) +
+               ")";
+      case 1:
+        return "(" + Predicate(depth + 1) + " OR " + Predicate(depth + 1) +
+               ")";
+      default:
+        return "NOT (" + Predicate(depth + 1) + ")";
+    }
+  }
+
+  std::string Comparison() {
+    static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
+    std::string lhs = "col" + std::to_string(rng_.NextBounded(4));
+    std::string op = kOps[rng_.NextBounded(6)];
+    std::string rhs;
+    switch (rng_.NextBounded(3)) {
+      case 0:
+        rhs = std::to_string(rng_.NextInt(-1000, 1000));
+        break;
+      case 1:
+        rhs = std::to_string(rng_.NextInt(-100, 100)) + "." +
+              std::to_string(rng_.NextBounded(99));
+        break;
+      default:
+        rhs = "'s" + std::to_string(rng_.NextBounded(50)) + "'";
+        break;
+    }
+    return lhs + " " + op + " " + rhs;
+  }
+
+  Rng rng_;
+};
+
+TEST(ParseQuery, FuzzRoundTripFixedPoint) {
+  RandomQueryGenerator generator(0xF00D);
+  for (int i = 0; i < 500; ++i) {
+    const std::string sql = generator.Query();
+    auto q1 = ParseQuery(sql);
+    ASSERT_TRUE(q1.ok()) << sql << " -> " << q1.status().ToString();
+    const std::string rendered = q1.value().ToString();
+    auto q2 = ParseQuery(rendered);
+    ASSERT_TRUE(q2.ok()) << rendered;
+    EXPECT_EQ(rendered, q2.value().ToString()) << sql;
+  }
+}
+
+TEST(ParseQuery, FuzzGarbageNeverCrashes) {
+  Rng rng(0xBAD);
+  const std::string alphabet =
+      "SELECT FROM WHERE AND OR NOT()*,<>=!'\"0123456789abcxyz_. \n";
+  for (int i = 0; i < 2000; ++i) {
+    std::string garbage;
+    const int len = 1 + static_cast<int>(rng.NextBounded(60));
+    for (int k = 0; k < len; ++k) {
+      garbage += alphabet[rng.NextBounded(alphabet.size())];
+    }
+    // Must never crash; ok() or error are both acceptable.
+    (void)ParseQuery(garbage);
+  }
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,127 @@
+// End-to-end reproduction of the paper's Appendix F toy example (Table 2):
+// SELECT SUM(employee) FROM K over five companies {A,B,C,D,E} with values
+// A=1000, B=2000, C=900, D=10000, E=300; ground truth φD = 14200.
+//
+// Before adding source s5 the integrated sample has multiplicities
+// A:1, B:2, D:4 (n=7, c=3, f1=1, γ̂²=0.1667); after s5 = {A, E}:
+// A:2, B:2, D:4, E:1 (n=9, c=4, f1=1, γ̂²=0). (The paper's "n = 10" table
+// header is a typo — every Table 2 computation uses n = 9; see DESIGN.md.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bucket.h"
+#include "core/frequency.h"
+#include "core/naive.h"
+#include "integration/sample.h"
+
+namespace uuq {
+namespace {
+
+// Sources: D appears in all four, B in two, A in one (publicity-value
+// correlation: big companies are better known).
+IntegratedSample BeforeS5() {
+  IntegratedSample sample;
+  sample.Add("s1", "A", 1000);
+  sample.Add("s1", "B", 2000);
+  sample.Add("s1", "D", 10000);
+  sample.Add("s2", "B", 2000);
+  sample.Add("s2", "D", 10000);
+  sample.Add("s3", "D", 10000);
+  sample.Add("s4", "D", 10000);
+  return sample;
+}
+
+IntegratedSample AfterS5() {
+  IntegratedSample sample = BeforeS5();
+  sample.Add("s5", "A", 1000);
+  sample.Add("s5", "E", 300);
+  return sample;
+}
+
+constexpr double kGroundTruth = 14200.0;
+
+TEST(ToyExample, ObservedSumsMatchTable2) {
+  EXPECT_DOUBLE_EQ(BeforeS5().ObservedSum(), 13000.0);
+  EXPECT_DOUBLE_EQ(AfterS5().ObservedSum(), 13300.0);
+}
+
+TEST(ToyExample, SampleStatisticsBeforeS5) {
+  const SampleStats stats = SampleStats::FromSample(BeforeS5());
+  EXPECT_EQ(stats.n, 7);
+  EXPECT_EQ(stats.c, 3);
+  EXPECT_EQ(stats.f1, 1);
+  EXPECT_NEAR(stats.Gamma2(), 0.16667, 1e-4);
+}
+
+TEST(ToyExample, SampleStatisticsAfterS5) {
+  const SampleStats stats = SampleStats::FromSample(AfterS5());
+  EXPECT_EQ(stats.n, 9);
+  EXPECT_EQ(stats.c, 4);
+  EXPECT_EQ(stats.f1, 1);
+  EXPECT_DOUBLE_EQ(stats.Gamma2(), 0.0);
+}
+
+TEST(ToyExample, NaiveBeforeS5) {
+  const Estimate est = NaiveEstimator().EstimateImpact(BeforeS5());
+  EXPECT_NEAR(est.corrected_sum, 16009.0, 1.0);  // Table 2: ≈ 16009
+}
+
+TEST(ToyExample, NaiveAfterS5) {
+  const Estimate est = NaiveEstimator().EstimateImpact(AfterS5());
+  EXPECT_NEAR(est.corrected_sum, 14962.5, 0.5);  // Table 2: ≈ 14962
+}
+
+TEST(ToyExample, FrequencyBeforeS5) {
+  const Estimate est = FrequencyEstimator().EstimateImpact(BeforeS5());
+  EXPECT_NEAR(est.corrected_sum, 13694.0, 1.0);  // Table 2: ≈ 13694
+}
+
+TEST(ToyExample, FrequencyAfterS5) {
+  const Estimate est = FrequencyEstimator().EstimateImpact(AfterS5());
+  EXPECT_NEAR(est.corrected_sum, 13450.0, 0.5);  // Table 2: exactly 13450
+}
+
+TEST(ToyExample, BucketBeforeS5) {
+  // Dynamic bucketing finds b1 = {A, B}, b2 = {D}: Δ = 1500 -> 14500.
+  const Estimate est = BucketSumEstimator().EstimateImpact(BeforeS5());
+  EXPECT_NEAR(est.corrected_sum, 14500.0, 1e-6);
+  EXPECT_EQ(est.num_buckets, 2);
+}
+
+TEST(ToyExample, BucketAfterS5) {
+  // The paper's partition {A,E},{B},{D} and ours {E,A},{B,D} both give
+  // Δ = 650 -> 13950.
+  const Estimate est = BucketSumEstimator().EstimateImpact(AfterS5());
+  EXPECT_NEAR(est.corrected_sum, 13950.0, 1e-6);
+}
+
+TEST(ToyExample, BucketIsClosestToGroundTruth) {
+  const double naive =
+      NaiveEstimator().EstimateImpact(AfterS5()).corrected_sum;
+  const double freq =
+      FrequencyEstimator().EstimateImpact(AfterS5()).corrected_sum;
+  const double bucket =
+      BucketSumEstimator().EstimateImpact(AfterS5()).corrected_sum;
+  const double observed = AfterS5().ObservedSum();
+
+  const auto err = [](double x) { return std::fabs(x - kGroundTruth); };
+  EXPECT_LT(err(bucket), err(naive));
+  EXPECT_LT(err(bucket), err(freq));
+  EXPECT_LT(err(bucket), err(observed));
+}
+
+TEST(ToyExample, AddingSourceImprovesNaiveAndBucket) {
+  // Note: the frequency estimator actually moves AWAY from the truth after
+  // s5 (13694 -> 13450 vs truth 14200, exactly as in Table 2) because the
+  // new singleton E drags the singleton mean from 1000 down to 300. Only
+  // naive and bucket are expected to improve here.
+  const auto err = [](double x) { return std::fabs(x - kGroundTruth); };
+  EXPECT_LT(err(NaiveEstimator().EstimateImpact(AfterS5()).corrected_sum),
+            err(NaiveEstimator().EstimateImpact(BeforeS5()).corrected_sum));
+  EXPECT_LT(err(BucketSumEstimator().EstimateImpact(AfterS5()).corrected_sum),
+            err(BucketSumEstimator().EstimateImpact(BeforeS5()).corrected_sum));
+}
+
+}  // namespace
+}  // namespace uuq
