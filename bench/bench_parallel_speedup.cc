@@ -1,0 +1,201 @@
+// Parallel-engine speedup harness: times the three pooled hot paths —
+// Monte-Carlo grid estimation, source bootstrap, dynamic bucket search —
+// at thread counts 1, 2, 4, ..., hardware_concurrency, verifies that every
+// parallel result is BIT-IDENTICAL to the serial one (the Rng::Split()
+// stream-per-task contract), and writes machine-readable rows to
+// bench_out.json (see BenchRow in bench_util.h) for cross-PR trajectory
+// tracking.
+//
+// Expected shape: near-linear Monte-Carlo scaling up to the physical core
+// count (the grid points are uniform-cost and allocation-free), somewhat
+// sublinear bootstrap scaling (replicate resampling is allocation-heavy),
+// and modest dynamic-bucket gains (the scan is memory-bound closed-form
+// math). UUQ_REPS raises the repetition count; timings report the best rep.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/bootstrap.h"
+#include "simulation/scenarios.h"
+
+namespace uuq {
+namespace {
+
+int64_t BestOfRepsNs(int reps, const std::function<void()>& op) {
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    op();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    best = std::min<int64_t>(
+        best,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  }
+  return best;
+}
+
+std::vector<int> ThreadCounts() {
+  // 1, 2, 4, ... up to hardware concurrency (always at least {1, 2} so the
+  // equivalence assertions exercise a real multi-threaded pool even on a
+  // single-core machine).
+  const int hw = std::max(2u, std::thread::hardware_concurrency());
+  std::vector<int> counts{1};
+  for (int t = 2; t < hw; t *= 2) counts.push_back(t);
+  counts.push_back(hw);
+  return counts;
+}
+
+IntegratedSample ScenarioPrefix(int64_t n) {
+  static const Scenario scenario = scenarios::UsTechEmployment();
+  IntegratedSample sample;
+  for (int64_t i = 0;
+       i < n && i < static_cast<int64_t>(scenario.stream.size()); ++i) {
+    sample.Add(scenario.stream[i]);
+  }
+  return sample;
+}
+
+struct Fatal {
+  std::string what;
+};
+
+void CheckBitIdentical(double serial, double parallel, const char* label) {
+  if (serial != parallel && !(std::isnan(serial) && std::isnan(parallel))) {
+    throw Fatal{std::string(label) + ": parallel result differs from serial (" +
+                std::to_string(serial) + " vs " + std::to_string(parallel) +
+                ")"};
+  }
+}
+
+}  // namespace
+}  // namespace uuq
+
+int main() {
+  using namespace uuq;
+  using bench::BenchRow;
+
+  const int reps = bench::RepsFromEnv(3);
+  const std::vector<int> thread_counts = ThreadCounts();
+  std::vector<BenchRow> rows;
+
+  bench::PrintHeader(
+      "Parallel estimation engine speedup (thread-pooled MC grid, bootstrap, "
+      "dynamic buckets)",
+      "near-linear MC scaling to the core count; identical estimates at "
+      "every thread count");
+  std::printf("hardware_concurrency=%u  reps=%d (best-of)\n\n",
+              std::thread::hardware_concurrency(), reps);
+
+  try {
+    // ---- Monte-Carlo grid -------------------------------------------------
+    const IntegratedSample mc_sample = ScenarioPrefix(400);
+    double mc_serial_ns = 0.0;
+    double mc_serial_delta = 0.0;
+    std::printf("%-14s %-12s %14s %9s\n", "estimator", "config", "ms/op",
+                "speedup");
+    for (int threads : thread_counts) {
+      ThreadPool pool(threads);
+      MonteCarloOptions options = bench::FastMcOptions();
+      options.pool = &pool;
+      const MonteCarloEstimator mc(options);
+      double delta = 0.0;
+      const int64_t ns =
+          BestOfRepsNs(reps, [&] { delta = mc.EstimateImpact(mc_sample).delta; });
+      if (threads == 1) {
+        mc_serial_ns = static_cast<double>(ns);
+        mc_serial_delta = delta;
+      }
+      CheckBitIdentical(mc_serial_delta, delta, "monte-carlo");
+      const double speedup = mc_serial_ns / static_cast<double>(ns);
+      rows.push_back({"monte-carlo",
+                      "threads=" + std::to_string(threads) + ",n=400",
+                      static_cast<double>(ns), speedup});
+      std::printf("%-14s threads=%-4d %14.3f %8.2fx\n", "monte-carlo", threads,
+                  ns / 1e6, speedup);
+    }
+
+    // ---- Bootstrap replication -------------------------------------------
+    const IntegratedSample bs_sample = ScenarioPrefix(500);
+    const BucketSumEstimator bucket;
+    double bs_serial_ns = 0.0;
+    double bs_serial_lo = 0.0;
+    for (int threads : thread_counts) {
+      ThreadPool pool(threads);
+      BootstrapOptions options;
+      options.replicates = 48;
+      options.pool = &pool;
+      double lo = 0.0;
+      const int64_t ns = BestOfRepsNs(reps, [&] {
+        lo = BootstrapCorrectedSum(bs_sample, bucket, options).lo;
+      });
+      if (threads == 1) {
+        bs_serial_ns = static_cast<double>(ns);
+        bs_serial_lo = lo;
+      }
+      CheckBitIdentical(bs_serial_lo, lo, "bootstrap");
+      const double speedup = bs_serial_ns / static_cast<double>(ns);
+      rows.push_back({"bootstrap[bucket]",
+                      "threads=" + std::to_string(threads) + ",B=48",
+                      static_cast<double>(ns), speedup});
+      std::printf("%-14s threads=%-4d %14.3f %8.2fx\n", "bootstrap", threads,
+                  ns / 1e6, speedup);
+    }
+
+    // ---- Dynamic bucket search -------------------------------------------
+    // A wide value range with hundreds of distinct values so the candidate
+    // scan crosses the parallel threshold.
+    IntegratedSample wide;
+    {
+      Rng rng(99);
+      for (int e = 0; e < 600; ++e) {
+        const double value = rng.NextUniform(0, 1e6);
+        const int copies = 1 + static_cast<int>(rng.NextBounded(4));
+        for (int m = 0; m < copies; ++m) {
+          wide.Add("w" + std::to_string(m), "e" + std::to_string(e), value);
+        }
+      }
+    }
+    const SortedEntityIndex wide_index(wide.entities());
+    const NaiveEstimator naive;
+    double dp_serial_ns = 0.0;
+    std::vector<size_t> dp_serial_bounds;
+    for (int threads : thread_counts) {
+      ThreadPool pool(threads);
+      const DynamicPartitioner partitioner(&pool);
+      std::vector<size_t> bounds;
+      const int64_t ns = BestOfRepsNs(
+          reps, [&] { bounds = partitioner.Partition(wide_index, naive); });
+      if (threads == 1) {
+        dp_serial_ns = static_cast<double>(ns);
+        dp_serial_bounds = bounds;
+      }
+      if (bounds != dp_serial_bounds) {
+        throw Fatal{"dynamic-bucket: parallel partition differs from serial "
+                    "at threads=" +
+                    std::to_string(threads)};
+      }
+      const double speedup = dp_serial_ns / static_cast<double>(ns);
+      rows.push_back({"dynamic-bucket",
+                      "threads=" + std::to_string(threads) + ",entities=600",
+                      static_cast<double>(ns), speedup});
+      std::printf("%-14s threads=%-4d %14.3f %8.2fx\n", "dynamic-bucket",
+                  threads, ns / 1e6, speedup);
+    }
+  } catch (const Fatal& fatal) {
+    std::fprintf(stderr, "FATAL: %s\n", fatal.what.c_str());
+    return 1;
+  }
+
+  const std::string path = bench::BenchJsonPath();
+  if (!bench::WriteBenchJson(path, rows)) return 1;
+  std::printf("\nwrote %zu rows to %s\n", rows.size(), path.c_str());
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/bucket.h"
 #include "core/frequency.h"
@@ -62,6 +63,59 @@ inline void PrintHeader(const std::string& what, const std::string& expect) {
   std::printf("%s\n", what.c_str());
   std::printf("Paper-shape expectation: %s\n", expect.c_str());
   std::printf("================================================================\n");
+}
+
+/// One machine-readable benchmark measurement. Serialized to bench_out.json
+/// so CI can track the perf trajectory across PRs:
+///   [{"estimator": "monte-carlo", "config": "threads=4,n=300",
+///     "ns_per_op": 12345678.0, "speedup": 3.7}, ...]
+/// `speedup` is relative to the matching serial (threads=1) row; serial rows
+/// report 1.0.
+struct BenchRow {
+  std::string estimator;
+  std::string config;
+  double ns_per_op = 0.0;
+  double speedup = 1.0;
+};
+
+/// Target path for the JSON rows: UUQ_BENCH_JSON or ./bench_out.json.
+inline std::string BenchJsonPath() {
+  const char* env = std::getenv("UUQ_BENCH_JSON");
+  return env != nullptr ? env : "bench_out.json";
+}
+
+inline std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char ch : in) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+/// Writes the rows as a JSON array to `path`; returns false (with a warning
+/// on stderr) when the file cannot be opened.
+inline bool WriteBenchJson(const std::string& path,
+                           const std::vector<BenchRow>& rows) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs("[\n", file);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(
+        file,
+        "  {\"estimator\": \"%s\", \"config\": \"%s\", "
+        "\"ns_per_op\": %.3f, \"speedup\": %.4f}%s\n",
+        JsonEscape(rows[i].estimator).c_str(),
+        JsonEscape(rows[i].config).c_str(), rows[i].ns_per_op,
+        rows[i].speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fputs("]\n", file);
+  std::fclose(file);
+  return true;
 }
 
 }  // namespace bench

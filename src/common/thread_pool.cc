@@ -1,0 +1,157 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "common/macros.h"
+
+namespace uuq {
+namespace {
+
+// The pool whose worker loop the current thread belongs to, if any. Used to
+// run nested ParallelFor calls on the same pool inline instead of
+// deadlocking on the pool's own (busy) workers.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+// Shared between the caller and its helper tasks. Helper tasks hold a
+// shared_ptr so a helper scheduled behind other work can still run (and
+// immediately find the range exhausted) after the caller has returned.
+//
+// Completion protocol: a participant registers in `active` (under mu) BEFORE
+// claiming its first index, so once the caller has drained the range itself
+// (next >= end, permanently — next is monotone), `active == 0` under mu
+// implies every claimed fn(i) has finished and recorded any exception. A
+// helper that dequeues late just registers, finds the range empty, and
+// unregisters.
+struct ThreadPool::ForState {
+  int64_t end = 0;
+  std::function<void(int64_t)> fn;
+
+  std::atomic<int64_t> next{0};  // next unclaimed index
+
+  std::mutex mu;
+  std::condition_variable all_done;
+  int active = 0;  // participants currently inside Drain
+  std::exception_ptr first_exception;
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Drain(ForState* state) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->active;
+  }
+  std::exception_ptr exception;
+  for (;;) {
+    const int64_t i = state->next.fetch_add(1);
+    if (i >= state->end) break;
+    try {
+      state->fn(i);
+    } catch (...) {
+      if (!exception) exception = std::current_exception();
+      // Abandon the remaining range, as a serial loop would. Storing exactly
+      // `end` keeps every later claim >= end even if next had overshot.
+      state->next.store(state->end);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (exception && !state->first_exception) {
+      state->first_exception = exception;
+    }
+    --state->active;
+  }
+  state->all_done.notify_all();
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+
+  // Serial paths: a 1-thread pool, a single item, or a nested call from one
+  // of this pool's own workers (whose siblings may all be blocked in the
+  // outer ParallelFor — queueing would deadlock).
+  if (num_threads_ == 1 || n == 1 || current_pool == this) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->end = end;
+  state->fn = fn;
+  state->next.store(begin, std::memory_order_relaxed);
+
+  const int helpers =
+      static_cast<int>(std::min<int64_t>(num_threads_ - 1, n - 1));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    UUQ_CHECK_MSG(!shutting_down_, "ParallelFor on a destroyed ThreadPool");
+    for (int i = 0; i < helpers; ++i) {
+      queue_.emplace_back([state] { Drain(state.get()); });
+    }
+  }
+  work_available_.notify_all();
+
+  Drain(state.get());
+
+  // All indices are claimed once the caller's Drain returns (it only exits
+  // when next >= end); wait for those still running on registered helpers.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&state] { return state->active == 0; });
+  if (state->first_exception) std::rethrow_exception(state->first_exception);
+}
+
+int ThreadPool::DefaultNumThreads() {
+  const char* env = std::getenv("UUQ_THREADS");
+  if (env != nullptr) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
+  return pool;
+}
+
+}  // namespace uuq

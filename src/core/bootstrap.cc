@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "stats/descriptive.h"
 
 namespace uuq {
@@ -47,11 +48,23 @@ BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
   BootstrapInterval interval;
   interval.point = estimator.EstimateImpact(sample).corrected_sum;
 
-  Rng rng(options.seed);
-  interval.replicates.reserve(options.replicates);
-  for (int b = 0; b < options.replicates; ++b) {
-    const IntegratedSample resampled = ResampleSources(sample, &rng);
-    const double value = estimator.EstimateImpact(resampled).corrected_sum;
+  // One pre-derived Rng stream per replicate (derived in replicate order)
+  // and one result slot per replicate: the values — and therefore the
+  // percentiles — are bit-identical for any thread count.
+  Rng root(options.seed);
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<size_t>(options.replicates));
+  for (int b = 0; b < options.replicates; ++b) streams.push_back(root.Split());
+
+  const std::vector<double> values =
+      ThreadPool::OrDefault(options.pool)
+          ->ParallelMap(options.replicates, [&](int64_t b) {
+            Rng rng = streams[static_cast<size_t>(b)];
+            const IntegratedSample resampled = ResampleSources(sample, &rng);
+            return estimator.EstimateImpact(resampled).corrected_sum;
+          });
+  interval.replicates.reserve(values.size());
+  for (double value : values) {
     if (std::isfinite(value)) interval.replicates.push_back(value);
   }
   interval.finite_replicates = static_cast<int>(interval.replicates.size());
@@ -69,7 +82,7 @@ BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
 
 JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
                                         const SumEstimator& estimator,
-                                        double z) {
+                                        double z, ThreadPool* pool) {
   JackknifeInterval interval;
   interval.point = estimator.EstimateImpact(sample).corrected_sum;
   interval.sources = static_cast<int>(sample.num_sources());
@@ -83,16 +96,24 @@ JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
   }
 
   // Group observations once; build each leave-one-out sample by replay.
+  // Leave-one-out estimates are independent, so they run concurrently; the
+  // computation is RNG-free and each slot is written once, keeping the
+  // interval identical for any thread count.
   const std::vector<Observation> log = sample.ObservationLog();
+  const std::vector<double> values =
+      ThreadPool::OrDefault(pool)->ParallelMap(
+          static_cast<int64_t>(source_ids.size()), [&](int64_t i) {
+            const std::string& excluded = source_ids[static_cast<size_t>(i)];
+            IntegratedSample loo(sample.policy());
+            for (const Observation& obs : log) {
+              if (obs.source_id == excluded) continue;
+              loo.Add(obs);
+            }
+            return estimator.EstimateImpact(loo).corrected_sum;
+          });
   std::vector<double> replicates;
-  replicates.reserve(source_ids.size());
-  for (const std::string& excluded : source_ids) {
-    IntegratedSample loo(sample.policy());
-    for (const Observation& obs : log) {
-      if (obs.source_id == excluded) continue;
-      loo.Add(obs);
-    }
-    const double value = estimator.EstimateImpact(loo).corrected_sum;
+  replicates.reserve(values.size());
+  for (double value : values) {
     if (std::isfinite(value)) replicates.push_back(value);
   }
   interval.finite_replicates = static_cast<int>(replicates.size());

@@ -17,10 +17,18 @@
 
 namespace uuq {
 
+class ThreadPool;
+
 struct BootstrapOptions {
   int replicates = 200;
   double confidence = 0.95;  ///< central interval mass
   uint64_t seed = 0xB007ull;
+  /// Pool for replicate evaluation; nullptr means ThreadPool::Default().
+  /// Replicates run concurrently, each on its own Rng::Split() stream
+  /// derived in replicate order, so the interval is bit-identical for every
+  /// thread count. `estimator` must tolerate concurrent const calls (every
+  /// uuq estimator is stateless and does).
+  ThreadPool* pool = nullptr;
 };
 
 struct BootstrapInterval {
@@ -54,7 +62,8 @@ IntegratedSample ResampleSources(const IntegratedSample& sample, Rng* rng);
 /// derives a normal-approximation interval
 ///   point ± z · sqrt((l−1)/l · Σ_i (θ_(i) − θ̄)²).
 /// Deterministic (no RNG), free of the duplicate-source artifact, O(l)
-/// re-estimations. Needs at least 2 sources.
+/// re-estimations run concurrently on `pool` (nullptr → default pool).
+/// Needs at least 2 sources.
 struct JackknifeInterval {
   double point = 0.0;
   double lo = 0.0;
@@ -66,7 +75,8 @@ struct JackknifeInterval {
 
 JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
                                         const SumEstimator& estimator,
-                                        double z = 1.96);
+                                        double z = 1.96,
+                                        ThreadPool* pool = nullptr);
 
 }  // namespace uuq
 

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "core/naive.h"
 
 namespace uuq {
@@ -160,21 +161,45 @@ std::vector<size_t> DynamicPartitioner::Partition(
       delta_rest = delta_min - b_delta;
     }
 
-    // Scan candidate split points: after each run of equal values.
+    // Scan candidate split points: after each run of equal values. The
+    // candidates are independent slice evaluations, so wide buckets fan out
+    // over the pool; the serial argmin below keeps the first-minimum
+    // tie-break, so the result never depends on the thread count.
+    std::vector<size_t> cuts;
+    {
+      size_t cut = b.begin < size ? index.UpperBoundOfValueAt(b.begin) : b.end;
+      while (cut < b.end) {
+        cuts.push_back(cut);
+        cut = index.UpperBoundOfValueAt(cut);
+      }
+    }
+    std::vector<double> candidates(cuts.size());
+    const auto evaluate = [&](int64_t i) {
+      const size_t cut = cuts[static_cast<size_t>(i)];
+      candidates[static_cast<size_t>(i)] =
+          delta_rest + AbsDelta(inner, index.Slice(b.begin, cut)) +
+          AbsDelta(inner, index.Slice(cut, b.end));
+    };
+    // Below ~64 candidates the closed-form slice math is cheaper than the
+    // dispatch; run inline.
+    if (cuts.size() >= 64) {
+      ThreadPool::OrDefault(pool_)->ParallelFor(
+          0, static_cast<int64_t>(cuts.size()), evaluate);
+    } else {
+      for (int64_t i = 0; i < static_cast<int64_t>(cuts.size()); ++i) {
+        evaluate(i);
+      }
+    }
+
     bool found = false;
     Range best_left{0, 0}, best_right{0, 0};
-    size_t cut = b.begin < size ? index.UpperBoundOfValueAt(b.begin) : b.end;
-    while (cut < b.end) {
-      const double left = AbsDelta(inner, index.Slice(b.begin, cut));
-      const double right = AbsDelta(inner, index.Slice(cut, b.end));
-      const double candidate = delta_rest + left + right;
-      if (candidate < delta_min) {
-        delta_min = candidate;
-        best_left = {b.begin, cut};
-        best_right = {cut, b.end};
+    for (size_t i = 0; i < cuts.size(); ++i) {
+      if (candidates[i] < delta_min) {
+        delta_min = candidates[i];
+        best_left = {b.begin, cuts[i]};
+        best_right = {cuts[i], b.end};
         found = true;
       }
-      cut = index.UpperBoundOfValueAt(cut);
     }
 
     if (found) {

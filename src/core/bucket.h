@@ -23,6 +23,8 @@
 
 namespace uuq {
 
+class ThreadPool;
+
 /// A value-range bucket with its slice statistics and inner estimate.
 struct ValueBucket {
   double lo = 0.0;  ///< smallest fused value in the bucket
@@ -91,11 +93,24 @@ class EquiHeightPartitioner final : public BucketPartitioner {
 
 /// §3.3.2 Algorithm 1: recursively split a bucket at the unique value that
 /// minimizes the global Σ|Δ|; stop when no split lowers it.
+///
+/// The candidate-split scan of each bucket (one |Δ(left)| + |Δ(right)|
+/// evaluation per distinct value) runs on a ThreadPool when the bucket has
+/// enough candidates to amortize the dispatch; each candidate writes only
+/// its own slot and the argmin keeps the serial first-minimum tie-break, so
+/// the partition is identical for every thread count.
 class DynamicPartitioner final : public BucketPartitioner {
  public:
+  DynamicPartitioner() = default;
+  /// nullptr means ThreadPool::Default().
+  explicit DynamicPartitioner(ThreadPool* pool) : pool_(pool) {}
+
   std::string name() const override { return "dynamic"; }
   std::vector<size_t> Partition(const SortedEntityIndex& index,
                                 const StatsSumEstimator& inner) const override;
+
+ private:
+  ThreadPool* pool_ = nullptr;
 };
 
 /// The composed bucket estimator (Eq. 11): Δ = Σ_b Δ(b).

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "core/chao92.h"
 #include "stats/curve_fit.h"
 #include "stats/distributions.h"
@@ -13,33 +15,140 @@
 
 namespace uuq {
 
+// Reusable buffers for Algorithm 2's inner loop. One instance lives per
+// worker thread (thread_local in EstimateNhat); every buffer is either fully
+// overwritten or restored to its resting state (histogram all-zero, shuffler
+// permutation identity) before a run reads it, so reuse across grid points
+// and estimates never changes results.
+struct SimulationScratch {
+  std::vector<double> publicity;   // weights of the current grid point
+  std::vector<double> histogram;   // per-item multiplicity, size >= θN
+  std::vector<int> touched;        // histogram cells that became non-zero
+  std::vector<double> sim_counts;  // non-zero multiplicities, sorted desc
+  PartialShuffler uniform_sampler;
+  WeightedWorSelector weighted_sampler;
+};
+
+namespace {
+
+/// The θλ grid [lo, hi] in `step` increments. Values within 1e-12 of zero
+/// snap to exactly 0.0 so the uniform-publicity fast path triggers on the
+/// middle row (lo + k·step lands on ±ε for the default grid).
+std::vector<double> LambdaGrid(const MonteCarloOptions& options) {
+  UUQ_CHECK(options.lambda_step > 0.0);
+  std::vector<double> lambdas;
+  const int count = static_cast<int>(
+      std::floor((options.lambda_hi - options.lambda_lo) /
+                     options.lambda_step +
+                 1e-9)) +
+      1;
+  lambdas.reserve(static_cast<size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i) {
+    double lambda = options.lambda_lo + options.lambda_step * i;
+    if (std::fabs(lambda) < 1e-12) lambda = 0.0;
+    lambdas.push_back(lambda);
+  }
+  return lambdas;
+}
+
+/// The θN grid c..chao in (chao−c)/n_grid_steps increments, with rounding
+/// collisions dropped.
+std::vector<int64_t> ThetaNGrid(int64_t c, double chao, int steps) {
+  const double step = (chao - static_cast<double>(c)) / steps;
+  std::vector<int64_t> thetas;
+  thetas.reserve(static_cast<size_t>(steps) + 1);
+  int64_t previous = -1;
+  for (int i = 0; i <= steps; ++i) {
+    const int64_t theta_n =
+        static_cast<int64_t>(std::llround(static_cast<double>(c) + step * i));
+    if (theta_n == previous) continue;
+    previous = theta_n;
+    thetas.push_back(theta_n);
+  }
+  return thetas;
+}
+
+}  // namespace
+
+double MonteCarloEstimator::SimulatedDistanceSorted(
+    int64_t theta_n, double theta_lambda,
+    const std::vector<double>& observed_desc, double observed_sum,
+    const std::vector<int64_t>& source_sizes, Rng* rng,
+    SimulationScratch* scratch) const {
+  UUQ_CHECK(rng != nullptr);
+  UUQ_CHECK(theta_n >= 1);
+  const int n_items = static_cast<int>(theta_n);
+  // θλ = 0 is uniform publicity: the partial Fisher-Yates path needs no
+  // weight vector at all and costs O(n_i) per source instead of O(θN).
+  const bool uniform = theta_lambda == 0.0;
+  if (!uniform) {
+    scratch->publicity = MonteCarloPublicity(n_items, theta_lambda);
+  }
+  if (scratch->histogram.size() < static_cast<size_t>(n_items)) {
+    scratch->histogram.resize(static_cast<size_t>(n_items), 0.0);
+  }
+
+  double total = 0.0;
+  for (int run = 0; run < options_.runs_per_point; ++run) {
+    scratch->touched.clear();
+    const auto visit = [scratch](int idx) {
+      double& cell = scratch->histogram[static_cast<size_t>(idx)];
+      if (cell == 0.0) scratch->touched.push_back(idx);
+      cell += 1.0;
+    };
+    for (int64_t nj : source_sizes) {
+      // Each source samples without replacement from the hypothesized
+      // population; a source larger than θN simply exhausts it.
+      const int k = static_cast<int>(std::min<int64_t>(nj, theta_n));
+      if (uniform) {
+        scratch->uniform_sampler.Draw(n_items, k, rng, visit);
+      } else {
+        scratch->weighted_sampler.Draw(scratch->publicity, k, rng, visit);
+      }
+    }
+    // Collect the non-zero histogram cells (zeroing them for the next run)
+    // and compare against the observation under the rank-aligned KL.
+    scratch->sim_counts.clear();
+    double simulated_sum = 0.0;
+    for (int idx : scratch->touched) {
+      double& cell = scratch->histogram[static_cast<size_t>(idx)];
+      scratch->sim_counts.push_back(cell);
+      simulated_sum += cell;
+      cell = 0.0;
+    }
+    std::sort(scratch->sim_counts.begin(), scratch->sim_counts.end(),
+              std::greater<double>());
+    const size_t support =
+        std::max(observed_desc.size(), static_cast<size_t>(n_items));
+    total += AlignedKlDivergenceSortedDesc(
+        observed_desc.data(), observed_desc.size(), observed_sum,
+        scratch->sim_counts.data(), scratch->sim_counts.size(), simulated_sum,
+        support, options_.smoothing_epsilon);
+  }
+  return total / options_.runs_per_point;
+}
+
 double MonteCarloEstimator::SimulatedDistance(
     int64_t theta_n, double theta_lambda,
     const std::vector<int64_t>& observed_multiplicities,
     const std::vector<int64_t>& source_sizes, Rng* rng) const {
-  UUQ_CHECK(rng != nullptr);
-  UUQ_CHECK(theta_n >= 1);
-  const std::vector<double> publicity =
-      MonteCarloPublicity(static_cast<int>(theta_n), theta_lambda);
-
-  std::vector<double> observed(observed_multiplicities.begin(),
-                               observed_multiplicities.end());
-
-  double total = 0.0;
-  std::vector<double> simulated(static_cast<size_t>(theta_n));
-  for (int run = 0; run < options_.runs_per_point; ++run) {
-    std::fill(simulated.begin(), simulated.end(), 0.0);
-    for (int64_t nj : source_sizes) {
-      // Each source samples without replacement from the hypothesized
-      // population; a source larger than θN simply exhausts it.
-      const std::vector<int> drawn = WeightedSampleWithoutReplacement(
-          publicity, static_cast<int>(nj), rng);
-      for (int idx : drawn) simulated[idx] += 1.0;
-    }
-    total += AlignedKlDivergence(observed, simulated,
-                                 options_.smoothing_epsilon);
+  // Non-positive multiplicities are dropped: under the rank-aligned KL a
+  // zero cell is indistinguishable from a padding cell (both smoothed to
+  // epsilon over the max(c, θN) support), and the sorted-desc kernel
+  // requires positive counts.
+  std::vector<double> observed_desc;
+  observed_desc.reserve(observed_multiplicities.size());
+  double observed_sum = 0.0;
+  for (int64_t m : observed_multiplicities) {
+    if (m <= 0) continue;
+    observed_desc.push_back(static_cast<double>(m));
+    observed_sum += static_cast<double>(m);
   }
-  return total / options_.runs_per_point;
+  std::sort(observed_desc.begin(), observed_desc.end(),
+            std::greater<double>());
+  SimulationScratch scratch;
+  return SimulatedDistanceSorted(theta_n, theta_lambda, observed_desc,
+                                 observed_sum, source_sizes, rng, &scratch);
 }
 
 double MonteCarloEstimator::EstimateNhat(const IntegratedSample& sample) const {
@@ -56,35 +165,57 @@ double MonteCarloEstimator::EstimateNhat(const IntegratedSample& sample) const {
     return static_cast<double>(c);
   }
 
-  std::vector<int64_t> multiplicities;
-  multiplicities.reserve(sample.entities().size());
+  std::vector<double> observed_desc;
+  observed_desc.reserve(sample.entities().size());
+  double observed_sum = 0.0;
   for (const EntityStat& e : sample.entities()) {
-    multiplicities.push_back(e.multiplicity);
+    observed_desc.push_back(static_cast<double>(e.multiplicity));
+    observed_sum += static_cast<double>(e.multiplicity);
   }
+  std::sort(observed_desc.begin(), observed_desc.end(),
+            std::greater<double>());
   const std::vector<int64_t> source_sizes = sample.SourceSizeVector();
 
-  // Grid evaluation (Algorithm 3 lines 3-10).
-  Rng rng(options_.seed ^ static_cast<uint64_t>(stats.n) * 0x9E3779B9ull);
-  const double step =
-      (chao - static_cast<double>(c)) / options_.n_grid_steps;
-  std::vector<double> xs, ys, zs;
-  int64_t previous_theta_n = -1;
-  for (int i = 0; i <= options_.n_grid_steps; ++i) {
-    const int64_t theta_n = static_cast<int64_t>(
-        std::llround(static_cast<double>(c) + step * i));
-    if (theta_n == previous_theta_n) continue;  // rounding collision
-    previous_theta_n = theta_n;
-    for (double lambda = options_.lambda_lo;
-         lambda <= options_.lambda_hi + 1e-9; lambda += options_.lambda_step) {
-      const double distance = SimulatedDistance(theta_n, lambda,
-                                                multiplicities, source_sizes,
-                                                &rng);
-      xs.push_back(static_cast<double>(theta_n));
-      ys.push_back(lambda);
-      zs.push_back(distance);
+  // Grid evaluation (Algorithm 3 lines 3-10), parallel over grid points.
+  // Each point's Rng stream is derived serially, in grid order, from the
+  // root generator, so results do not depend on the thread count.
+  const std::vector<int64_t> thetas =
+      ThetaNGrid(c, chao, options_.n_grid_steps);
+  const std::vector<double> lambdas = LambdaGrid(options_);
+
+  struct GridPoint {
+    int64_t theta_n;
+    double lambda;
+    Rng rng;
+  };
+  Rng root(options_.seed ^ static_cast<uint64_t>(stats.n) * 0x9E3779B9ull);
+  std::vector<GridPoint> points;
+  points.reserve(thetas.size() * lambdas.size());
+  for (int64_t theta_n : thetas) {
+    for (double lambda : lambdas) {
+      points.push_back({theta_n, lambda, root.Split()});
     }
   }
-  if (xs.empty()) return static_cast<double>(c);
+  if (points.empty()) return static_cast<double>(c);
+
+  std::vector<double> zs(points.size());
+  ThreadPool::OrDefault(options_.pool)
+      ->ParallelFor(0, static_cast<int64_t>(points.size()), [&](int64_t i) {
+        thread_local SimulationScratch scratch;
+        const GridPoint& point = points[static_cast<size_t>(i)];
+        Rng rng = point.rng;
+        zs[static_cast<size_t>(i)] = SimulatedDistanceSorted(
+            point.theta_n, point.lambda, observed_desc, observed_sum,
+            source_sizes, &rng, &scratch);
+      });
+
+  std::vector<double> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const GridPoint& point : points) {
+    xs.push_back(static_cast<double>(point.theta_n));
+    ys.push_back(point.lambda);
+  }
 
   // Curve fit + argmin on the fitted surface (lines 11-12); fall back to the
   // raw grid argmin when the fit is degenerate.

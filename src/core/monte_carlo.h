@@ -16,6 +16,17 @@
 // Because unmatched simulated uniques are penalized by the divergence, the
 // estimator systematically favors N̂MC close to c — the conservative
 // behaviour the paper reports.
+//
+// PARALLELISM AND DETERMINISM: the (θN, θλ) grid points are independent, so
+// EstimateNhat evaluates them concurrently on a ThreadPool. Each grid point
+// gets its own Rng stream, derived by Rng::Split() from the seed in grid
+// order BEFORE the parallel section, and writes only its own result slot —
+// so for a fixed MonteCarloOptions::seed the Estimate is BIT-IDENTICAL for
+// every thread count, including the UUQ_THREADS=1 serial override. The
+// per-point simulation loop is allocation-free: a per-thread
+// SimulationScratch reuses the histogram/permutation/key buffers across
+// runs, and uniform grid rows (θλ = 0) sample via a partial Fisher-Yates
+// shuffle of only the first n_i positions instead of a full pass.
 #ifndef UUQ_CORE_MONTE_CARLO_H_
 #define UUQ_CORE_MONTE_CARLO_H_
 
@@ -26,6 +37,9 @@
 #include "core/estimate.h"
 
 namespace uuq {
+
+class ThreadPool;
+struct SimulationScratch;
 
 struct MonteCarloOptions {
   /// Simulation runs averaged per grid point (Algorithm 2's nbRuns).
@@ -41,8 +55,11 @@ struct MonteCarloOptions {
   /// When Chao92 is infinite (all singletons) the grid upper end is capped
   /// at c × this factor so the search stays finite.
   double infinite_nhat_cap_factor = 10.0;
-  /// Deterministic seed for the simulation streams.
+  /// Deterministic seed for the simulation streams. The same seed produces
+  /// the same Estimate on every thread count (see header comment).
   uint64_t seed = 0xC0FFEEull;
+  /// Pool for the grid evaluation; nullptr means ThreadPool::Default().
+  ThreadPool* pool = nullptr;
 };
 
 class MonteCarloEstimator final : public SumEstimator {
@@ -67,6 +84,15 @@ class MonteCarloEstimator final : public SumEstimator {
   const MonteCarloOptions& options() const { return options_; }
 
  private:
+  /// Scratch-reusing core of SimulatedDistance: `observed_desc` must be the
+  /// observed multiplicities sorted descending and `observed_sum` their sum
+  /// (hoisted out because they are identical for every grid point).
+  double SimulatedDistanceSorted(int64_t theta_n, double theta_lambda,
+                                 const std::vector<double>& observed_desc,
+                                 double observed_sum,
+                                 const std::vector<int64_t>& source_sizes,
+                                 Rng* rng, SimulationScratch* scratch) const;
+
   MonteCarloOptions options_;
 };
 

@@ -55,4 +55,36 @@ double AlignedKlDivergence(std::vector<double> observed_counts,
   return KlDivergence(p, q);
 }
 
+double AlignedKlDivergenceSortedDesc(const double* observed,
+                                     size_t observed_len, double observed_sum,
+                                     const double* simulated,
+                                     size_t simulated_len, double simulated_sum,
+                                     size_t support, double epsilon) {
+  UUQ_DCHECK(observed_len <= support && simulated_len <= support);
+  if (support == 0) return 0.0;
+  const double total_p =
+      observed_sum + static_cast<double>(support - observed_len) * epsilon;
+  const double total_q =
+      simulated_sum + static_cast<double>(support - simulated_len) * epsilon;
+  if (total_p <= 0.0) return 0.0;
+  if (total_q <= 0.0) return std::numeric_limits<double>::infinity();
+
+  double kl = 0.0;
+  const size_t overlap = std::max(observed_len, simulated_len);
+  for (size_t i = 0; i < overlap; ++i) {
+    const double p = (i < observed_len ? observed[i] : epsilon) / total_p;
+    const double q = (i < simulated_len ? simulated[i] : epsilon) / total_q;
+    if (p <= 0.0) continue;
+    if (q <= 0.0) return std::numeric_limits<double>::infinity();
+    kl += p * std::log(p / q);
+  }
+  // Every remaining cell is epsilon in both vectors: a constant term.
+  const size_t tail = support - overlap;
+  if (tail > 0 && epsilon > 0.0) {
+    const double p = epsilon / total_p;
+    kl += static_cast<double>(tail) * p * std::log(total_q / total_p);
+  }
+  return std::max(kl, 0.0);
+}
+
 }  // namespace uuq

@@ -9,6 +9,7 @@
 #ifndef UUQ_STATS_KL_DIVERGENCE_H_
 #define UUQ_STATS_KL_DIVERGENCE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +34,20 @@ std::vector<double> SmoothAndNormalize(std::vector<double> counts,
 double AlignedKlDivergence(std::vector<double> observed_counts,
                            std::vector<double> simulated_counts,
                            double epsilon = 1e-6);
+
+/// Allocation-free equivalent of AlignedKlDivergence for pre-sorted input:
+/// `observed`/`simulated` hold only the POSITIVE multiplicities, already
+/// sorted descending, with their sums precomputed; `support` is the common
+/// padded length (Algorithm 2 uses max(#observed cells, θN)). Cells past each
+/// vector's length count as zeros, i.e. smoothed to `epsilon`. Agrees with
+/// AlignedKlDivergence to floating-point rounding; the zero-count tail is
+/// folded into one closed-form term so the cost is O(observed_len +
+/// simulated_len), independent of `support`.
+double AlignedKlDivergenceSortedDesc(const double* observed,
+                                     size_t observed_len, double observed_sum,
+                                     const double* simulated,
+                                     size_t simulated_len, double simulated_sum,
+                                     size_t support, double epsilon);
 
 }  // namespace uuq
 

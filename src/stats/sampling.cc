@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <queue>
 
 #include "common/macros.h"
@@ -61,6 +62,42 @@ std::vector<int> WeightedSampleWithReplacement(
   out.reserve(k);
   for (int i = 0; i < k; ++i) out.push_back(sampler.Sample(rng));
   return out;
+}
+
+void PartialShuffler::EnsureIdentity(int n) {
+  if (perm_.size() == static_cast<size_t>(n)) return;
+  perm_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) perm_[static_cast<size_t>(i)] = i;
+}
+
+void WeightedWorSelector::Select(const std::vector<double>& weights, int k,
+                                 Rng* rng) {
+  UUQ_CHECK(rng != nullptr);
+  UUQ_CHECK(k >= 0);
+  heap_.clear();
+  if (k == 0) return;
+  // One uniform per positive-weight item, in index order (the same stream
+  // consumption as WeightedSampleWithoutReplacement). heap_ is a min-heap on
+  // the log-key holding the k best items seen so far; most items fail the
+  // single comparison against the heap minimum.
+  const auto greater = std::greater<std::pair<double, int>>();
+  for (size_t i = 0; i < weights.size(); ++i) {
+    UUQ_CHECK_MSG(weights[i] >= 0.0, "weights must be non-negative");
+    if (weights[i] <= 0.0) continue;
+    double u = 0.0;
+    do {
+      u = rng->NextDouble();
+    } while (u <= 1e-300);
+    const double log_key = std::log(u) / weights[i];
+    if (static_cast<int>(heap_.size()) < k) {
+      heap_.emplace_back(log_key, static_cast<int>(i));
+      std::push_heap(heap_.begin(), heap_.end(), greater);
+    } else if (log_key > heap_.front().first) {
+      std::pop_heap(heap_.begin(), heap_.end(), greater);
+      heap_.back() = {log_key, static_cast<int>(i)};
+      std::push_heap(heap_.begin(), heap_.end(), greater);
+    }
+  }
 }
 
 AliasSampler::AliasSampler(const std::vector<double>& weights) {

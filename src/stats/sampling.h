@@ -8,6 +8,7 @@
 #define UUQ_STATS_SAMPLING_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -26,6 +27,74 @@ std::vector<int> WeightedSampleWithoutReplacement(
 /// Draws k indices i.i.d. with probability proportional to weight.
 std::vector<int> WeightedSampleWithReplacement(
     const std::vector<double>& weights, int k, Rng* rng);
+
+/// Allocation-free uniform sampling without replacement via a PARTIAL
+/// Fisher-Yates shuffle: only the first k positions of an internal
+/// permutation are shuffled (O(k) work), visited, and then the swaps are
+/// undone (O(k)) so the permutation is ready for the next draw. Compare a
+/// full shuffle or heap-based selection at O(n) / O(n log k) per draw.
+///
+/// The permutation is rebuilt (O(n)) only when n changes between calls, so
+/// repeated draws at a fixed n — the Monte-Carlo inner loop's shape — cost
+/// O(k) and allocate nothing. Draws depend only on `rng` and (n, k), never
+/// on prior calls, so results stay deterministic under thread-local reuse.
+class PartialShuffler {
+ public:
+  /// Draws k distinct indices uniformly from {0..n-1} and calls
+  /// visit(index) for each, in draw order. k is clamped to n.
+  template <typename Visitor>
+  void Draw(int n, int k, Rng* rng, Visitor&& visit) {
+    if (n <= 0) return;
+    if (k > n) k = n;
+    EnsureIdentity(n);
+    swapped_with_.resize(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      const int j =
+          i + static_cast<int>(rng->NextBounded(static_cast<uint64_t>(n - i)));
+      std::swap(perm_[static_cast<size_t>(i)], perm_[static_cast<size_t>(j)]);
+      swapped_with_[static_cast<size_t>(i)] = j;
+      visit(perm_[static_cast<size_t>(i)]);
+    }
+    // Undo in reverse so perm_ is the identity again for the next call.
+    for (int i = k - 1; i >= 0; --i) {
+      std::swap(perm_[static_cast<size_t>(i)],
+                perm_[static_cast<size_t>(swapped_with_[static_cast<size_t>(i)])]);
+    }
+  }
+
+ private:
+  void EnsureIdentity(int n);
+
+  std::vector<int> perm_;  // identity permutation of size perm_.size()
+  std::vector<int> swapped_with_;
+};
+
+/// Allocation-free weighted sampling without replacement (same successive-
+/// sampling distribution — and the same Rng stream consumption — as
+/// WeightedSampleWithoutReplacement): the k largest Efraimidis-Spirakis
+/// keys are kept in a bounded min-heap that is REUSED across calls instead
+/// of freshly allocated. Exactly one uniform is drawn per positive-weight
+/// item, in index order.
+class WeightedWorSelector {
+ public:
+  /// Draws min(k, #positive-weight items) distinct indices with probability
+  /// proportional to weight and calls visit(index) for each (selection
+  /// order is unspecified — NOT arrival order). Weights must be >= 0.
+  template <typename Visitor>
+  void Draw(const std::vector<double>& weights, int k, Rng* rng,
+            Visitor&& visit) {
+    Select(weights, k, rng);
+    for (const auto& [log_key, index] : heap_) {
+      visit(index);
+    }
+  }
+
+ private:
+  /// Fills heap_ with the selected (log-key, index) pairs.
+  void Select(const std::vector<double>& weights, int k, Rng* rng);
+
+  std::vector<std::pair<double, int>> heap_;
+};
 
 /// O(1)-per-draw sampler over a fixed weight vector (Vose's alias method).
 class AliasSampler {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 namespace uuq {
 namespace {
@@ -100,6 +103,61 @@ TEST(AlignedKlDivergence, BothEmptyIsZero) {
 TEST(AlignedKlDivergence, FiniteDespiteZeroCells) {
   EXPECT_TRUE(std::isfinite(AlignedKlDivergence({3, 2}, {1, 1, 1, 1})));
   EXPECT_TRUE(std::isfinite(AlignedKlDivergence({3, 2, 1, 1}, {5})));
+}
+
+// The allocation-free variant must agree with the reference implementation:
+// simulate its calling convention (positive counts sorted descending, zero
+// cells implied up to `support`) and compare against AlignedKlDivergence on
+// the materialized vectors.
+double SortedDescReference(std::vector<double> observed,
+                           std::vector<double> simulated, size_t support,
+                           double epsilon) {
+  // Materialize the implied zero cells, then run the allocating pipeline.
+  std::vector<double> simulated_padded = simulated;
+  simulated_padded.resize(support, 0.0);
+  return AlignedKlDivergence(std::move(observed), std::move(simulated_padded),
+                             epsilon);
+}
+
+TEST(AlignedKlDivergenceSortedDesc, MatchesAllocatingReference) {
+  const std::vector<std::pair<std::vector<double>, std::vector<double>>>
+      cases = {
+          {{5, 3, 2, 1, 1}, {4, 2, 2}},
+          {{3, 2}, {1, 1, 1, 1}},
+          {{9, 1, 1}, {3, 3, 3, 1}},
+          {{2, 1}, {}},
+          {{4, 4, 2, 1, 1, 1}, {6, 2, 1, 1}},
+      };
+  for (const auto& [observed, simulated] : cases) {
+    const size_t support = std::max(observed.size(), simulated.size() + 7);
+    double observed_sum = 0.0, simulated_sum = 0.0;
+    for (double v : observed) observed_sum += v;
+    for (double v : simulated) simulated_sum += v;
+    const double fast = AlignedKlDivergenceSortedDesc(
+        observed.data(), observed.size(), observed_sum, simulated.data(),
+        simulated.size(), simulated_sum, support, 1e-6);
+    const double reference =
+        SortedDescReference(observed, simulated, support, 1e-6);
+    EXPECT_NEAR(fast, reference, 1e-12) << "support " << support;
+  }
+}
+
+TEST(AlignedKlDivergenceSortedDesc, EmptySupportIsZero) {
+  EXPECT_DOUBLE_EQ(
+      AlignedKlDivergenceSortedDesc(nullptr, 0, 0.0, nullptr, 0, 0.0, 0, 1e-6),
+      0.0);
+}
+
+TEST(AlignedKlDivergenceSortedDesc, LargeSupportStaysFinite) {
+  // θN far larger than either histogram: the closed-form tail must not blow
+  // up or produce NaN.
+  const std::vector<double> observed{7, 3, 2, 1};
+  const std::vector<double> simulated{5, 4, 1};
+  const double kl = AlignedKlDivergenceSortedDesc(
+      observed.data(), observed.size(), 13.0, simulated.data(),
+      simulated.size(), 10.0, 100000, 1e-6);
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_GE(kl, 0.0);
 }
 
 }  // namespace

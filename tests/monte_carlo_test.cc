@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "core/chao92.h"
 #include "simulation/crowd.h"
 #include "simulation/population.h"
@@ -173,6 +174,73 @@ TEST(MonteCarloEstimator, UsesMeanSubstitutionForDelta) {
 
 TEST(MonteCarloEstimator, NameIsStable) {
   EXPECT_EQ(MonteCarloEstimator().name(), "monte-carlo");
+}
+
+TEST(MonteCarloEstimator, ParallelIsBitIdenticalToSerial) {
+  // The determinism contract: for a fixed seed, the Estimate is the same for
+  // EVERY thread count, because each grid point evaluates on its own
+  // pre-derived Rng stream (UUQ_THREADS=1 therefore changes nothing but
+  // wall-clock time).
+  SyntheticPopulationConfig pop;
+  pop.num_items = 80;
+  pop.lambda = 1.5;
+  pop.rho = 1.0;
+  pop.seed = 21;
+  const Population population = MakeSyntheticPopulation(pop);
+  CrowdConfig crowd;
+  crowd.num_workers = 15;
+  crowd.answers_per_worker = 15;
+  crowd.seed = 22;
+  const auto stream = CrowdSimulator(&population, crowd).GenerateStream();
+  const auto sample = SampleFromStream(stream, 200);
+
+  ThreadPool serial(1);
+  ThreadPool two(2);
+  ThreadPool eight(8);
+
+  MonteCarloOptions options = FastOptions();
+  options.pool = &serial;
+  const MonteCarloEstimator mc_serial(options);
+  options.pool = &two;
+  const MonteCarloEstimator mc_two(options);
+  options.pool = &eight;
+  const MonteCarloEstimator mc_eight(options);
+
+  const double serial_nhat = mc_serial.EstimateNhat(sample);
+  EXPECT_DOUBLE_EQ(serial_nhat, mc_two.EstimateNhat(sample));
+  EXPECT_DOUBLE_EQ(serial_nhat, mc_eight.EstimateNhat(sample));
+
+  const Estimate serial_est = mc_serial.EstimateImpact(sample);
+  const Estimate parallel_est = mc_eight.EstimateImpact(sample);
+  EXPECT_DOUBLE_EQ(serial_est.delta, parallel_est.delta);
+  EXPECT_DOUBLE_EQ(serial_est.corrected_sum, parallel_est.corrected_sum);
+  EXPECT_DOUBLE_EQ(serial_est.n_hat, parallel_est.n_hat);
+}
+
+TEST(MonteCarloEstimator, RepeatedParallelRunsAreStable) {
+  // Thread-local scratch reuse across calls must not leak state between
+  // estimates: back-to-back runs on a shared pool give identical answers.
+  SyntheticPopulationConfig pop;
+  pop.num_items = 60;
+  pop.lambda = 1.0;
+  pop.rho = 1.0;
+  pop.seed = 31;
+  const Population population = MakeSyntheticPopulation(pop);
+  CrowdConfig crowd;
+  crowd.num_workers = 12;
+  crowd.answers_per_worker = 12;
+  crowd.seed = 32;
+  const auto stream = CrowdSimulator(&population, crowd).GenerateStream();
+  const auto sample = SampleFromStream(stream, 144);
+
+  ThreadPool pool(4);
+  MonteCarloOptions options = FastOptions();
+  options.pool = &pool;
+  const MonteCarloEstimator mc(options);
+  const double first = mc.EstimateNhat(sample);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(first, mc.EstimateNhat(sample));
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "core/bootstrap.h"
 #include "core/bucket.h"
 #include "core/naive.h"
@@ -214,6 +215,46 @@ TEST(JackknifeCorrectedSum, CoversTruthOnHealthyData) {
   const JackknifeInterval jk = JackknifeCorrectedSum(sample, bucket, 3.0);
   EXPECT_LE(jk.lo, 50500.0 * 1.05);
   EXPECT_GE(jk.hi, 50500.0 * 0.8);
+}
+
+TEST(BootstrapCorrectedSum, ParallelIsBitIdenticalToSerial) {
+  // One pre-derived Rng stream per replicate ⇒ the interval is the same for
+  // every thread count (including the UUQ_THREADS=1 debugging override).
+  const auto sample = HealthySample();
+  const BucketSumEstimator bucket;
+  ThreadPool serial(1);
+  ThreadPool parallel(8);
+
+  BootstrapOptions options;
+  options.replicates = 40;
+  options.pool = &serial;
+  const BootstrapInterval a = BootstrapCorrectedSum(sample, bucket, options);
+  options.pool = &parallel;
+  const BootstrapInterval b = BootstrapCorrectedSum(sample, bucket, options);
+
+  EXPECT_DOUBLE_EQ(a.point, b.point);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  ASSERT_EQ(a.replicates.size(), b.replicates.size());
+  for (size_t i = 0; i < a.replicates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.replicates[i], b.replicates[i]);
+  }
+}
+
+TEST(JackknifeCorrectedSum, ParallelIsBitIdenticalToSerial) {
+  const auto sample = HealthySample(17);
+  const BucketSumEstimator bucket;
+  ThreadPool serial(1);
+  ThreadPool parallel(6);
+  const JackknifeInterval a =
+      JackknifeCorrectedSum(sample, bucket, 1.96, &serial);
+  const JackknifeInterval b =
+      JackknifeCorrectedSum(sample, bucket, 1.96, &parallel);
+  EXPECT_DOUBLE_EQ(a.standard_error, b.standard_error);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+  EXPECT_EQ(a.finite_replicates, b.finite_replicates);
 }
 
 TEST(ObservationLog, RoundTripsTheStream) {

@@ -144,5 +144,109 @@ TEST(WeightedSampleWithoutReplacement, DeterministicGivenSeed) {
             WeightedSampleWithoutReplacement(weights, 3, &rng2));
 }
 
+TEST(PartialShuffler, DrawsDistinctIndicesInRange) {
+  PartialShuffler shuffler;
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::set<int> seen;
+    shuffler.Draw(100, 20, &rng, [&](int idx) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, 100);
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    });
+    EXPECT_EQ(seen.size(), 20u);
+  }
+}
+
+TEST(PartialShuffler, KClampsToNAndDrawsEverything) {
+  PartialShuffler shuffler;
+  Rng rng(4);
+  std::set<int> seen;
+  shuffler.Draw(7, 12, &rng, [&](int idx) { seen.insert(idx); });
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(PartialShuffler, ZeroItemsOrZeroDrawsVisitNothing) {
+  PartialShuffler shuffler;
+  Rng rng(5);
+  int calls = 0;
+  shuffler.Draw(0, 5, &rng, [&](int) { ++calls; });
+  shuffler.Draw(5, 0, &rng, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(PartialShuffler, DrawsDependOnlyOnTheRngStream) {
+  // The internal permutation is restored after every draw, so a shuffler
+  // that has already served other draws (even at other n) behaves exactly
+  // like a fresh one given the same Rng state.
+  PartialShuffler warmed;
+  Rng warmup(6);
+  warmed.Draw(50, 10, &warmup, [](int) {});
+  warmed.Draw(8, 8, &warmup, [](int) {});
+
+  PartialShuffler fresh;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  std::vector<int> from_warmed, from_fresh;
+  warmed.Draw(30, 12, &rng_a, [&](int idx) { from_warmed.push_back(idx); });
+  fresh.Draw(30, 12, &rng_b, [&](int idx) { from_fresh.push_back(idx); });
+  EXPECT_EQ(from_warmed, from_fresh);
+}
+
+TEST(PartialShuffler, UniformMarginals) {
+  // Every index should be drawn with probability k/n = 1/4.
+  PartialShuffler shuffler;
+  Rng rng(8);
+  std::vector<int> hits(40, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    shuffler.Draw(40, 10, &rng, [&](int idx) { ++hits[idx]; });
+  }
+  for (int idx = 0; idx < 40; ++idx) {
+    EXPECT_NEAR(hits[idx] / static_cast<double>(trials), 0.25, 0.05)
+        << "index " << idx;
+  }
+}
+
+TEST(WeightedWorSelector, MatchesAllocatingSamplerExactly) {
+  // Same Rng stream consumption as WeightedSampleWithoutReplacement ⇒ the
+  // same seed must select the same index SET.
+  const std::vector<double> weights{5.0, 1.0, 0.0, 2.0, 2.0, 0.5, 3.0};
+  WeightedWorSelector selector;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    const std::vector<int> reference =
+        WeightedSampleWithoutReplacement(weights, 3, &rng_a);
+    std::set<int> selected;
+    selector.Draw(weights, 3, &rng_b, [&](int idx) { selected.insert(idx); });
+    EXPECT_EQ(selected, std::set<int>(reference.begin(), reference.end()))
+        << "seed " << seed;
+  }
+}
+
+TEST(WeightedWorSelector, SkipsZeroWeightsAndClamps) {
+  const std::vector<double> weights{0.0, 1.0, 0.0, 1.0};
+  WeightedWorSelector selector;
+  Rng rng(9);
+  std::set<int> selected;
+  selector.Draw(weights, 10, &rng, [&](int idx) { selected.insert(idx); });
+  EXPECT_EQ(selected, (std::set<int>{1, 3}));
+}
+
+TEST(WeightedWorSelector, FullDrawIsAPermutation) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  WeightedWorSelector selector;
+  Rng rng(10);
+  std::set<int> selected;
+  int calls = 0;
+  selector.Draw(weights, 4, &rng, [&](int idx) {
+    selected.insert(idx);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(selected, (std::set<int>{0, 1, 2, 3}));
+}
+
 }  // namespace
 }  // namespace uuq

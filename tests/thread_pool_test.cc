@@ -1,0 +1,159 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace uuq {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ZeroItemRangeIsANoOp) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, 0, [&](int64_t) { ++calls; });
+  pool.ParallelFor(7, 7, [&](int64_t) { ++calls; });
+  pool.ParallelFor(5, 3, [&](int64_t) { ++calls; });  // inverted
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, NonZeroBeginPassesAbsoluteIndices) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(10, 20, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> order;
+  pool.ParallelFor(0, 5, [&](int64_t i) {
+    order.push_back(static_cast<int>(i));  // safe: no concurrency
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100,
+                       [&](int64_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, PoolIsUsableAfterAnException) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(0, 8, [](int64_t) { throw std::logic_error("x"); });
+    FAIL() << "expected throw";
+  } catch (const std::logic_error&) {
+  }
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 64, [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionAbandonsRemainingIndicesLikeASerialLoop) {
+  ThreadPool pool(1);  // inline: deterministic claim order
+  std::vector<int> visited;
+  try {
+    pool.ParallelFor(0, 100, [&](int64_t i) {
+      visited.push_back(static_cast<int>(i));
+      if (i == 3) throw std::runtime_error("stop");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(visited, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, NestedParallelForOnTheSamePoolDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> cells(64);
+  pool.ParallelFor(0, 8, [&](int64_t outer) {
+    pool.ParallelFor(0, 8, [&](int64_t inner) {
+      cells[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& cell : cells) EXPECT_EQ(cell.load(), 1);
+}
+
+TEST(ThreadPool, NestedUseAcrossDifferentPools) {
+  ThreadPool outer_pool(3);
+  ThreadPool inner_pool(3);
+  std::atomic<int> count{0};
+  outer_pool.ParallelFor(0, 6, [&](int64_t) {
+    inner_pool.ParallelFor(0, 6, [&](int64_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 36);
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrder) {
+  ThreadPool pool(4);
+  const std::vector<int64_t> squares =
+      pool.ParallelMap(100, [](int64_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ThreadPool, ParallelMapOfZeroItems) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.ParallelMap(0, [](int64_t i) { return i; }).empty());
+}
+
+TEST(ThreadPool, NumThreadsClampsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPool, DefaultNumThreadsHonoursEnvOverride) {
+  const char* saved = std::getenv("UUQ_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  setenv("UUQ_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3);
+  setenv("UUQ_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 1);
+  setenv("UUQ_THREADS", "garbage", 1);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);  // falls back to hardware
+
+  if (saved != nullptr) {
+    setenv("UUQ_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("UUQ_THREADS");
+  }
+}
+
+TEST(ThreadPool, OrDefaultPrefersTheGivenPool) {
+  ThreadPool pool(2);
+  EXPECT_EQ(ThreadPool::OrDefault(&pool), &pool);
+  EXPECT_EQ(ThreadPool::OrDefault(nullptr), ThreadPool::Default());
+  EXPECT_NE(ThreadPool::Default(), nullptr);
+}
+
+TEST(ThreadPool, ManySmallLoopsBackToBack) {
+  // Exercises the queue/wakeup path under churn.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 5, [&](int64_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 5);
+  }
+}
+
+}  // namespace
+}  // namespace uuq
