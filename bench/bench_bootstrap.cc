@@ -1,0 +1,231 @@
+// Columnar bootstrap throughput harness + regression gate.
+//
+// Times BootstrapCorrectedSum on the ROADMAP baseline workload (bucket
+// estimator, B=48 replicates, n=500 UsTechEmployment prefix — the PR 1
+// measurement was 12.7 ms serial on the materializing path) in both
+// evaluation modes, plus the jackknife, and verifies:
+//
+//   * columnar and materialized intervals agree bit for bit (the
+//     conformance contract at bench scale),
+//   * 1-thread and 2-thread pools agree bit for bit (the determinism
+//     contract),
+//   * the columnar path clears the >=3x replicate-throughput target over
+//     the materializing path (acceptance criterion, recorded on the bench
+//     box; warn-only unless UUQ_BENCH_ENFORCE is set, because a loaded or
+//     slow box can legitimately land near the line).
+//
+// Regression gate — the check CI actually enforces:
+// UUQ_BENCH_BASELINE=<path to bench/bootstrap_baseline.json> compares the
+// measured columnar-vs-materialized SPEEDUP RATIO against the committed
+// baseline and fails when it drops below 80% of it. The ratio is
+// machine-portable (both paths run on the same box in the same process),
+// unlike absolute milliseconds — the trade-off is that it tracks the
+// columnar engine's advantage over the reference path, not absolute
+// throughput: re-measure and recommit the baseline when the reference path
+// itself is deliberately changed.
+//
+// Rows are APPENDED to bench_out.json so one CI artifact carries both this
+// harness and bench_parallel_speedup.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/bootstrap.h"
+#include "simulation/scenarios.h"
+
+namespace uuq {
+namespace {
+
+int64_t BestOfRepsNs(int reps, const std::function<void()>& op) {
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    op();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    best = std::min<int64_t>(
+        best,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  }
+  return best;
+}
+
+struct Fatal {
+  std::string what;
+};
+
+void CheckBitIdentical(double a, double b, const char* label) {
+  if (a != b && !(std::isnan(a) && std::isnan(b))) {
+    throw Fatal{std::string(label) + ": results differ (" + std::to_string(a) +
+                " vs " + std::to_string(b) + ")"};
+  }
+}
+
+/// Reads `"key": <number>` out of a (small, trusted) JSON file; NaN when the
+/// file or key is missing.
+double ReadBaselineNumber(const std::string& path, const std::string& key) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return std::numeric_limits<double>::quiet_NaN();
+  std::string content;
+  char chunk[1024];
+  size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    content.append(chunk, got);
+  }
+  std::fclose(file);
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = content.find(needle);
+  if (pos == std::string::npos) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  pos = content.find(':', pos + needle.size());
+  if (pos == std::string::npos) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::atof(content.c_str() + pos + 1);
+}
+
+}  // namespace
+}  // namespace uuq
+
+int main() {
+  using namespace uuq;
+  using bench::BenchRow;
+
+  const int reps = bench::RepsFromEnv(3);
+  const bool enforce = std::getenv("UUQ_BENCH_ENFORCE") != nullptr;
+
+  bench::PrintHeader(
+      "Columnar bootstrap engine (SampleView replicates vs materializing "
+      "reference)",
+      ">=3x replicate throughput over the materializing path; bit-identical "
+      "intervals across evaluation modes and thread counts");
+  std::printf("reps=%d (best-of)%s\n\n", reps,
+              enforce ? "  [UUQ_BENCH_ENFORCE]" : "");
+
+  const Scenario scenario = scenarios::UsTechEmployment();
+  IntegratedSample sample;
+  for (int64_t i = 0;
+       i < 500 && i < static_cast<int64_t>(scenario.stream.size()); ++i) {
+    sample.Add(scenario.stream[i]);
+  }
+  const BucketSumEstimator bucket;
+  std::vector<BenchRow> rows;
+  double speedup = 0.0;
+
+  try {
+    ThreadPool serial(1);
+    BootstrapOptions options;
+    options.replicates = 48;
+    options.pool = &serial;
+
+    // ---- materializing reference (the pre-columnar hot path) -------------
+    options.evaluation = ReplicateEvaluation::kMaterialized;
+    double ref_lo = 0.0;
+    const int64_t ref_ns = BestOfRepsNs(reps, [&] {
+      ref_lo = BootstrapCorrectedSum(sample, bucket, options).lo;
+    });
+    rows.push_back({"bootstrap[bucket]", "eval=materialized,B=48,n=500",
+                    static_cast<double>(ref_ns), 1.0});
+    std::printf("%-34s %10.3f ms\n", "bootstrap materialized (B=48)",
+                ref_ns / 1e6);
+
+    // ---- columnar engine --------------------------------------------------
+    options.evaluation = ReplicateEvaluation::kColumnar;
+    double col_lo = 0.0;
+    const int64_t col_ns = BestOfRepsNs(reps, [&] {
+      col_lo = BootstrapCorrectedSum(sample, bucket, options).lo;
+    });
+    speedup = static_cast<double>(ref_ns) / static_cast<double>(col_ns);
+    rows.push_back({"bootstrap[bucket]", "eval=columnar,B=48,n=500",
+                    static_cast<double>(col_ns), speedup});
+    std::printf("%-34s %10.3f ms   %6.2fx vs materialized\n",
+                "bootstrap columnar (B=48)", col_ns / 1e6, speedup);
+
+    CheckBitIdentical(ref_lo, col_lo, "bootstrap columnar-vs-materialized");
+
+    // ---- determinism across thread counts --------------------------------
+    ThreadPool pair(2);
+    options.pool = &pair;
+    const double pair_lo = BootstrapCorrectedSum(sample, bucket, options).lo;
+    CheckBitIdentical(col_lo, pair_lo, "bootstrap threads=1-vs-2");
+    options.pool = &serial;
+
+    // ---- jackknife --------------------------------------------------------
+    double jk_col = 0.0, jk_ref = 0.0;
+    const int64_t jk_col_ns = BestOfRepsNs(reps, [&] {
+      jk_col = JackknifeCorrectedSum(sample, bucket, 1.96, &serial,
+                                     ReplicateEvaluation::kColumnar)
+                   .standard_error;
+    });
+    const int64_t jk_ref_ns = BestOfRepsNs(reps, [&] {
+      jk_ref = JackknifeCorrectedSum(sample, bucket, 1.96, &serial,
+                                     ReplicateEvaluation::kMaterialized)
+                   .standard_error;
+    });
+    CheckBitIdentical(jk_ref, jk_col, "jackknife columnar-vs-materialized");
+    const double jk_speedup =
+        static_cast<double>(jk_ref_ns) / static_cast<double>(jk_col_ns);
+    rows.push_back({"jackknife[bucket]", "eval=materialized,n=500",
+                    static_cast<double>(jk_ref_ns), 1.0});
+    rows.push_back({"jackknife[bucket]", "eval=columnar,n=500",
+                    static_cast<double>(jk_col_ns), jk_speedup});
+    std::printf("%-34s %10.3f ms\n", "jackknife materialized",
+                jk_ref_ns / 1e6);
+    std::printf("%-34s %10.3f ms   %6.2fx vs materialized\n",
+                "jackknife columnar", jk_col_ns / 1e6, jk_speedup);
+
+    // ---- replicate throughput ---------------------------------------------
+    const double reps_per_sec = 48.0 / (static_cast<double>(col_ns) / 1e9);
+    rows.push_back({"bootstrap[bucket]", "ns_per_replicate,B=48,n=500",
+                    static_cast<double>(col_ns) / 48.0, speedup});
+    std::printf("%-34s %10.0f replicates/s\n\n", "columnar throughput",
+                reps_per_sec);
+
+    if (speedup < 3.0) {
+      const std::string msg =
+          "columnar speedup " + std::to_string(speedup) +
+          "x is below the 3x acceptance target";
+      if (enforce) throw Fatal{msg};
+      std::printf("WARNING: %s (not enforced without UUQ_BENCH_ENFORCE)\n",
+                  msg.c_str());
+    }
+
+    // ---- regression gate vs committed baseline ----------------------------
+    if (const char* baseline_path = std::getenv("UUQ_BENCH_BASELINE")) {
+      const double baseline =
+          ReadBaselineNumber(baseline_path, "bootstrap_columnar_speedup");
+      if (std::isnan(baseline)) {
+        std::printf("WARNING: no bootstrap_columnar_speedup in %s; gate "
+                    "skipped\n",
+                    baseline_path);
+      } else if (speedup < 0.8 * baseline) {
+        throw Fatal{"columnar-vs-materialized speedup regressed >20%: " +
+                    std::to_string(speedup) + "x vs committed baseline " +
+                    std::to_string(baseline) +
+                    "x (re-measure the baseline if the reference path was "
+                    "deliberately changed)"};
+      } else {
+        std::printf("baseline gate OK: %.2fx vs committed %.2fx (>=80%%)\n",
+                    speedup, baseline);
+      }
+    }
+  } catch (const Fatal& fatal) {
+    std::fprintf(stderr, "FATAL: %s\n", fatal.what.c_str());
+    return 1;
+  }
+
+  const std::string path = bench::BenchJsonPath();
+  if (!bench::AppendBenchJson(path, rows)) return 1;
+  std::printf("appended %zu rows to %s\n", rows.size(), path.c_str());
+  return 0;
+}

@@ -7,10 +7,11 @@
 // tracking.
 //
 // Expected shape: near-linear Monte-Carlo scaling up to the physical core
-// count (the grid points are uniform-cost and allocation-free), somewhat
-// sublinear bootstrap scaling (replicate resampling is allocation-heavy),
-// and modest dynamic-bucket gains (the scan is memory-bound closed-form
-// math). UUQ_REPS raises the repetition count; timings report the best rep.
+// count (the grid points are uniform-cost and allocation-free), good
+// bootstrap scaling (replicates evaluate over the columnar SampleView —
+// see bench_bootstrap for the columnar-vs-materialized comparison), and
+// modest dynamic-bucket gains (the scan is memory-bound closed-form math).
+// UUQ_REPS raises the repetition count; timings report the best rep.
 #include <algorithm>
 #include <chrono>
 #include <cmath>

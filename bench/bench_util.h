@@ -94,6 +94,18 @@ inline std::string JsonEscape(const std::string& in) {
   return out;
 }
 
+inline std::string FormatBenchRow(const BenchRow& row) {
+  char buffer[64];
+  std::string out = "  {\"estimator\": \"" + JsonEscape(row.estimator) +
+                    "\", \"config\": \"" + JsonEscape(row.config) + "\"";
+  std::snprintf(buffer, sizeof(buffer), ", \"ns_per_op\": %.3f",
+                row.ns_per_op);
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), ", \"speedup\": %.4f}", row.speedup);
+  out += buffer;
+  return out;
+}
+
 /// Writes the rows as a JSON array to `path`; returns false (with a warning
 /// on stderr) when the file cannot be opened.
 inline bool WriteBenchJson(const std::string& path,
@@ -105,15 +117,58 @@ inline bool WriteBenchJson(const std::string& path,
   }
   std::fputs("[\n", file);
   for (size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(
-        file,
-        "  {\"estimator\": \"%s\", \"config\": \"%s\", "
-        "\"ns_per_op\": %.3f, \"speedup\": %.4f}%s\n",
-        JsonEscape(rows[i].estimator).c_str(),
-        JsonEscape(rows[i].config).c_str(), rows[i].ns_per_op,
-        rows[i].speedup, i + 1 < rows.size() ? "," : "");
+    std::fprintf(file, "%s%s\n", FormatBenchRow(rows[i]).c_str(),
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fputs("]\n", file);
+  std::fclose(file);
+  return true;
+}
+
+/// Appends rows to an existing bench_out.json array (rewriting the file) so
+/// several bench binaries can contribute to ONE trajectory artifact; writes
+/// a fresh array when the file is missing or not a JSON array.
+inline bool AppendBenchJson(const std::string& path,
+                            const std::vector<BenchRow>& rows) {
+  std::string existing;
+  if (std::FILE* file = std::fopen(path.c_str(), "r")) {
+    char chunk[4096];
+    size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+      existing.append(chunk, got);
+    }
+    std::fclose(file);
+  }
+  const size_t open = existing.find('[');
+  const size_t close = existing.rfind(']');
+  // Only splice into a file whose LAST non-whitespace byte is the closing
+  // bracket — a truncated write (e.g. cancelled CI job) may still contain a
+  // ']' inside an estimator name like "bootstrap[bucket]", and building on
+  // that would corrupt the artifact forever instead of self-healing.
+  const size_t tail = existing.find_last_not_of(" \t\r\n");
+  if (open == std::string::npos || close == std::string::npos ||
+      close <= open || tail != close) {
+    return WriteBenchJson(path, rows);
+  }
+  // Keep everything inside the brackets; splice the new rows behind it.
+  std::string body = existing.substr(open + 1, close - open - 1);
+  while (!body.empty() &&
+         (body.back() == '\n' || body.back() == ' ' || body.back() == '\r')) {
+    body.pop_back();
+  }
+  const bool had_rows = body.find('{') != std::string::npos;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs("[", file);
+  std::fputs(body.c_str(), file);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(file, "%s\n%s", (had_rows || i > 0) ? "," : "",
+                 FormatBenchRow(rows[i]).c_str());
+  }
+  std::fputs("\n]\n", file);
   std::fclose(file);
   return true;
 }

@@ -39,4 +39,14 @@
 // Marks intentionally unused parameters (e.g. interface defaults).
 #define UUQ_UNUSED(x) (void)(x)
 
+// No-alias hint for hot columnar loops (the bootstrap replicate builder
+// indexes several dense arrays that provably never overlap).
+#if defined(__GNUC__) || defined(__clang__)
+#define UUQ_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define UUQ_RESTRICT __restrict
+#else
+#define UUQ_RESTRICT
+#endif
+
 #endif  // UUQ_COMMON_MACROS_H_

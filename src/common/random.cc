@@ -100,4 +100,11 @@ Rng Rng::Split() {
   return Rng(NextUint64());
 }
 
+std::vector<Rng> Rng::SplitStreams(int count) {
+  std::vector<Rng> streams;
+  streams.reserve(count > 0 ? static_cast<size_t>(count) : 0);
+  for (int i = 0; i < count; ++i) streams.push_back(Split());
+  return streams;
+}
+
 }  // namespace uuq

@@ -59,6 +59,12 @@ class Rng {
   /// Derives an independent child generator (for per-trial streams).
   Rng Split();
 
+  /// Derives `count` child generators in order — the canonical way to give
+  /// each parallel task (bootstrap replicate, Monte-Carlo grid point) its
+  /// own pre-derived stream so results are bit-identical for any thread
+  /// count. Stream i is always the i-th Split() of this generator.
+  std::vector<Rng> SplitStreams(int count);
+
  private:
   uint64_t s_[4];
   double cached_gaussian_ = 0.0;

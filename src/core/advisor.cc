@@ -18,13 +18,26 @@ const char* EstimatorChoiceName(EstimatorChoice choice) {
 }
 
 Advice EstimatorAdvisor::Advise(const IntegratedSample& sample) const {
-  Advice advice;
-  const SampleStats stats = SampleStats::FromSample(sample);
-  advice.coverage = stats.Coverage();
-  advice.num_sources = sample.num_sources();
+  return Decide(SampleStats::FromSample(sample),
+                AnalyzeSourceImbalance(sample, options_.max_share_threshold,
+                                       options_.gini_threshold));
+}
 
-  const SourceImbalanceReport imbalance = AnalyzeSourceImbalance(
-      sample, options_.max_share_threshold, options_.gini_threshold);
+Advice EstimatorAdvisor::Advise(const ReplicateSample& rep) const {
+  // Source imbalance straight from the size column — the same derivation
+  // AnalyzeSourceImbalance runs on the materialized source map, minus the
+  // ids (the dominant source is named positionally in the rationale).
+  return Decide(SampleStats::FromReplicate(rep),
+                AnalyzeSourceSizes(rep.source_sizes,
+                                   options_.max_share_threshold,
+                                   options_.gini_threshold));
+}
+
+Advice EstimatorAdvisor::Decide(const SampleStats& stats,
+                                const SourceImbalanceReport& imbalance) const {
+  Advice advice;
+  advice.coverage = stats.Coverage();
+  advice.num_sources = imbalance.num_sources;
   advice.streaker_suspected = imbalance.streaker_suspected;
 
   if (advice.coverage < options_.coverage_threshold) {

@@ -45,6 +45,13 @@ class EstimatorAdvisor {
 
   Advice Advise(const IntegratedSample& sample) const;
 
+  /// Columnar form for bootstrap replicates: the §6.5 rules read only the
+  /// sufficient statistics and the source-size column, both carried by
+  /// ReplicateSample, so advising a replicate needs no materialization. The
+  /// decision matches Advise() on the materialized replicate exactly (the
+  /// rationale names sources positionally instead of by id).
+  Advice Advise(const ReplicateSample& rep) const;
+
   /// Instantiates the recommended SUM estimator. For kCollectMoreData the
   /// bucket estimator is returned (least harmful default) — callers should
   /// still surface the low-coverage warning from Advise().
@@ -52,6 +59,11 @@ class EstimatorAdvisor {
       const IntegratedSample& sample) const;
 
  private:
+  /// The §6.5 decision tree over pre-derived inputs (shared by the sample
+  /// and replicate entry points).
+  Advice Decide(const SampleStats& stats,
+                const SourceImbalanceReport& imbalance) const;
+
   Options options_;
 };
 

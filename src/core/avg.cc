@@ -4,18 +4,16 @@
 
 namespace uuq {
 
-Estimate AvgEstimator::EstimateAvg(const IntegratedSample& sample) const {
+Estimate AvgEstimator::FromBuckets(
+    const SampleStats& stats, const std::vector<ValueBucket>& buckets) const {
   Estimate est;
   est.estimator = "avg[" + bucket_->name() + "]";
-  const SampleStats stats = SampleStats::FromSample(sample);
   est.coverage_ok = stats.Coverage() >= 0.4;
   if (stats.empty()) {
     est.coverage_ok = false;
     return est;
   }
   const double observed_avg = stats.ValueMean();
-
-  const std::vector<ValueBucket> buckets = bucket_->ComputeBuckets(sample);
   est.num_buckets = static_cast<int>(buckets.size());
 
   double corrected_total = 0.0;
@@ -45,6 +43,16 @@ Estimate AvgEstimator::EstimateAvg(const IntegratedSample& sample) const {
   est.missing_count = corrected_count - static_cast<double>(stats.c);
   est.finite = std::isfinite(est.corrected_sum);
   return est;
+}
+
+Estimate AvgEstimator::EstimateAvg(const IntegratedSample& sample) const {
+  return FromBuckets(SampleStats::FromSample(sample),
+                     bucket_->ComputeBuckets(sample));
+}
+
+Estimate AvgEstimator::EstimateAvg(const ReplicateSample& rep) const {
+  return FromBuckets(SampleStats::FromReplicate(rep),
+                     bucket_->ComputeBuckets(rep));
 }
 
 }  // namespace uuq

@@ -30,7 +30,15 @@ class AvgEstimator {
   /// false) when a bucket count estimate degenerates to infinity.
   Estimate EstimateAvg(const IntegratedSample& sample) const;
 
+  /// Columnar replicate form (bootstrap intervals on corrected AVG): the
+  /// bucket breakdown and the mean need only the replicate's value and
+  /// multiplicity columns.
+  Estimate EstimateAvg(const ReplicateSample& rep) const;
+
  private:
+  Estimate FromBuckets(const SampleStats& stats,
+                       const std::vector<ValueBucket>& buckets) const;
+
   std::shared_ptr<const BucketSumEstimator> bucket_;
 };
 

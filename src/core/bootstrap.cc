@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "common/macros.h"
 #include "common/thread_pool.h"
@@ -12,57 +11,43 @@ namespace uuq {
 
 IntegratedSample ResampleSources(const IntegratedSample& sample, Rng* rng) {
   UUQ_CHECK(rng != nullptr);
-  // Group the raw observation stream by source, preserving intra-source
-  // order (a source's claims stay a without-replacement draw).
-  std::map<std::string, std::vector<Observation>> by_source;
-  for (const Observation& obs : sample.ObservationLog()) {
-    by_source[obs.source_id].push_back(obs);
-  }
-  std::vector<const std::vector<Observation>*> sources;
-  sources.reserve(by_source.size());
-  for (const auto& [id, observations] : by_source) {
-    sources.push_back(&observations);
-  }
-
-  IntegratedSample resampled(sample.policy());
-  if (sources.empty()) return resampled;
-  const size_t l = sources.size();
-  for (size_t draw = 0; draw < l; ++draw) {
-    const auto* source = sources[rng->NextBounded(l)];
-    // Fresh identity per draw: the same original source drawn twice acts as
-    // two independent sources (standard bootstrap-of-clusters semantics).
-    const std::string identity = "bs" + std::to_string(draw);
-    for (const Observation& obs : *source) {
-      resampled.Add(identity, obs.entity_key, obs.value);
-    }
-  }
-  return resampled;
+  // Thin adapter over the columnar engine: the view supplies both the draw
+  // (same Rng consumption as the historical map-based body) and the
+  // materialization (same "bs<draw>" replay, any fusion policy).
+  const SampleView view(sample);
+  std::vector<int32_t> draws;
+  view.DrawBootstrapSources(rng, &draws);
+  return view.MaterializeReplicate(draws);
 }
 
-BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
-                                        const SumEstimator& estimator,
-                                        const BootstrapOptions& options) {
-  UUQ_CHECK_MSG(options.replicates > 0, "need at least one replicate");
-  UUQ_CHECK_MSG(options.confidence > 0.0 && options.confidence < 1.0,
-                "confidence must be in (0,1)");
+namespace {
+
+/// Decides whether the columnar path may serve this run; aborts when the
+/// caller forced an unavailable path.
+bool ResolveColumnar(ReplicateEvaluation evaluation, bool estimator_supports,
+                     FusionPolicy policy, bool has_materialized) {
+  const bool available =
+      estimator_supports && SampleView::PolicySupportsColumnar(policy);
+  if (evaluation == ReplicateEvaluation::kColumnar) {
+    UUQ_CHECK_MSG(available,
+                  "columnar evaluation forced but the estimator or fusion "
+                  "policy does not support it");
+    return true;
+  }
+  const bool columnar =
+      evaluation != ReplicateEvaluation::kMaterialized && available;
+  UUQ_CHECK_MSG(columnar || has_materialized,
+                "no usable replicate evaluator (columnar unavailable and no "
+                "materialized fallback)");
+  return columnar;
+}
+
+/// Sorts the finite replicate values into a percentile interval.
+BootstrapInterval PercentileInterval(double point,
+                                     const std::vector<double>& values,
+                                     double confidence) {
   BootstrapInterval interval;
-  interval.point = estimator.EstimateImpact(sample).corrected_sum;
-
-  // One pre-derived Rng stream per replicate (derived in replicate order)
-  // and one result slot per replicate: the values — and therefore the
-  // percentiles — are bit-identical for any thread count.
-  Rng root(options.seed);
-  std::vector<Rng> streams;
-  streams.reserve(static_cast<size_t>(options.replicates));
-  for (int b = 0; b < options.replicates; ++b) streams.push_back(root.Split());
-
-  const std::vector<double> values =
-      ThreadPool::OrDefault(options.pool)
-          ->ParallelMap(options.replicates, [&](int64_t b) {
-            Rng rng = streams[static_cast<size_t>(b)];
-            const IntegratedSample resampled = ResampleSources(sample, &rng);
-            return estimator.EstimateImpact(resampled).corrected_sum;
-          });
+  interval.point = point;
   interval.replicates.reserve(values.size());
   for (double value : values) {
     if (std::isfinite(value)) interval.replicates.push_back(value);
@@ -73,43 +58,104 @@ BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
     return interval;
   }
   std::sort(interval.replicates.begin(), interval.replicates.end());
-  const double alpha = (1.0 - options.confidence) / 2.0;
+  const double alpha = (1.0 - confidence) / 2.0;
   interval.lo = Quantile(interval.replicates, alpha);
   interval.hi = Quantile(interval.replicates, 1.0 - alpha);
   interval.median = Quantile(interval.replicates, 0.5);
   return interval;
 }
 
+}  // namespace
+
+BootstrapInterval BootstrapAggregate(
+    const IntegratedSample& sample, double point,
+    const std::function<double(const ReplicateSample&)>& columnar,
+    const std::function<double(const IntegratedSample&)>& materialized,
+    const BootstrapOptions& options) {
+  UUQ_CHECK_MSG(options.replicates > 0, "need at least one replicate");
+  UUQ_CHECK_MSG(options.confidence > 0.0 && options.confidence < 1.0,
+                "confidence must be in (0,1)");
+  const bool use_columnar =
+      ResolveColumnar(options.evaluation, columnar != nullptr,
+                      sample.policy(), materialized != nullptr);
+
+  // Flattened once; every replicate is index arithmetic from here on.
+  const SampleView view(sample);
+
+  // One pre-derived Rng stream per replicate (derived in replicate order)
+  // and one result slot per replicate: the values — and therefore the
+  // percentiles — are bit-identical for any thread count.
+  Rng root(options.seed);
+  const std::vector<Rng> streams = root.SplitStreams(options.replicates);
+
+  const std::vector<double> values =
+      ThreadPool::OrDefault(options.pool)
+          ->ParallelMap(options.replicates, [&](int64_t b) {
+            Rng rng = streams[static_cast<size_t>(b)];
+            if (use_columnar) {
+              // Worker-local buffers: resting-state scratch (sample_view.h)
+              // makes reuse across replicates, views, and pools safe.
+              thread_local ReplicateScratch scratch;
+              thread_local ReplicateSample rep;
+              view.DrawBootstrapSources(&rng, &scratch.draws());
+              view.BuildReplicate(scratch.draws(), &scratch, &rep);
+              return columnar(rep);
+            }
+            std::vector<int32_t> draws;
+            view.DrawBootstrapSources(&rng, &draws);
+            return materialized(view.MaterializeReplicate(draws));
+          });
+  return PercentileInterval(point, values, options.confidence);
+}
+
+BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
+                                        const SumEstimator& estimator,
+                                        const BootstrapOptions& options) {
+  const double point = estimator.EstimateImpact(sample).corrected_sum;
+  std::function<double(const ReplicateSample&)> columnar;
+  if (estimator.SupportsReplicates()) {
+    columnar = [&estimator](const ReplicateSample& rep) {
+      return estimator.EstimateReplicate(rep).corrected_sum;
+    };
+  }
+  return BootstrapAggregate(
+      sample, point, columnar,
+      [&estimator](const IntegratedSample& resampled) {
+        return estimator.EstimateImpact(resampled).corrected_sum;
+      },
+      options);
+}
+
 JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
                                         const SumEstimator& estimator,
-                                        double z, ThreadPool* pool) {
+                                        double z, ThreadPool* pool,
+                                        ReplicateEvaluation evaluation) {
   JackknifeInterval interval;
   interval.point = estimator.EstimateImpact(sample).corrected_sum;
   interval.sources = static_cast<int>(sample.num_sources());
   interval.lo = interval.hi = interval.point;
   if (interval.sources < 2) return interval;
 
-  std::vector<std::string> source_ids;
-  source_ids.reserve(sample.source_sizes().size());
-  for (const auto& [id, size] : sample.source_sizes()) {
-    source_ids.push_back(id);
-  }
+  const bool use_columnar =
+      ResolveColumnar(evaluation, estimator.SupportsReplicates(),
+                      sample.policy(), /*has_materialized=*/true);
+  const SampleView view(sample);
 
-  // Group observations once; build each leave-one-out sample by replay.
   // Leave-one-out estimates are independent, so they run concurrently; the
   // computation is RNG-free and each slot is written once, keeping the
   // interval identical for any thread count.
-  const std::vector<Observation> log = sample.ObservationLog();
   const std::vector<double> values =
       ThreadPool::OrDefault(pool)->ParallelMap(
-          static_cast<int64_t>(source_ids.size()), [&](int64_t i) {
-            const std::string& excluded = source_ids[static_cast<size_t>(i)];
-            IntegratedSample loo(sample.policy());
-            for (const Observation& obs : log) {
-              if (obs.source_id == excluded) continue;
-              loo.Add(obs);
+          static_cast<int64_t>(interval.sources), [&](int64_t i) {
+            const int32_t excluded = static_cast<int32_t>(i);
+            if (use_columnar) {
+              thread_local ReplicateScratch scratch;
+              thread_local ReplicateSample rep;
+              view.BuildLeaveOneOut(excluded, &scratch, &rep);
+              return estimator.EstimateReplicate(rep).corrected_sum;
             }
-            return estimator.EstimateImpact(loo).corrected_sum;
+            return estimator.EstimateImpact(view.MaterializeLeaveOneOut(excluded))
+                .corrected_sum;
           });
   std::vector<double> replicates;
   replicates.reserve(values.size());

@@ -7,17 +7,43 @@
 // granularity: draw l sources with replacement, replay their observations
 // (a resampled source keeps its internal without-replacement property), and
 // re-run the estimator. Percentile intervals over B replicates.
+//
+// ENGINE. Replicates run over the columnar SampleView (sample_view.h): the
+// sample is flattened once, each replicate is a vector of source indices,
+// and estimators with a columnar path (every built-in SUM estimator)
+// evaluate the replicate straight from the value/multiplicity columns — no
+// maps, no string keys, no per-replicate Observation copies. Estimators
+// without a columnar path, and the kMajority fusion policy, transparently
+// fall back to materializing each replicate (the pre-columnar behaviour,
+// byte-for-byte).
+//
+// DETERMINISM. One Rng::Split() stream per replicate, derived in replicate
+// order before the parallel section, so intervals are bit-identical for
+// every thread count (including UUQ_THREADS=1). For columnar-supported
+// fusion policies the columnar and materialized evaluations produce
+// bit-identical replicate estimates (see sample_view.h); the conformance
+// suite pins both paths to each other within 1e-9 relative tolerance.
 #ifndef UUQ_CORE_BOOTSTRAP_H_
 #define UUQ_CORE_BOOTSTRAP_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/random.h"
 #include "core/estimate.h"
+#include "integration/sample_view.h"
 
 namespace uuq {
 
 class ThreadPool;
+
+/// How BootstrapCorrectedSum / JackknifeCorrectedSum evaluate a replicate.
+enum class ReplicateEvaluation {
+  kAuto,          ///< columnar when the estimator and policy allow, else
+                  ///< materialized
+  kColumnar,      ///< force the columnar path (aborts when unsupported)
+  kMaterialized,  ///< force the materializing reference path
+};
 
 struct BootstrapOptions {
   int replicates = 200;
@@ -29,6 +55,10 @@ struct BootstrapOptions {
   /// thread count. `estimator` must tolerate concurrent const calls (every
   /// uuq estimator is stateless and does).
   ThreadPool* pool = nullptr;
+  /// kAuto picks the columnar fast path whenever the estimator supports
+  /// replicates and the fusion policy allows streaming fusion; kMaterialized
+  /// is the conformance/debugging reference.
+  ReplicateEvaluation evaluation = ReplicateEvaluation::kAuto;
 };
 
 struct BootstrapInterval {
@@ -54,8 +84,25 @@ BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
                                         const SumEstimator& estimator,
                                         const BootstrapOptions& options = {});
 
+/// Generic percentile bootstrap over source-resampled replicates: the
+/// engine behind BootstrapCorrectedSum and QueryCorrector's COUNT/AVG/
+/// MIN/MAX intervals. `columnar` evaluates one replicate from its columns
+/// (may be null when the statistic has no columnar form); `materialized`
+/// evaluates a materialized replicate and must be provided whenever the
+/// columnar path can be ruled out (null `columnar`, kMajority fusion, or
+/// evaluation == kMaterialized). `point` is the statistic on the original
+/// sample and is copied into the interval.
+BootstrapInterval BootstrapAggregate(
+    const IntegratedSample& sample, double point,
+    const std::function<double(const ReplicateSample&)>& columnar,
+    const std::function<double(const IntegratedSample&)>& materialized,
+    const BootstrapOptions& options = {});
+
 /// Source-level resample: draws num_sources() source ids with replacement
 /// and replays their observation streams under fresh source identities.
+/// Thin adapter over SampleView — one-shot callers only; the bootstrap
+/// engine itself reuses the view across replicates and (for supported
+/// policies) never materializes at all.
 IntegratedSample ResampleSources(const IntegratedSample& sample, Rng* rng);
 
 /// Delete-one-source jackknife: re-estimates with each source left out and
@@ -63,6 +110,8 @@ IntegratedSample ResampleSources(const IntegratedSample& sample, Rng* rng);
 ///   point ± z · sqrt((l−1)/l · Σ_i (θ_(i) − θ̄)²).
 /// Deterministic (no RNG), free of the duplicate-source artifact, O(l)
 /// re-estimations run concurrently on `pool` (nullptr → default pool).
+/// Leave-one-out replicates evaluate over the columnar view when the
+/// estimator and policy allow (`evaluation` mirrors BootstrapOptions).
 /// Needs at least 2 sources.
 struct JackknifeInterval {
   double point = 0.0;
@@ -73,10 +122,10 @@ struct JackknifeInterval {
   int finite_replicates = 0;
 };
 
-JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
-                                        const SumEstimator& estimator,
-                                        double z = 1.96,
-                                        ThreadPool* pool = nullptr);
+JackknifeInterval JackknifeCorrectedSum(
+    const IntegratedSample& sample, const SumEstimator& estimator,
+    double z = 1.96, ThreadPool* pool = nullptr,
+    ReplicateEvaluation evaluation = ReplicateEvaluation::kAuto);
 
 }  // namespace uuq
 

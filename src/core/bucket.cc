@@ -11,21 +11,33 @@
 
 namespace uuq {
 
-SortedEntityIndex::SortedEntityIndex(std::vector<EntityStat> entities)
-    : entities_(std::move(entities)) {
-  std::sort(entities_.begin(), entities_.end(),
-            [](const EntityStat& a, const EntityStat& b) {
+SortedEntityIndex::SortedEntityIndex(const std::vector<EntityStat>& entities) {
+  points_.reserve(entities.size());
+  for (const EntityStat& e : entities) {
+    points_.push_back({e.value, e.multiplicity});
+  }
+  BuildPrefix();
+}
+
+SortedEntityIndex::SortedEntityIndex(std::vector<EntityPoint> points)
+    : points_(std::move(points)) {
+  BuildPrefix();
+}
+
+void SortedEntityIndex::BuildPrefix() {
+  std::sort(points_.begin(), points_.end(),
+            [](const EntityPoint& a, const EntityPoint& b) {
               return a.value < b.value;
             });
-  prefix_.resize(entities_.size() + 1);
-  for (size_t i = 0; i < entities_.size(); ++i) {
+  prefix_.resize(points_.size() + 1);
+  for (size_t i = 0; i < points_.size(); ++i) {
     prefix_[i + 1] = prefix_[i];
-    prefix_[i + 1].Add(entities_[i]);
+    prefix_[i + 1].Add(points_[i]);
   }
 }
 
 SampleStats SortedEntityIndex::Slice(size_t begin, size_t end) const {
-  UUQ_DCHECK(begin <= end && end <= entities_.size());
+  UUQ_DCHECK(begin <= end && end <= points_.size());
   SampleStats out = prefix_[end];
   const SampleStats& lo = prefix_[begin];
   out.n -= lo.n;
@@ -39,10 +51,10 @@ SampleStats SortedEntityIndex::Slice(size_t begin, size_t end) const {
 }
 
 size_t SortedEntityIndex::UpperBoundOfValueAt(size_t i) const {
-  UUQ_DCHECK(i < entities_.size());
-  const double v = entities_[i].value;
+  UUQ_DCHECK(i < points_.size());
+  const double v = points_[i].value;
   size_t j = i + 1;
-  while (j < entities_.size() && entities_[j].value == v) ++j;
+  while (j < points_.size() && points_[j].value == v) ++j;
   return j;
 }
 
@@ -235,8 +247,7 @@ std::string BucketSumEstimator::name() const {
 }
 
 std::vector<ValueBucket> BucketSumEstimator::ComputeBuckets(
-    const IntegratedSample& sample) const {
-  SortedEntityIndex index(sample.entities());
+    const SortedEntityIndex& index) const {
   const std::vector<size_t> bounds = partitioner_->Partition(index, *inner_);
   std::vector<ValueBucket> buckets;
   for (size_t i = 0; i + 1 < bounds.size(); ++i) {
@@ -253,14 +264,26 @@ std::vector<ValueBucket> BucketSumEstimator::ComputeBuckets(
   return buckets;
 }
 
-Estimate BucketSumEstimator::EstimateImpact(
+std::vector<ValueBucket> BucketSumEstimator::ComputeBuckets(
     const IntegratedSample& sample) const {
-  const std::vector<ValueBucket> buckets = ComputeBuckets(sample);
-  Estimate est;
-  est.estimator = name();
-  est.num_buckets = static_cast<int>(buckets.size());
+  return ComputeBuckets(SortedEntityIndex(sample.entities()));
+}
 
-  const SampleStats whole = SampleStats::FromSample(sample);
+std::vector<ValueBucket> BucketSumEstimator::ComputeBuckets(
+    const ReplicateSample& rep) const {
+  return ComputeBuckets(SortedEntityIndex(rep.entities));
+}
+
+namespace {
+
+/// Eq. 11 aggregation shared by the sample and replicate paths. `whole`
+/// must be the full-sample stats folded in entity order.
+Estimate CombineBuckets(const std::string& estimator_name,
+                        const std::vector<ValueBucket>& buckets,
+                        const SampleStats& whole) {
+  Estimate est;
+  est.estimator = estimator_name;
+  est.num_buckets = static_cast<int>(buckets.size());
   est.coverage_ok = whole.Coverage() >= 0.4;
   if (buckets.empty()) {
     est.coverage_ok = false;
@@ -283,6 +306,20 @@ Estimate BucketSumEstimator::EstimateImpact(
   est.finite = finite && std::isfinite(delta);
   est.corrected_sum = whole.value_sum + delta;
   return est;
+}
+
+}  // namespace
+
+Estimate BucketSumEstimator::EstimateImpact(
+    const IntegratedSample& sample) const {
+  return CombineBuckets(name(), ComputeBuckets(sample),
+                        SampleStats::FromSample(sample));
+}
+
+Estimate BucketSumEstimator::EstimateReplicate(
+    const ReplicateSample& rep) const {
+  return CombineBuckets(name(), ComputeBuckets(rep),
+                        SampleStats::FromReplicate(rep));
 }
 
 }  // namespace uuq

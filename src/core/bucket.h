@@ -35,12 +35,17 @@ struct ValueBucket {
 
 /// Prefix-sum index over a value-sorted entity array; Slice(i, j) returns the
 /// sufficient statistics of entities [i, j) in O(1).
+///
+/// Stores only the (value, multiplicity) points the bucket math reads — no
+/// keys, no categories — so it is equally at home indexing a full sample's
+/// entities or a columnar bootstrap replicate.
 class SortedEntityIndex {
  public:
-  explicit SortedEntityIndex(std::vector<EntityStat> entities);
+  explicit SortedEntityIndex(const std::vector<EntityStat>& entities);
+  explicit SortedEntityIndex(std::vector<EntityPoint> points);
 
-  size_t size() const { return entities_.size(); }
-  const std::vector<EntityStat>& entities() const { return entities_; }
+  size_t size() const { return points_.size(); }
+  const std::vector<EntityPoint>& entities() const { return points_; }
 
   /// Stats of the half-open slice [begin, end).
   SampleStats Slice(size_t begin, size_t end) const;
@@ -50,8 +55,10 @@ class SortedEntityIndex {
   size_t UpperBoundOfValueAt(size_t i) const;
 
  private:
-  std::vector<EntityStat> entities_;  // sorted ascending by value
-  // prefix_[k] = stats over entities_[0..k)
+  void BuildPrefix();
+
+  std::vector<EntityPoint> points_;  // sorted ascending by value
+  // prefix_[k] = stats over points_[0..k)
   std::vector<SampleStats> prefix_;
 };
 
@@ -125,9 +132,19 @@ class BucketSumEstimator final : public SumEstimator {
   std::string name() const override;
   Estimate EstimateImpact(const IntegratedSample& sample) const override;
 
+  /// Columnar replicate path (bit-identical to EstimateImpact on the
+  /// materialized replicate — the whole-sample stats fold runs in
+  /// first-touch order and the index sort sees the same sequence).
+  bool SupportsReplicates() const override { return true; }
+  Estimate EstimateReplicate(const ReplicateSample& rep) const override;
+
   /// The full per-bucket breakdown (used by AVG and MIN/MAX, §5, and by the
   /// static-bucket ablation benches).
   std::vector<ValueBucket> ComputeBuckets(const IntegratedSample& sample) const;
+  /// Same, over a columnar replicate (AVG/MIN-MAX bootstrap).
+  std::vector<ValueBucket> ComputeBuckets(const ReplicateSample& rep) const;
+  /// Shared core: buckets of an already-built index.
+  std::vector<ValueBucket> ComputeBuckets(const SortedEntityIndex& index) const;
 
   const BucketPartitioner& partitioner() const { return *partitioner_; }
   const StatsSumEstimator& inner() const { return *inner_; }

@@ -18,27 +18,16 @@ const char* CountMethodName(CountMethod method) {
   return "?";
 }
 
-Estimate CountEstimator::EstimateCount(const IntegratedSample& sample) const {
+namespace {
+
+Estimate CountFromNhat(CountMethod method, const SampleStats& stats,
+                       double n_hat) {
   Estimate est;
-  est.estimator = std::string("count[") + CountMethodName(method_) + "]";
-  const SampleStats stats = SampleStats::FromSample(sample);
+  est.estimator = std::string("count[") + CountMethodName(method) + "]";
   est.coverage_ok = stats.Coverage() >= 0.4;
   if (stats.empty()) {
     est.coverage_ok = false;
     return est;
-  }
-
-  double n_hat = 0.0;
-  switch (method_) {
-    case CountMethod::kChao92:
-      n_hat = Chao92Nhat(stats);
-      break;
-    case CountMethod::kGoodTuring:
-      n_hat = GoodTuringNhat(stats);
-      break;
-    case CountMethod::kMonteCarlo:
-      n_hat = mc_.EstimateNhat(sample);
-      break;
   }
   est.n_hat = n_hat;
   est.missing_count = n_hat - static_cast<double>(stats.c);
@@ -47,6 +36,38 @@ Estimate CountEstimator::EstimateCount(const IntegratedSample& sample) const {
   est.finite = std::isfinite(est.delta);
   est.corrected_sum = n_hat;
   return est;
+}
+
+}  // namespace
+
+// One body for both entry points: every branch resolves by overload on
+// `input` (IntegratedSample or ReplicateSample).
+template <typename Input>
+Estimate CountEstimator::EstimateCountImpl(const Input& input,
+                                           const SampleStats& stats) const {
+  double n_hat = 0.0;
+  if (!stats.empty()) {
+    switch (method_) {
+      case CountMethod::kChao92:
+        n_hat = Chao92Nhat(stats);
+        break;
+      case CountMethod::kGoodTuring:
+        n_hat = GoodTuringNhat(stats);
+        break;
+      case CountMethod::kMonteCarlo:
+        n_hat = mc_.EstimateNhat(input);
+        break;
+    }
+  }
+  return CountFromNhat(method_, stats, n_hat);
+}
+
+Estimate CountEstimator::EstimateCount(const IntegratedSample& sample) const {
+  return EstimateCountImpl(sample, SampleStats::FromSample(sample));
+}
+
+Estimate CountEstimator::EstimateCount(const ReplicateSample& rep) const {
+  return EstimateCountImpl(rep, SampleStats::FromReplicate(rep));
 }
 
 }  // namespace uuq

@@ -23,9 +23,18 @@ class CountEstimator {
   /// delta = N̂ − c; corrected_sum holds the corrected COUNT (= N̂).
   Estimate EstimateCount(const IntegratedSample& sample) const;
 
+  /// Columnar replicate form (bootstrap intervals on corrected COUNT):
+  /// Chao92 and Good-Turing read only the sufficient statistics; the
+  /// Monte-Carlo method reads the multiplicity and source-size columns.
+  Estimate EstimateCount(const ReplicateSample& rep) const;
+
   CountMethod method() const { return method_; }
 
  private:
+  template <typename Input>
+  Estimate EstimateCountImpl(const Input& input,
+                             const SampleStats& stats) const;
+
   CountMethod method_;
   MonteCarloEstimator mc_;
 };

@@ -3,22 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/macros.h"
 #include "stats/coverage.h"
 
 namespace uuq {
 
-void SampleStats::Add(const EntityStat& entity) {
-  const int64_t m = entity.multiplicity;
+void SampleStats::Add(const EntityPoint& point) {
+  const int64_t m = point.multiplicity;
   if (m <= 0) return;
   n += m;
   c += 1;
   if (m == 1) {
     f1 += 1;
-    singleton_sum += entity.value;
+    singleton_sum += point.value;
   }
   sum_mm1 += m * (m - 1);
-  value_sum += entity.value;
-  value_sum_sq += entity.value * entity.value;
+  value_sum += point.value;
+  value_sum_sq += point.value * point.value;
 }
 
 void SampleStats::Merge(const SampleStats& other) {
@@ -40,6 +41,20 @@ SampleStats SampleStats::FromEntities(
   SampleStats stats;
   for (const EntityStat& e : entities) stats.Add(e);
   return stats;
+}
+
+SampleStats SampleStats::FromReplicate(const ReplicateSample& rep) {
+  SampleStats stats;
+  for (const EntityPoint& point : rep.entities) stats.Add(point);
+  return stats;
+}
+
+Estimate SumEstimator::EstimateReplicate(const ReplicateSample& rep) const {
+  UUQ_UNUSED(rep);
+  UUQ_CHECK_MSG(false,
+                "estimator has no columnar replicate path; check "
+                "SupportsReplicates() and use the materializing fallback");
+  return Estimate{};
 }
 
 double SampleStats::Coverage() const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "integration/sample.h"
+#include "integration/sample_view.h"
 #include "stats/fstats.h"
 
 namespace uuq {
@@ -29,12 +30,18 @@ struct SampleStats {
   double singleton_sum = 0.0;  ///< φf1 over this slice
 
   /// Folds one entity in.
-  void Add(const EntityStat& entity);
+  void Add(const EntityPoint& point);
+  void Add(const EntityStat& entity) {
+    Add(EntityPoint{entity.value, entity.multiplicity});
+  }
   /// Component-wise merge of two disjoint slices.
   void Merge(const SampleStats& other);
 
   static SampleStats FromSample(const IntegratedSample& sample);
   static SampleStats FromEntities(const std::vector<EntityStat>& entities);
+  /// Stats of a columnar replicate, accumulated in first-touch entity order
+  /// — the same fold FromSample would run on the materialized sample.
+  static SampleStats FromReplicate(const ReplicateSample& rep);
 
   /// Good-Turing coverage Ĉ = 1 − f1/n (Eq. 4); 0 when empty.
   double Coverage() const;
@@ -68,6 +75,17 @@ class SumEstimator {
   virtual ~SumEstimator() = default;
   virtual std::string name() const = 0;
   virtual Estimate EstimateImpact(const IntegratedSample& sample) const = 0;
+
+  /// Columnar replicate evaluation — the bootstrap/jackknife hot path. An
+  /// estimator that returns true from SupportsReplicates() must make
+  /// EstimateReplicate(rep) produce the same Estimate that EstimateImpact
+  /// would produce on the materialized IntegratedSample of the same draws
+  /// (bit-identical for the columnar-supported fusion policies; see
+  /// sample_view.h). Estimators without an override are bootstrapped
+  /// through the materializing fallback instead.
+  virtual bool SupportsReplicates() const { return false; }
+  /// Aborts unless SupportsReplicates() — callers must check first.
+  virtual Estimate EstimateReplicate(const ReplicateSample& rep) const;
 };
 
 /// Estimators whose math needs only SampleStats (naive, frequency). The
@@ -78,6 +96,11 @@ class StatsSumEstimator : public SumEstimator {
 
   Estimate EstimateImpact(const IntegratedSample& sample) const override {
     return FromStats(SampleStats::FromSample(sample));
+  }
+
+  bool SupportsReplicates() const override { return true; }
+  Estimate EstimateReplicate(const ReplicateSample& rep) const override {
+    return FromStats(SampleStats::FromReplicate(rep));
   }
 };
 

@@ -8,8 +8,12 @@ namespace uuq {
 
 ExtremeEstimate MinMaxEstimator::Estimate(const IntegratedSample& sample,
                                           bool want_max) const {
+  return FromBuckets(bucket_->ComputeBuckets(sample), want_max);
+}
+
+ExtremeEstimate MinMaxEstimator::FromBuckets(
+    const std::vector<ValueBucket>& buckets, bool want_max) const {
   ExtremeEstimate out;
-  const std::vector<ValueBucket> buckets = bucket_->ComputeBuckets(sample);
   if (buckets.empty()) return out;
   out.has_data = true;
 
@@ -35,6 +39,14 @@ ExtremeEstimate MinMaxEstimator::EstimateMax(
 ExtremeEstimate MinMaxEstimator::EstimateMin(
     const IntegratedSample& sample) const {
   return Estimate(sample, /*want_max=*/false);
+}
+
+ExtremeEstimate MinMaxEstimator::EstimateMax(const ReplicateSample& rep) const {
+  return FromBuckets(bucket_->ComputeBuckets(rep), /*want_max=*/true);
+}
+
+ExtremeEstimate MinMaxEstimator::EstimateMin(const ReplicateSample& rep) const {
+  return FromBuckets(bucket_->ComputeBuckets(rep), /*want_max=*/false);
 }
 
 }  // namespace uuq

@@ -42,8 +42,15 @@ class MinMaxEstimator {
   ExtremeEstimate EstimateMax(const IntegratedSample& sample) const;
   ExtremeEstimate EstimateMin(const IntegratedSample& sample) const;
 
+  /// Columnar replicate forms (bootstrap distribution of the observed
+  /// extreme and of the extreme-bucket unknown count).
+  ExtremeEstimate EstimateMax(const ReplicateSample& rep) const;
+  ExtremeEstimate EstimateMin(const ReplicateSample& rep) const;
+
  private:
   ExtremeEstimate Estimate(const IntegratedSample& sample, bool want_max) const;
+  ExtremeEstimate FromBuckets(const std::vector<ValueBucket>& buckets,
+                              bool want_max) const;
 
   std::shared_ptr<const BucketSumEstimator> bucket_;
   double claim_threshold_;

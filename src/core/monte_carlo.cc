@@ -151,9 +151,9 @@ double MonteCarloEstimator::SimulatedDistance(
                                  observed_sum, source_sizes, rng, &scratch);
 }
 
-double MonteCarloEstimator::EstimateNhat(const IntegratedSample& sample) const {
-  if (sample.empty()) return 0.0;
-  const SampleStats stats = SampleStats::FromSample(sample);
+double MonteCarloEstimator::NhatFromColumns(
+    const SampleStats& stats, std::vector<double> observed_desc,
+    const std::vector<int64_t>& source_sizes) const {
   const int64_t c = stats.c;
 
   double chao = Chao92Nhat(stats);
@@ -165,16 +165,10 @@ double MonteCarloEstimator::EstimateNhat(const IntegratedSample& sample) const {
     return static_cast<double>(c);
   }
 
-  std::vector<double> observed_desc;
-  observed_desc.reserve(sample.entities().size());
   double observed_sum = 0.0;
-  for (const EntityStat& e : sample.entities()) {
-    observed_desc.push_back(static_cast<double>(e.multiplicity));
-    observed_sum += static_cast<double>(e.multiplicity);
-  }
+  for (double m : observed_desc) observed_sum += m;
   std::sort(observed_desc.begin(), observed_desc.end(),
             std::greater<double>());
-  const std::vector<int64_t> source_sizes = sample.SourceSizeVector();
 
   // Grid evaluation (Algorithm 3 lines 3-10), parallel over grid points.
   // Each point's Rng stream is derived serially, in grid order, from the
@@ -186,24 +180,26 @@ double MonteCarloEstimator::EstimateNhat(const IntegratedSample& sample) const {
   struct GridPoint {
     int64_t theta_n;
     double lambda;
-    Rng rng;
   };
-  Rng root(options_.seed ^ static_cast<uint64_t>(stats.n) * 0x9E3779B9ull);
   std::vector<GridPoint> points;
   points.reserve(thetas.size() * lambdas.size());
   for (int64_t theta_n : thetas) {
     for (double lambda : lambdas) {
-      points.push_back({theta_n, lambda, root.Split()});
+      points.push_back({theta_n, lambda});
     }
   }
   if (points.empty()) return static_cast<double>(c);
+
+  Rng root(options_.seed ^ static_cast<uint64_t>(stats.n) * 0x9E3779B9ull);
+  const std::vector<Rng> streams =
+      root.SplitStreams(static_cast<int>(points.size()));
 
   std::vector<double> zs(points.size());
   ThreadPool::OrDefault(options_.pool)
       ->ParallelFor(0, static_cast<int64_t>(points.size()), [&](int64_t i) {
         thread_local SimulationScratch scratch;
         const GridPoint& point = points[static_cast<size_t>(i)];
-        Rng rng = point.rng;
+        Rng rng = streams[static_cast<size_t>(i)];
         zs[static_cast<size_t>(i)] = SimulatedDistanceSorted(
             point.theta_n, point.lambda, observed_desc, observed_sum,
             source_sizes, &rng, &scratch);
@@ -237,17 +233,40 @@ double MonteCarloEstimator::EstimateNhat(const IntegratedSample& sample) const {
   return std::clamp(n_mc, static_cast<double>(c), chao);
 }
 
-Estimate MonteCarloEstimator::EstimateImpact(
-    const IntegratedSample& sample) const {
+double MonteCarloEstimator::EstimateNhat(const IntegratedSample& sample) const {
+  if (sample.empty()) return 0.0;
+  std::vector<double> observed;
+  observed.reserve(sample.entities().size());
+  for (const EntityStat& e : sample.entities()) {
+    observed.push_back(static_cast<double>(e.multiplicity));
+  }
+  return NhatFromColumns(SampleStats::FromSample(sample), std::move(observed),
+                         sample.SourceSizeVector());
+}
+
+double MonteCarloEstimator::EstimateNhat(const ReplicateSample& rep) const {
+  if (rep.entities.empty()) return 0.0;
+  std::vector<double> observed;
+  observed.reserve(rep.entities.size());
+  for (const EntityPoint& point : rep.entities) {
+    observed.push_back(static_cast<double>(point.multiplicity));
+  }
+  return NhatFromColumns(SampleStats::FromReplicate(rep), std::move(observed),
+                         rep.source_sizes);
+}
+
+namespace {
+
+/// §3.4's final mean-substitution step, shared by both entry points.
+Estimate ImpactFromNhat(const std::string& name, const SampleStats& stats,
+                        double n_hat) {
   Estimate est;
-  est.estimator = name();
-  const SampleStats stats = SampleStats::FromSample(sample);
+  est.estimator = name;
   est.coverage_ok = stats.Coverage() >= 0.4;
   if (stats.empty()) {
     est.coverage_ok = false;
     return est;
   }
-  const double n_hat = EstimateNhat(sample);
   est.n_hat = n_hat;
   est.missing_count = n_hat - static_cast<double>(stats.c);
   est.missing_value = stats.ValueMean();
@@ -255,6 +274,22 @@ Estimate MonteCarloEstimator::EstimateImpact(
   est.finite = std::isfinite(est.delta);
   est.corrected_sum = stats.value_sum + est.delta;
   return est;
+}
+
+}  // namespace
+
+Estimate MonteCarloEstimator::EstimateImpact(
+    const IntegratedSample& sample) const {
+  const SampleStats stats = SampleStats::FromSample(sample);
+  return ImpactFromNhat(name(), stats,
+                        stats.empty() ? 0.0 : EstimateNhat(sample));
+}
+
+Estimate MonteCarloEstimator::EstimateReplicate(
+    const ReplicateSample& rep) const {
+  const SampleStats stats = SampleStats::FromReplicate(rep);
+  return ImpactFromNhat(name(), stats,
+                        stats.empty() ? 0.0 : EstimateNhat(rep));
 }
 
 }  // namespace uuq

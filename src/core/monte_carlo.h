@@ -71,8 +71,17 @@ class MonteCarloEstimator final : public SumEstimator {
   std::string name() const override { return "monte-carlo"; }
   Estimate EstimateImpact(const IntegratedSample& sample) const override;
 
+  /// Columnar replicate path: the grid search needs only the multiplicity
+  /// column and the per-source sizes, both carried by ReplicateSample, so a
+  /// bootstrap replicate never materializes an IntegratedSample. The seed
+  /// derivation and per-source Rng consumption order match EstimateImpact
+  /// on the materialized replicate exactly (bit-identical results).
+  bool SupportsReplicates() const override { return true; }
+  Estimate EstimateReplicate(const ReplicateSample& rep) const override;
+
   /// Algorithm 3: the count estimate N̂_MC alone.
   double EstimateNhat(const IntegratedSample& sample) const;
+  double EstimateNhat(const ReplicateSample& rep) const;
 
   /// Algorithm 2: average KL distance between the observed multiplicities
   /// and `runs_per_point` simulations at (θN, θλ). Exposed for tests.
@@ -92,6 +101,12 @@ class MonteCarloEstimator final : public SumEstimator {
                                  double observed_sum,
                                  const std::vector<int64_t>& source_sizes,
                                  Rng* rng, SimulationScratch* scratch) const;
+
+  /// Algorithm 3 over bare columns (shared by the sample and replicate
+  /// entry points). `observed_desc` is consumed (sorted descending inside).
+  double NhatFromColumns(const SampleStats& stats,
+                         std::vector<double> observed_desc,
+                         const std::vector<int64_t>& source_sizes) const;
 
   MonteCarloOptions options_;
 };

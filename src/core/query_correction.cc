@@ -39,6 +39,13 @@ std::string CorrectedAnswer::ToString() const {
                      FormatDouble(bound.phi_upper, 2) + "\n"
                : "  99% worst-case bound: unbounded at this sample size\n";
   }
+  if (bootstrap_valid) {
+    out += "  " + FormatDouble(bootstrap_confidence * 100.0, 0) +
+           "% bootstrap interval (source resampling): [" +
+           FormatDouble(bootstrap.lo, 2) + ", " +
+           FormatDouble(bootstrap.hi, 2) + "] over " +
+           std::to_string(bootstrap.finite_replicates) + " replicates\n";
+  }
   out += "  advice: " + std::string(EstimatorChoiceName(advice.choice)) +
          " — " + advice.rationale + "\n";
   return out;
@@ -78,6 +85,17 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
   answer.advice = advisor.Advise(sample);
   const SampleStats stats = SampleStats::FromSample(sample);
 
+  const auto attach = [&](const std::function<double(const ReplicateSample&)>&
+                              columnar,
+                          const std::function<double(const IntegratedSample&)>&
+                              materialized) {
+    if (!options_.attach_bootstrap || sample.empty()) return;
+    answer.bootstrap = BootstrapAggregate(sample, answer.corrected, columnar,
+                                          materialized, options_.bootstrap);
+    answer.bootstrap_confidence = options_.bootstrap.confidence;
+    answer.bootstrap_valid = true;
+  };
+
   switch (aggregate) {
     case AggregateKind::kSum: {
       auto estimator = MakeSumEstimator(options_, advisor, sample);
@@ -86,6 +104,19 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
       answer.corrected = answer.estimate.corrected_sum;
       answer.bound = ComputeSumUpperBound(stats, options_.bound);
       answer.bound_valid = true;
+      // answer.corrected already holds the point estimate, so go through
+      // attach() (which reuses it) rather than BootstrapCorrectedSum (which
+      // would re-run the estimator on the full sample).
+      const SumEstimator* sum_estimator = estimator.get();
+      std::function<double(const ReplicateSample&)> columnar;
+      if (sum_estimator->SupportsReplicates()) {
+        columnar = [sum_estimator](const ReplicateSample& rep) {
+          return sum_estimator->EstimateReplicate(rep).corrected_sum;
+        };
+      }
+      attach(columnar, [sum_estimator](const IntegratedSample& resampled) {
+        return sum_estimator->EstimateImpact(resampled).corrected_sum;
+      });
       return answer;
     }
     case AggregateKind::kCount: {
@@ -98,6 +129,13 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
       answer.estimate = count.EstimateCount(sample);
       answer.observed = static_cast<double>(stats.c);
       answer.corrected = answer.estimate.corrected_sum;
+      attach(
+          [&count](const ReplicateSample& rep) {
+            return count.EstimateCount(rep).corrected_sum;
+          },
+          [&count](const IntegratedSample& resampled) {
+            return count.EstimateCount(resampled).corrected_sum;
+          });
       return answer;
     }
     case AggregateKind::kAvg: {
@@ -105,19 +143,37 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
       answer.estimate = avg.EstimateAvg(sample);
       answer.observed = stats.ValueMean();
       answer.corrected = answer.estimate.corrected_sum;
+      attach(
+          [&avg](const ReplicateSample& rep) {
+            return avg.EstimateAvg(rep).corrected_sum;
+          },
+          [&avg](const IntegratedSample& resampled) {
+            return avg.EstimateAvg(resampled).corrected_sum;
+          });
       return answer;
     }
     case AggregateKind::kMin:
     case AggregateKind::kMax: {
       const MinMaxEstimator minmax(options_.minmax_claim_threshold);
-      answer.extreme = aggregate == AggregateKind::kMax
-                           ? minmax.EstimateMax(sample)
-                           : minmax.EstimateMin(sample);
+      const bool want_max = aggregate == AggregateKind::kMax;
+      answer.extreme = want_max ? minmax.EstimateMax(sample)
+                                : minmax.EstimateMin(sample);
       answer.observed = answer.extreme.observed_extreme;
       answer.corrected = answer.extreme.observed_extreme;
       answer.claim_true_extreme = answer.extreme.claim_true_extreme;
       answer.estimate.estimator = "minmax[bucket]";
       answer.estimate.missing_count = answer.extreme.extreme_bucket_missing;
+      attach(
+          [&minmax, want_max](const ReplicateSample& rep) {
+            return (want_max ? minmax.EstimateMax(rep)
+                             : minmax.EstimateMin(rep))
+                .observed_extreme;
+          },
+          [&minmax, want_max](const IntegratedSample& resampled) {
+            return (want_max ? minmax.EstimateMax(resampled)
+                             : minmax.EstimateMin(resampled))
+                .observed_extreme;
+          });
       return answer;
     }
   }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/advisor.h"
+#include "core/bootstrap.h"
 #include "core/bound.h"
 #include "core/estimate.h"
 #include "core/minmax.h"
@@ -39,6 +40,12 @@ struct CorrectedAnswer {
   /// MIN/MAX only: whether the observed extreme is claimed as true.
   bool claim_true_extreme = false;
   ExtremeEstimate extreme;
+  /// Set when Options::attach_bootstrap is on: percentile interval of the
+  /// corrected answer (SUM/COUNT/AVG) or of the observed extreme (MIN/MAX)
+  /// over source-resampled replicates, evaluated on the columnar engine.
+  bool bootstrap_valid = false;
+  double bootstrap_confidence = 0.0;
+  BootstrapInterval bootstrap;
 
   /// Multi-line human-readable report.
   std::string ToString() const;
@@ -51,6 +58,11 @@ class QueryCorrector {
     EstimatorAdvisor::Options advisor;
     BoundOptions bound;
     double minmax_claim_threshold = 0.5;
+    /// Attach a source-resampling bootstrap interval to every corrected
+    /// answer (columnar replicate engine; see bootstrap.h). Off by default
+    /// — B replicate re-estimations per query.
+    bool attach_bootstrap = false;
+    BootstrapOptions bootstrap;
   };
 
   QueryCorrector() : QueryCorrector(Options{}) {}

@@ -15,4 +15,17 @@ Estimate RobustSumEstimator::EstimateImpact(
   return est;
 }
 
+Estimate RobustSumEstimator::EstimateReplicate(
+    const ReplicateSample& rep) const {
+  const Advice advice = advisor_.Advise(rep);
+  Estimate est = advice.choice == EstimatorChoice::kMonteCarlo
+                     ? mc_.EstimateReplicate(rep)
+                     : bucket_.EstimateReplicate(rep);
+  est.estimator = "robust[" + est.estimator + "]";
+  if (advice.choice == EstimatorChoice::kCollectMoreData) {
+    est.coverage_ok = false;
+  }
+  return est;
+}
+
 }  // namespace uuq

@@ -25,6 +25,12 @@ class RobustSumEstimator final : public SumEstimator {
   std::string name() const override { return "robust"; }
   Estimate EstimateImpact(const IntegratedSample& sample) const override;
 
+  /// Columnar replicate path: re-advises per replicate from the columns
+  /// (the delegation choice can legitimately flip when a resample draws the
+  /// streaker twice) and delegates to the matching columnar estimator.
+  bool SupportsReplicates() const override { return true; }
+  Estimate EstimateReplicate(const ReplicateSample& rep) const override;
+
   /// The advice that drove the most recent delegation decision for `sample`
   /// (recomputed; the estimator itself is stateless).
   Advice LastAdviceFor(const IntegratedSample& sample) const {

@@ -7,30 +7,62 @@
 
 namespace uuq {
 
+SourceImbalanceReport AnalyzeSourceSizes(const std::vector<int64_t>& sizes,
+                                         double max_share_threshold,
+                                         double gini_threshold) {
+  SourceImbalanceReport report;
+  report.num_sources = static_cast<int64_t>(sizes.size());
+
+  // Worker-local buffer: this runs once per bootstrap replicate under the
+  // robust estimator, so the derivation must not allocate after warm-up.
+  thread_local std::vector<double> contributions;
+  contributions.clear();
+  contributions.reserve(sizes.size());
+  double total = 0.0;
+  double max_size = 0.0;
+  for (size_t j = 0; j < sizes.size(); ++j) {
+    const double s = static_cast<double>(sizes[j]);
+    contributions.push_back(s);
+    total += s;
+    if (s > max_size) {
+      max_size = s;
+      report.dominant_index = static_cast<int64_t>(j);
+    }
+  }
+  if (report.num_sources == 0 || total == 0.0) return report;
+  report.dominant_source = "source-" + std::to_string(report.dominant_index);
+  report.gini = GiniCoefficientInPlace(&contributions);
+  report.max_share = max_size / total;
+  report.streaker_suspected =
+      StreakerSuspected(report.num_sources, report.max_share, report.gini,
+                        max_share_threshold, gini_threshold);
+  return report;
+}
+
 SourceImbalanceReport AnalyzeSourceImbalance(const IntegratedSample& sample,
                                              double max_share_threshold,
                                              double gini_threshold) {
-  SourceImbalanceReport report;
-  report.num_sources = sample.num_sources();
-  if (report.num_sources == 0 || sample.n() == 0) return report;
-
-  std::vector<double> contributions;
-  contributions.reserve(sample.source_sizes().size());
-  double max_size = 0.0;
+  std::vector<int64_t> sizes;
+  std::vector<const std::string*> ids;
+  sizes.reserve(sample.source_sizes().size());
+  ids.reserve(sample.source_sizes().size());
   for (const auto& [id, size] : sample.source_sizes()) {
-    const double s = static_cast<double>(size);
-    contributions.push_back(s);
-    if (s > max_size) {
-      max_size = s;
-      report.dominant_source = id;
-    }
+    sizes.push_back(size);
+    ids.push_back(&id);
   }
-  report.gini = GiniCoefficient(contributions);
-  report.max_share = max_size / static_cast<double>(sample.n());
-  report.streaker_suspected =
-      (report.num_sources >= 2 && report.max_share > max_share_threshold) ||
-      report.gini > gini_threshold;
+  SourceImbalanceReport report =
+      AnalyzeSourceSizes(sizes, max_share_threshold, gini_threshold);
+  if (report.dominant_index >= 0 &&
+      report.dominant_index < static_cast<int64_t>(ids.size())) {
+    report.dominant_source = *ids[static_cast<size_t>(report.dominant_index)];
+  }
   return report;
+}
+
+bool StreakerSuspected(int64_t num_sources, double max_share, double gini,
+                       double max_share_threshold, double gini_threshold) {
+  return (num_sources >= 2 && max_share > max_share_threshold) ||
+         gini > gini_threshold;
 }
 
 CompletenessReport AnalyzeCompleteness(const IntegratedSample& sample) {

@@ -4,6 +4,7 @@
 #define UUQ_INTEGRATION_DIAGNOSTICS_H_
 
 #include <string>
+#include <vector>
 
 #include "integration/sample.h"
 
@@ -14,17 +15,33 @@ struct SourceImbalanceReport {
   int64_t num_sources = 0;
   double gini = 0.0;             ///< 0 = perfectly even contributions
   double max_share = 0.0;        ///< largest n_j / n
-  std::string dominant_source;   ///< id of the largest contributor
+  int64_t dominant_index = -1;   ///< position of the largest contributor
+  std::string dominant_source;   ///< id (or positional label) of same
   bool streaker_suspected = false;
 };
 
+/// The streaker decision rule itself, shared by AnalyzeSourceImbalance and
+/// the estimator advisor's columnar replicate path so the definition lives
+/// in exactly one place: flag when the largest source holds more than
+/// `max_share_threshold` of all observations (with at least two sources) or
+/// the contribution Gini exceeds `gini_threshold`.
+bool StreakerSuspected(int64_t num_sources, double max_share, double gini,
+                       double max_share_threshold, double gini_threshold);
+
 /// Heuristics matching the paper's qualitative definition: a streaker is a
-/// source contributing far more than its peers. We flag when the largest
-/// source holds more than `max_share_threshold` of all observations (with at
-/// least two sources) or the contribution Gini exceeds `gini_threshold`.
+/// source contributing far more than its peers (see StreakerSuspected).
 SourceImbalanceReport AnalyzeSourceImbalance(const IntegratedSample& sample,
                                              double max_share_threshold = 0.5,
                                              double gini_threshold = 0.6);
+
+/// The same analysis over a bare size column (the columnar bootstrap's
+/// per-replicate form — no ids, no materialization, allocation-free after
+/// warm-up). dominant_source carries the positional label
+/// "source-<dominant_index>"; AnalyzeSourceImbalance replaces it with the
+/// real id.
+SourceImbalanceReport AnalyzeSourceSizes(const std::vector<int64_t>& sizes,
+                                         double max_share_threshold = 0.5,
+                                         double gini_threshold = 0.6);
 
 /// Coverage-centric completeness summary for end users.
 struct CompletenessReport {

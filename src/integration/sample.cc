@@ -121,7 +121,7 @@ std::vector<int64_t> IntegratedSample::SourceSizeVector() const {
 std::vector<Observation> IntegratedSample::ObservationLog() const {
   std::vector<Observation> out;
   out.reserve(log_.size());
-  for (const LogEntry& entry : log_) {
+  for (const RawObservation& entry : log_) {
     const EntityStat& entity = entities_[entry.entity_index];
     out.push_back({source_names_[entry.source_index], entity.key, entry.value,
                    entity.category});
@@ -142,7 +142,7 @@ std::vector<std::string> IntegratedSample::Categories() const {
 IntegratedSample IntegratedSample::Filter(
     const std::function<bool(const EntityStat&)>& keep) const {
   IntegratedSample out(policy_);
-  for (const LogEntry& entry : log_) {
+  for (const RawObservation& entry : log_) {
     const EntityStat& entity = entities_[entry.entity_index];
     if (!keep(entity)) continue;
     out.Add(source_names_[entry.source_index], entity.key, entry.value,

@@ -43,6 +43,14 @@ struct EntityStat {
   std::string category;  // first non-empty reported category
 };
 
+/// One raw observation in index form: no string copies, 16 bytes. The
+/// columnar SampleView is built from this representation.
+struct RawObservation {
+  int32_t source_index;  // into source_names()
+  int32_t entity_index;  // into entities()
+  double value;          // raw reported value (pre-fusion)
+};
+
 class IntegratedSample {
  public:
   explicit IntegratedSample(FusionPolicy policy = FusionPolicy::kAverage)
@@ -116,6 +124,11 @@ class IntegratedSample {
   /// by source-level bootstrap resampling.
   std::vector<Observation> ObservationLog() const;
 
+  /// The same stream in index form, zero-copy: the backing store of
+  /// SampleView's columnar flattening. Entries reference source_names() and
+  /// entities() by position.
+  const std::vector<RawObservation>& raw_log() const { return log_; }
+
   /// Source ids in first-contribution order.
   const std::vector<std::string>& source_names() const {
     return source_names_;
@@ -127,12 +140,6 @@ class IntegratedSample {
   struct EntityState {
     size_t stat_index;            // into entities_
     std::vector<double> reports;  // raw reported values, arrival order
-  };
-
-  struct LogEntry {
-    int32_t source_index;  // into source_names_
-    int32_t entity_index;  // into entities_
-    double value;          // raw reported value
   };
 
   double Fuse(const std::vector<double>& reports) const;
@@ -147,7 +154,7 @@ class IntegratedSample {
   std::map<std::string, int64_t> source_sizes_;
   std::vector<std::string> source_names_;  // arrival order of first mention
   std::unordered_map<std::string, int32_t> source_index_;
-  std::vector<LogEntry> log_;  // raw observation stream, arrival order
+  std::vector<RawObservation> log_;  // raw observation stream, arrival order
 };
 
 }  // namespace uuq

@@ -1,0 +1,246 @@
+#include "integration/sample_view.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/macros.h"
+
+namespace uuq {
+
+namespace {
+
+/// Lexicographic order of the identities "bs0".."bs<count-1>" — the order a
+/// std::map keyed by those strings iterates in. Shared prefix "bs" drops
+/// out, so this is the lexicographic order of the decimal draw positions.
+std::vector<int32_t> BsLexOrder(size_t count) {
+  std::vector<int32_t> order(count);
+  for (size_t i = 0; i < count; ++i) order[i] = static_cast<int32_t>(i);
+  std::sort(order.begin(), order.end(), [](int32_t a, int32_t b) {
+    return std::to_string(a) < std::to_string(b);
+  });
+  return order;
+}
+
+}  // namespace
+
+/// The per-replicate fusion fold shared by BuildReplicate (source-grouped
+/// replay) and BuildLeaveOneOut (arrival-order replay): dense per-entity
+/// accumulators with first-touch tracking. Observe() mirrors what
+/// IntegratedSample::Add's incremental Fuse converges to for each policy;
+/// Emit() divides out kAverage, restores the scratch resting state (count
+/// all-zero), and fills out->entities in first-touch order.
+class ReplicateFold {
+ public:
+  ReplicateFold(FusionPolicy policy, ReplicateScratch* scratch,
+                int64_t num_entities)
+      : policy_(policy), scratch_(scratch) {
+    if (scratch->count_.size() < static_cast<size_t>(num_entities)) {
+      scratch->count_.resize(static_cast<size_t>(num_entities), 0);
+      scratch->acc_.resize(static_cast<size_t>(num_entities), 0.0);
+    }
+    scratch->touched_.clear();
+    count_ = scratch->count_.data();
+    acc_ = scratch->acc_.data();
+  }
+
+  void Observe(int32_t e, double v) {
+    if (count_[e]++ == 0) {
+      scratch_->touched_.push_back(e);
+      acc_[e] = v;
+    } else if (policy_ == FusionPolicy::kAverage) {
+      acc_[e] += v;  // same left-fold order as the legacy recompute
+    } else if (policy_ == FusionPolicy::kLast) {
+      acc_[e] = v;
+    }
+    // kFirst keeps the first-touch value.
+  }
+
+  void Emit(ReplicateSample* out) {
+    out->policy = policy_;
+    out->entities.clear();
+    out->entities.reserve(scratch_->touched_.size());
+    for (int32_t e : scratch_->touched_) {
+      const int64_t m = count_[e];
+      const double value = policy_ == FusionPolicy::kAverage
+                               ? acc_[e] / static_cast<double>(m)
+                               : acc_[e];
+      out->entities.push_back({value, m});
+      count_[e] = 0;  // restore the resting invariant
+    }
+  }
+
+ private:
+  const FusionPolicy policy_;
+  ReplicateScratch* const scratch_;
+  int64_t* UUQ_RESTRICT count_ = nullptr;
+  double* UUQ_RESTRICT acc_ = nullptr;
+};
+
+SampleView::SampleView(const IntegratedSample& sample)
+    : sample_(&sample),
+      policy_(sample.policy()),
+      num_entities_(sample.c()) {
+  // Draw-index space: sources sorted by id (the legacy resampler grouped
+  // observations with a std::map, so draw index i meant the i-th id in
+  // sorted order — preserved here for seed compatibility).
+  source_ids_.reserve(sample.source_sizes().size());
+  for (const auto& [id, size] : sample.source_sizes()) {
+    UUQ_UNUSED(size);
+    source_ids_.push_back(id);
+  }
+  std::vector<int32_t> arrival_to_sorted(sample.source_names().size());
+  for (size_t a = 0; a < sample.source_names().size(); ++a) {
+    const auto it = std::lower_bound(source_ids_.begin(), source_ids_.end(),
+                                     sample.source_names()[a]);
+    UUQ_DCHECK(it != source_ids_.end() && *it == sample.source_names()[a]);
+    arrival_to_sorted[a] =
+        static_cast<int32_t>(std::distance(source_ids_.begin(), it));
+  }
+
+  const std::vector<RawObservation>& log = sample.raw_log();
+  const size_t n = log.size();
+  obs_entity_.reserve(n);
+  obs_source_.reserve(n);
+  obs_value_.reserve(n);
+  for (const RawObservation& obs : log) {
+    obs_entity_.push_back(obs.entity_index);
+    obs_source_.push_back(
+        arrival_to_sorted[static_cast<size_t>(obs.source_index)]);
+    obs_value_.push_back(obs.value);
+  }
+
+  // Counting sort into source-grouped columns; arrival order is preserved
+  // within each source, so a replayed source is byte-identical to its slice
+  // of the original stream.
+  const size_t l = source_ids_.size();
+  src_begin_.assign(l + 1, 0);
+  for (int32_t s : obs_source_) ++src_begin_[static_cast<size_t>(s) + 1];
+  for (size_t s = 0; s < l; ++s) src_begin_[s + 1] += src_begin_[s];
+  src_entity_.resize(n);
+  src_value_.resize(n);
+  std::vector<int64_t> cursor(src_begin_.begin(), src_begin_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t slot =
+        static_cast<size_t>(cursor[static_cast<size_t>(obs_source_[i])]++);
+    src_entity_[slot] = obs_entity_[i];
+    src_value_[slot] = obs_value_[i];
+  }
+
+  bs_lex_order_ = BsLexOrder(l);
+}
+
+void SampleView::DrawBootstrapSources(Rng* rng,
+                                      std::vector<int32_t>* draws) const {
+  UUQ_CHECK(rng != nullptr && draws != nullptr);
+  const size_t l = source_ids_.size();
+  draws->clear();
+  draws->reserve(l);
+  for (size_t draw = 0; draw < l; ++draw) {
+    draws->push_back(static_cast<int32_t>(rng->NextBounded(l)));
+  }
+}
+
+void SampleView::EmitReplicateSourceSizes(const std::vector<int32_t>& draws,
+                                          ReplicateSample* out) const {
+  const std::vector<int32_t>* order = &bs_lex_order_;
+  std::vector<int32_t> local_order;
+  if (draws.size() != bs_lex_order_.size()) {
+    local_order = BsLexOrder(draws.size());
+    order = &local_order;
+  }
+  out->source_sizes.clear();
+  out->source_sizes.reserve(draws.size());
+  for (int32_t position : *order) {
+    out->source_sizes.push_back(
+        source_size(draws[static_cast<size_t>(position)]));
+  }
+}
+
+void SampleView::BuildReplicate(const std::vector<int32_t>& draws,
+                                ReplicateScratch* scratch,
+                                ReplicateSample* out) const {
+  UUQ_CHECK(scratch != nullptr && out != nullptr);
+  UUQ_CHECK_MSG(PolicySupportsColumnar(policy_),
+                "kMajority fusion needs MaterializeReplicate");
+  ReplicateFold fold(policy_, scratch, num_entities_);
+
+  // Replay the drawn sources in draw order — the exact observation sequence
+  // the legacy resampler fed through IntegratedSample::Add — folding each
+  // entity's reports with the fusion policy as we go.
+  for (int32_t s : draws) {
+    UUQ_DCHECK(s >= 0 && s < static_cast<int32_t>(source_ids_.size()));
+    const int64_t begin = src_begin_[static_cast<size_t>(s)];
+    const int64_t end = src_begin_[static_cast<size_t>(s) + 1];
+    for (int64_t j = begin; j < end; ++j) {
+      fold.Observe(src_entity_[static_cast<size_t>(j)],
+                   src_value_[static_cast<size_t>(j)]);
+    }
+  }
+  fold.Emit(out);
+  EmitReplicateSourceSizes(draws, out);
+}
+
+void SampleView::BuildLeaveOneOut(int32_t excluded, ReplicateScratch* scratch,
+                                  ReplicateSample* out) const {
+  UUQ_CHECK(scratch != nullptr && out != nullptr);
+  UUQ_CHECK_MSG(PolicySupportsColumnar(policy_),
+                "kMajority fusion needs MaterializeLeaveOneOut");
+  UUQ_CHECK(excluded >= 0 &&
+            excluded < static_cast<int32_t>(source_ids_.size()));
+  ReplicateFold fold(policy_, scratch, num_entities_);
+
+  // The legacy jackknife replays the GLOBAL arrival order minus one source;
+  // use the arrival columns so the fold and first-touch order match it.
+  const size_t n = obs_value_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (obs_source_[i] == excluded) continue;
+    fold.Observe(obs_entity_[i], obs_value_[i]);
+  }
+  fold.Emit(out);
+  out->source_sizes.clear();
+  out->source_sizes.reserve(source_ids_.size() - 1);
+  for (int32_t s = 0; s < static_cast<int32_t>(source_ids_.size()); ++s) {
+    if (s != excluded) out->source_sizes.push_back(source_size(s));
+  }
+}
+
+IntegratedSample SampleView::MaterializeReplicate(
+    const std::vector<int32_t>& draws) const {
+  IntegratedSample resampled(policy_);
+  const std::vector<EntityStat>& entities = sample_->entities();
+  for (size_t draw = 0; draw < draws.size(); ++draw) {
+    const int32_t s = draws[draw];
+    UUQ_CHECK(s >= 0 && s < static_cast<int32_t>(source_ids_.size()));
+    // Fresh identity per draw: the same original source drawn twice acts as
+    // two independent sources (standard bootstrap-of-clusters semantics).
+    const std::string identity = "bs" + std::to_string(draw);
+    const int64_t begin = src_begin_[static_cast<size_t>(s)];
+    const int64_t end = src_begin_[static_cast<size_t>(s) + 1];
+    for (int64_t j = begin; j < end; ++j) {
+      resampled.Add(identity,
+                    entities[static_cast<size_t>(
+                                 src_entity_[static_cast<size_t>(j)])]
+                        .key,
+                    src_value_[static_cast<size_t>(j)]);
+    }
+  }
+  return resampled;
+}
+
+IntegratedSample SampleView::MaterializeLeaveOneOut(int32_t excluded) const {
+  UUQ_CHECK(excluded >= 0 &&
+            excluded < static_cast<int32_t>(source_ids_.size()));
+  IntegratedSample loo(policy_);
+  const std::vector<EntityStat>& entities = sample_->entities();
+  const size_t n = obs_value_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (obs_source_[i] == excluded) continue;
+    const EntityStat& entity =
+        entities[static_cast<size_t>(obs_entity_[i])];
+    loo.Add(source_ids_[static_cast<size_t>(obs_source_[i])], entity.key,
+            obs_value_[i], entity.category);
+  }
+  return loo;
+}
+
+}  // namespace uuq

@@ -1,0 +1,174 @@
+// Columnar resampling view over an IntegratedSample (the bootstrap engine's
+// hot path).
+//
+// Source-level resampling (bootstrap-of-clusters, delete-one-source
+// jackknife) used to rebuild a full IntegratedSample per replicate: a
+// std::map of per-source Observation vectors, string keys re-hashed and
+// fusion re-run for every observation of every replicate. SampleView
+// flattens the sample ONCE into contiguous index/value columns:
+//
+//   arrival order:    obs_entity[i], obs_source[i], obs_value[i]
+//   source-grouped:   src_entity[j], src_value[j] with per-source ranges
+//                     src_begin[s]..src_begin[s+1] (sources sorted by id —
+//                     the draw-index space of the legacy resampler)
+//
+// A replicate is then just a multiset of source indices. BuildReplicate
+// replays the drawn ranges through per-entity accumulators (dense arrays
+// indexed by the ORIGINAL entity index — no maps, no strings, no hashing)
+// and emits a ReplicateSample: fused value + multiplicity per touched
+// entity, in first-touch order, plus the replicate's per-source sizes.
+//
+// DETERMINISM CONTRACT. For the kAverage/kFirst/kLast fusion policies the
+// columnar replicate is BIT-IDENTICAL to the sample the legacy map-based
+// resampler would have materialized from the same draws: observations are
+// replayed in the same order (draw order, intra-source arrival order; the
+// jackknife replays global arrival order), so the fused-value fold, the
+// first-touch entity order, and the id-ordered source sizes all match the
+// materialized IntegratedSample exactly. kMajority fusion needs the full
+// per-entity report multiset, so callers fall back to MaterializeReplicate
+// for it (PolicySupportsColumnar returns false).
+//
+// THREADING. A SampleView is immutable after construction and safe to share
+// across threads. Each thread owns its ReplicateScratch/ReplicateSample;
+// scratch buffers are restored to their resting state (count column all
+// zero) before BuildReplicate returns, so reuse never changes results.
+#ifndef UUQ_INTEGRATION_SAMPLE_VIEW_H_
+#define UUQ_INTEGRATION_SAMPLE_VIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "integration/sample.h"
+
+namespace uuq {
+
+/// The per-entity state estimators actually consume: fused value and
+/// multiplicity. (Keys and categories never enter the estimation math.)
+struct EntityPoint {
+  double value = 0.0;
+  int64_t multiplicity = 0;
+};
+
+/// A resampling replicate in columnar form. `entities` is in first-touch
+/// replay order — the same order the materialized IntegratedSample's
+/// entities() would have — and `source_sizes` matches the materialized
+/// sample's SourceSizeVector() (id-sorted) element for element.
+struct ReplicateSample {
+  FusionPolicy policy = FusionPolicy::kAverage;
+  std::vector<EntityPoint> entities;
+  std::vector<int64_t> source_sizes;
+};
+
+/// Reusable per-thread buffers for BuildReplicate / BuildLeaveOneOut.
+/// Resting invariant: `count` is all-zero (enforced by the builders), so one
+/// scratch can serve any number of replicates of any SampleView.
+class ReplicateScratch {
+ public:
+  ReplicateScratch() = default;
+
+  /// Draw buffer for DrawBootstrapSources (kept here so the bootstrap inner
+  /// loop is allocation-free after warm-up).
+  std::vector<int32_t>& draws() { return draws_; }
+
+ private:
+  friend class SampleView;
+  friend class ReplicateFold;  // the shared fusion fold in sample_view.cc
+  std::vector<int32_t> draws_;
+  std::vector<int64_t> count_;   // per original entity; all-zero at rest
+  std::vector<double> acc_;      // policy accumulator (sum / first / last)
+  std::vector<int32_t> touched_; // entity indices in first-touch order
+};
+
+class SampleView {
+ public:
+  /// Flattens `sample`. The view keeps a pointer to `sample` for the
+  /// Materialize* adapters (entity keys live there); the sample must outlive
+  /// the view.
+  explicit SampleView(const IntegratedSample& sample);
+
+  /// kMajority fusion cannot be folded in one streaming pass; everything
+  /// else can.
+  static bool PolicySupportsColumnar(FusionPolicy policy) {
+    return policy != FusionPolicy::kMajority;
+  }
+
+  int64_t num_sources() const {
+    return static_cast<int64_t>(source_ids_.size());
+  }
+  int64_t num_entities() const { return num_entities_; }
+  int64_t num_observations() const {
+    return static_cast<int64_t>(obs_value_.size());
+  }
+  FusionPolicy policy() const { return policy_; }
+
+  /// Source ids sorted ascending — the draw-index space. Index `s` here is
+  /// what DrawBootstrapSources emits and BuildLeaveOneOut excludes.
+  const std::vector<std::string>& source_ids() const { return source_ids_; }
+
+  /// Observation count n_s of source `s` (id-sorted index).
+  int64_t source_size(int32_t s) const {
+    return src_begin_[static_cast<size_t>(s) + 1] -
+           src_begin_[static_cast<size_t>(s)];
+  }
+
+  /// Draws num_sources() source indices with replacement into `draws`.
+  /// Consumes the Rng exactly like the legacy map-based resampler (l calls
+  /// to NextBounded(l)), so a given seed selects the same source multiset as
+  /// every earlier release.
+  void DrawBootstrapSources(Rng* rng, std::vector<int32_t>* draws) const;
+
+  /// Builds the bootstrap replicate implied by `draws`. Allocation-free
+  /// after scratch/out warm-up. Requires a columnar-supported policy.
+  void BuildReplicate(const std::vector<int32_t>& draws,
+                      ReplicateScratch* scratch, ReplicateSample* out) const;
+
+  /// Builds the delete-one-source jackknife replicate (arrival-order replay
+  /// skipping source `excluded`). Requires a columnar-supported policy.
+  void BuildLeaveOneOut(int32_t excluded, ReplicateScratch* scratch,
+                        ReplicateSample* out) const;
+
+  /// Materializes the IntegratedSample a draw multiset corresponds to —
+  /// byte-identical to the legacy map-based ResampleSources body (fresh
+  /// "bs<draw>" identities, intra-source arrival order). Works for every
+  /// fusion policy; this is the kMajority fallback and the conformance
+  /// reference.
+  IntegratedSample MaterializeReplicate(
+      const std::vector<int32_t>& draws) const;
+
+  /// Materializes the leave-one-out sample (original ids and categories),
+  /// matching the legacy jackknife replay.
+  IntegratedSample MaterializeLeaveOneOut(int32_t excluded) const;
+
+ private:
+  /// Fills out->source_sizes with the replicate's n_j in the order the
+  /// materialized sample's id-sorted source map would list them ("bs0",
+  /// "bs1", "bs10", ... is LEXICOGRAPHIC in the draw position).
+  void EmitReplicateSourceSizes(const std::vector<int32_t>& draws,
+                                ReplicateSample* out) const;
+
+  const IntegratedSample* sample_;
+  FusionPolicy policy_;
+  int64_t num_entities_ = 0;
+
+  // Arrival-order columns (jackknife replay).
+  std::vector<int32_t> obs_entity_;
+  std::vector<int32_t> obs_source_;  // id-sorted source index
+  std::vector<double> obs_value_;
+
+  // Source-grouped columns (bootstrap replay): source s owns
+  // [src_begin_[s], src_begin_[s+1]).
+  std::vector<int32_t> src_entity_;
+  std::vector<double> src_value_;
+  std::vector<int64_t> src_begin_;
+
+  std::vector<std::string> source_ids_;  // sorted ascending
+  // Lexicographic order of the draw positions' "bs<i>" identities, cached
+  // for the common draws.size() == num_sources() case.
+  std::vector<int32_t> bs_lex_order_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_INTEGRATION_SAMPLE_VIEW_H_

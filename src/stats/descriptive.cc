@@ -76,14 +76,18 @@ double MeanRelativeError(const std::vector<double>& estimates,
 }
 
 double GiniCoefficient(std::vector<double> xs) {
-  if (xs.size() < 2) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const double n = static_cast<double>(xs.size());
+  return GiniCoefficientInPlace(&xs);
+}
+
+double GiniCoefficientInPlace(std::vector<double>* xs) {
+  if (xs->size() < 2) return 0.0;
+  std::sort(xs->begin(), xs->end());
+  const double n = static_cast<double>(xs->size());
   double cum_weighted = 0.0;
   double total = 0.0;
-  for (size_t i = 0; i < xs.size(); ++i) {
-    cum_weighted += (static_cast<double>(i) + 1.0) * xs[i];
-    total += xs[i];
+  for (size_t i = 0; i < xs->size(); ++i) {
+    cum_weighted += (static_cast<double>(i) + 1.0) * (*xs)[i];
+    total += (*xs)[i];
   }
   if (total == 0.0) return 0.0;
   return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;

@@ -37,6 +37,10 @@ double MeanRelativeError(const std::vector<double>& estimates,
 /// Used to diagnose streakers (uneven source contributions, §6.3).
 double GiniCoefficient(std::vector<double> xs);
 
+/// Same, sorting `xs` in place — for hot paths that reuse a scratch buffer
+/// instead of paying the by-value copy (per-replicate advisor calls).
+double GiniCoefficientInPlace(std::vector<double>* xs);
+
 }  // namespace uuq
 
 #endif  // UUQ_STATS_DESCRIPTIVE_H_

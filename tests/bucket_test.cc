@@ -200,7 +200,7 @@ TEST(DynamicPartitioner, ParallelScanMatchesSerial) {
 }
 
 TEST(DynamicPartitioner, EmptyInput) {
-  SortedEntityIndex index({});
+  SortedEntityIndex index(std::vector<EntityPoint>{});
   NaiveEstimator inner;
   const auto bounds = DynamicPartitioner().Partition(index, inner);
   EXPECT_EQ(bounds, (std::vector<size_t>{0, 0}));

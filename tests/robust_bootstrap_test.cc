@@ -257,6 +257,67 @@ TEST(JackknifeCorrectedSum, ParallelIsBitIdenticalToSerial) {
   EXPECT_EQ(a.finite_replicates, b.finite_replicates);
 }
 
+TEST(ColumnarBootstrap, ParallelIsBitIdenticalToSerial) {
+  // The columnar engine keeps the PR 1 contract: one pre-derived
+  // Rng::Split() stream per replicate, one result slot per replicate, so
+  // UUQ_THREADS=1 and UUQ_THREADS=4 (here: explicit 1- and 4-thread pools)
+  // produce the same interval bit for bit.
+  const auto sample = HealthySample();
+  const BucketSumEstimator bucket;
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+
+  BootstrapOptions options;
+  options.replicates = 40;
+  options.evaluation = ReplicateEvaluation::kColumnar;
+  options.pool = &serial;
+  const BootstrapInterval a = BootstrapCorrectedSum(sample, bucket, options);
+  options.pool = &parallel;
+  const BootstrapInterval b = BootstrapCorrectedSum(sample, bucket, options);
+
+  EXPECT_DOUBLE_EQ(a.point, b.point);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  ASSERT_EQ(a.replicates.size(), b.replicates.size());
+  for (size_t i = 0; i < a.replicates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.replicates[i], b.replicates[i]);
+  }
+}
+
+TEST(ColumnarBootstrap, ColumnarMatchesMaterializedEvaluation) {
+  // Quick smoke of the conformance contract at this test tier: both
+  // evaluation modes, same seed, same interval (see conformance_test.cc for
+  // the full matrix).
+  const auto sample = HealthySample();
+  const BucketSumEstimator bucket;
+  BootstrapOptions options;
+  options.replicates = 24;
+  options.evaluation = ReplicateEvaluation::kColumnar;
+  const BootstrapInterval fast = BootstrapCorrectedSum(sample, bucket, options);
+  options.evaluation = ReplicateEvaluation::kMaterialized;
+  const BootstrapInterval ref = BootstrapCorrectedSum(sample, bucket, options);
+  EXPECT_DOUBLE_EQ(fast.lo, ref.lo);
+  EXPECT_DOUBLE_EQ(fast.hi, ref.hi);
+  EXPECT_DOUBLE_EQ(fast.median, ref.median);
+  EXPECT_EQ(fast.finite_replicates, ref.finite_replicates);
+}
+
+TEST(ColumnarJackknife, ParallelIsBitIdenticalToSerial) {
+  const auto sample = HealthySample(17);
+  const BucketSumEstimator bucket;
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+  const JackknifeInterval a = JackknifeCorrectedSum(
+      sample, bucket, 1.96, &serial, ReplicateEvaluation::kColumnar);
+  const JackknifeInterval b = JackknifeCorrectedSum(
+      sample, bucket, 1.96, &parallel, ReplicateEvaluation::kColumnar);
+  EXPECT_DOUBLE_EQ(a.standard_error, b.standard_error);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+  EXPECT_EQ(a.finite_replicates, b.finite_replicates);
+}
+
 TEST(ObservationLog, RoundTripsTheStream) {
   IntegratedSample sample;
   sample.Add("w1", "a", 10);
