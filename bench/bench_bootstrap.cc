@@ -70,30 +70,6 @@ void CheckBitIdentical(double a, double b, const char* label) {
   }
 }
 
-/// Reads `"key": <number>` out of a (small, trusted) JSON file; NaN when the
-/// file or key is missing.
-double ReadBaselineNumber(const std::string& path, const std::string& key) {
-  std::FILE* file = std::fopen(path.c_str(), "r");
-  if (file == nullptr) return std::numeric_limits<double>::quiet_NaN();
-  std::string content;
-  char chunk[1024];
-  size_t got;
-  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
-    content.append(chunk, got);
-  }
-  std::fclose(file);
-  const std::string needle = "\"" + key + "\"";
-  size_t pos = content.find(needle);
-  if (pos == std::string::npos) {
-    return std::numeric_limits<double>::quiet_NaN();
-  }
-  pos = content.find(':', pos + needle.size());
-  if (pos == std::string::npos) {
-    return std::numeric_limits<double>::quiet_NaN();
-  }
-  return std::atof(content.c_str() + pos + 1);
-}
-
 }  // namespace
 }  // namespace uuq
 
@@ -203,7 +179,7 @@ int main() {
     // ---- regression gate vs committed baseline ----------------------------
     if (const char* baseline_path = std::getenv("UUQ_BENCH_BASELINE")) {
       const double baseline =
-          ReadBaselineNumber(baseline_path, "bootstrap_columnar_speedup");
+          bench::ReadBaselineNumber(baseline_path, "bootstrap_columnar_speedup");
       if (std::isnan(baseline)) {
         std::printf("WARNING: no bootstrap_columnar_speedup in %s; gate "
                     "skipped\n",

@@ -123,6 +123,37 @@ int main() {
                   ns / 1e6, speedup);
     }
 
+    // ---- MC grid regression gate vs committed baseline --------------------
+    // Mirrors bench_bootstrap's gate, but the MC grid has no same-process
+    // reference path, so the gated quantity is the SERIAL wall time against
+    // bench/mc_grid_baseline.json with a generous slowdown factor: it trips
+    // on catastrophic regressions (an accidentally quadratic loop, a lost
+    // allocation-free path) while tolerating shared-runner jitter. The
+    // bit-identity assertions above remain the hard correctness gate.
+    if (const char* baseline_path = std::getenv("UUQ_BENCH_MC_BASELINE")) {
+      const double baseline_ms =
+          bench::ReadBaselineNumber(baseline_path, "mc_serial_ms");
+      const double max_slowdown =
+          bench::ReadBaselineNumber(baseline_path, "mc_max_slowdown");
+      const double measured_ms = mc_serial_ns / 1e6;
+      if (std::isnan(baseline_ms) || std::isnan(max_slowdown)) {
+        std::printf("WARNING: no mc_serial_ms/mc_max_slowdown in %s; MC gate "
+                    "skipped\n",
+                    baseline_path);
+      } else if (measured_ms > baseline_ms * max_slowdown) {
+        throw Fatal{"MC grid serial time regressed: " +
+                    std::to_string(measured_ms) + " ms vs committed " +
+                    std::to_string(baseline_ms) + " ms (allowed up to " +
+                    std::to_string(max_slowdown) +
+                    "x; re-measure bench/mc_grid_baseline.json if the grid "
+                    "was deliberately changed)"};
+      } else {
+        std::printf("MC baseline gate OK: %.1f ms vs committed %.1f ms "
+                    "(<= %.1fx)\n",
+                    measured_ms, baseline_ms, max_slowdown);
+      }
+    }
+
     // ---- Bootstrap replication -------------------------------------------
     const IntegratedSample bs_sample = ScenarioPrefix(500);
     const BucketSumEstimator bucket;

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -104,6 +105,32 @@ inline std::string FormatBenchRow(const BenchRow& row) {
   std::snprintf(buffer, sizeof(buffer), ", \"speedup\": %.4f}", row.speedup);
   out += buffer;
   return out;
+}
+
+/// Reads `"key": <number>` out of a (small, trusted) baseline JSON file —
+/// the committed regression-gate references (bench/bootstrap_baseline.json,
+/// bench/mc_grid_baseline.json). NaN when the file or key is missing.
+inline double ReadBaselineNumber(const std::string& path,
+                                 const std::string& key) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return std::numeric_limits<double>::quiet_NaN();
+  std::string content;
+  char chunk[1024];
+  size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    content.append(chunk, got);
+  }
+  std::fclose(file);
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = content.find(needle);
+  if (pos == std::string::npos) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  pos = content.find(':', pos + needle.size());
+  if (pos == std::string::npos) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::atof(content.c_str() + pos + 1);
 }
 
 /// Writes the rows as a JSON array to `path`; returns false (with a warning

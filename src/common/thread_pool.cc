@@ -101,6 +101,10 @@ void ThreadPool::Drain(ForState* state) {
   state->all_done.notify_all();
 }
 
+bool ThreadPool::WouldRunInline(int64_t n) const {
+  return num_threads_ == 1 || n <= 1 || current_pool == this;
+}
+
 void ThreadPool::ParallelFor(int64_t begin, int64_t end,
                              const std::function<void(int64_t)>& fn) {
   const int64_t n = end - begin;
@@ -109,7 +113,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   // Serial paths: a 1-thread pool, a single item, or a nested call from one
   // of this pool's own workers (whose siblings may all be blocked in the
   // outer ParallelFor — queueing would deadlock).
-  if (num_threads_ == 1 || n == 1 || current_pool == this) {
+  if (WouldRunInline(n)) {
     for (int64_t i = begin; i < end; ++i) fn(i);
     return;
   }

@@ -30,8 +30,8 @@ bool ResolveColumnar(ReplicateEvaluation evaluation, bool estimator_supports,
       estimator_supports && SampleView::PolicySupportsColumnar(policy);
   if (evaluation == ReplicateEvaluation::kColumnar) {
     UUQ_CHECK_MSG(available,
-                  "columnar evaluation forced but the estimator or fusion "
-                  "policy does not support it");
+                  "columnar evaluation forced but the estimator has no "
+                  "replicate path");
     return true;
   }
   const bool columnar =

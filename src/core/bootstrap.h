@@ -12,17 +12,21 @@
 // sample is flattened once, each replicate is a vector of source indices,
 // and estimators with a columnar path (every built-in SUM estimator)
 // evaluate the replicate straight from the value/multiplicity columns — no
-// maps, no string keys, no per-replicate Observation copies. Estimators
-// without a columnar path, and the kMajority fusion policy, transparently
-// fall back to materializing each replicate (the pre-columnar behaviour,
+// maps, no string keys, no per-replicate Observation copies. Every fusion
+// policy folds columnar (kMajority through the per-slot report histogram);
+// the bucket estimator additionally reuses a per-thread IndexScratch
+// (bucket.h), so a B-replicate run performs zero per-replicate heap
+// allocations once warm. Only estimators without a columnar path fall back
+// to materializing each replicate (the pre-columnar behaviour,
 // byte-for-byte).
 //
-// DETERMINISM. One Rng::Split() stream per replicate, derived in replicate
-// order before the parallel section, so intervals are bit-identical for
-// every thread count (including UUQ_THREADS=1). For columnar-supported
-// fusion policies the columnar and materialized evaluations produce
-// bit-identical replicate estimates (see sample_view.h); the conformance
-// suite pins both paths to each other within 1e-9 relative tolerance.
+// DETERMINISM. The replicate loop is sharded across the ThreadPool with one
+// Rng::Split() stream per replicate, derived in replicate order before the
+// parallel section, so intervals are bit-identical for every thread count
+// (including UUQ_THREADS=1). Columnar and materialized evaluations produce
+// bit-identical replicate estimates for every fusion policy (see
+// sample_view.h); the conformance suite pins both paths to each other
+// within 1e-9 relative tolerance.
 #ifndef UUQ_CORE_BOOTSTRAP_H_
 #define UUQ_CORE_BOOTSTRAP_H_
 
@@ -39,7 +43,7 @@ class ThreadPool;
 
 /// How BootstrapCorrectedSum / JackknifeCorrectedSum evaluate a replicate.
 enum class ReplicateEvaluation {
-  kAuto,          ///< columnar when the estimator and policy allow, else
+  kAuto,          ///< columnar when the estimator supports replicates, else
                   ///< materialized
   kColumnar,      ///< force the columnar path (aborts when unsupported)
   kMaterialized,  ///< force the materializing reference path
@@ -56,8 +60,8 @@ struct BootstrapOptions {
   /// uuq estimator is stateless and does).
   ThreadPool* pool = nullptr;
   /// kAuto picks the columnar fast path whenever the estimator supports
-  /// replicates and the fusion policy allows streaming fusion; kMaterialized
-  /// is the conformance/debugging reference.
+  /// replicates (every fusion policy evaluates columnar); kMaterialized is
+  /// the conformance/debugging reference.
   ReplicateEvaluation evaluation = ReplicateEvaluation::kAuto;
 };
 
@@ -89,9 +93,9 @@ BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
 /// MIN/MAX intervals. `columnar` evaluates one replicate from its columns
 /// (may be null when the statistic has no columnar form); `materialized`
 /// evaluates a materialized replicate and must be provided whenever the
-/// columnar path can be ruled out (null `columnar`, kMajority fusion, or
-/// evaluation == kMaterialized). `point` is the statistic on the original
-/// sample and is copied into the interval.
+/// columnar path can be ruled out (null `columnar`, or evaluation ==
+/// kMaterialized). `point` is the statistic on the original sample and is
+/// copied into the interval.
 BootstrapInterval BootstrapAggregate(
     const IntegratedSample& sample, double point,
     const std::function<double(const ReplicateSample&)>& columnar,

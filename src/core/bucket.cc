@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
 
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "core/naive.h"
+#include "integration/sample_view.h"
 
 namespace uuq {
 
@@ -16,20 +16,44 @@ SortedEntityIndex::SortedEntityIndex(const std::vector<EntityStat>& entities) {
   for (const EntityStat& e : entities) {
     points_.push_back({e.value, e.multiplicity});
   }
-  BuildPrefix();
+  Finalize(/*nearly_sorted=*/false);
 }
 
 SortedEntityIndex::SortedEntityIndex(std::vector<EntityPoint> points)
     : points_(std::move(points)) {
-  BuildPrefix();
+  Finalize(/*nearly_sorted=*/false);
 }
 
-void SortedEntityIndex::BuildPrefix() {
-  std::sort(points_.begin(), points_.end(),
-            [](const EntityPoint& a, const EntityPoint& b) {
-              return a.value < b.value;
-            });
+void SortedEntityIndex::Finalize(bool nearly_sorted) {
+  if (!nearly_sorted) {
+    std::sort(points_.begin(), points_.end(), PointLess);
+  } else {
+    // Adaptive insertion sort: a rank-order gather leaves only local
+    // inversions (entities whose replicate value moved, multiplicity ties
+    // within an equal-value run), so this is O(points + inversions). A
+    // pathological replicate burns through the shift budget and falls back
+    // to std::sort — same canonical content, bounded worst case.
+    size_t budget = 8 * points_.size() + 16;
+    bool fell_back = false;
+    for (size_t i = 1; !fell_back && i < points_.size(); ++i) {
+      if (!PointLess(points_[i], points_[i - 1])) continue;
+      const EntityPoint point = points_[i];
+      size_t j = i;
+      while (j > 0 && PointLess(point, points_[j - 1])) {
+        points_[j] = points_[j - 1];
+        --j;
+        if (--budget == 0) {
+          fell_back = true;
+          break;
+        }
+      }
+      points_[j] = point;  // restore before any fallback: same multiset
+      if (fell_back) std::sort(points_.begin(), points_.end(), PointLess);
+    }
+  }
+
   prefix_.resize(points_.size() + 1);
+  prefix_[0] = SampleStats{};
   for (size_t i = 0; i < points_.size(); ++i) {
     prefix_[i + 1] = prefix_[i];
     prefix_[i + 1].Add(points_[i]);
@@ -58,22 +82,77 @@ size_t SortedEntityIndex::UpperBoundOfValueAt(size_t i) const {
   return j;
 }
 
+const SortedEntityIndex& IndexScratch::RebuildIndex(
+    const ReplicateSample& rep) {
+  index_.Clear();
+  const SampleView* view = rep.view;
+  const bool incremental =
+      view != nullptr && rep.entity_indices.size() == rep.entities.size() &&
+      static_cast<size_t>(view->num_entities()) >= rep.entities.size();
+  if (!incremental) {
+    for (const EntityPoint& point : rep.entities) index_.Append(point);
+    index_.Finalize(/*nearly_sorted=*/false);
+    return index_;
+  }
+
+  // Scatter the replicate into dense per-original-entity columns, then
+  // gather in the view's rank order: the result is nearly sorted by
+  // replicate value (a replicate perturbs multiplicities, not the entity
+  // ordering), so Finalize only fixes up the few points that moved.
+  const size_t num_entities = static_cast<size_t>(view->num_entities());
+  if (scatter_mult_.size() < num_entities) {
+    scatter_mult_.resize(num_entities, 0);
+    scatter_value_.resize(num_entities, 0.0);
+  }
+  int64_t* UUQ_RESTRICT mult = scatter_mult_.data();
+  double* UUQ_RESTRICT value = scatter_value_.data();
+  for (size_t i = 0; i < rep.entities.size(); ++i) {
+    const size_t e = static_cast<size_t>(rep.entity_indices[i]);
+    // Build* keeps entity_indices inside the view's entity space; a
+    // hand-assembled replicate that sets `view` owns this invariant.
+    UUQ_DCHECK(e < num_entities);
+    mult[e] = rep.entities[i].multiplicity;
+    value[e] = rep.entities[i].value;
+  }
+  for (int32_t e : view->entity_rank_order()) {
+    const size_t idx = static_cast<size_t>(e);
+    if (mult[idx] == 0) continue;
+    index_.Append({value[idx], mult[idx]});
+    mult[idx] = 0;  // restore the resting invariant as we go
+  }
+  index_.Finalize(/*nearly_sorted=*/true);
+  return index_;
+}
+
 namespace {
 
 /// |Δ| of a slice, treating non-finite estimates as +infinity so that
-/// singleton-only buckets are never attractive to the split search.
+/// singleton-only buckets are never attractive to the split search. Uses
+/// the delta-only path: no Estimate (and no string) per candidate slice.
 double AbsDelta(const StatsSumEstimator& inner, const SampleStats& stats) {
   if (stats.empty()) return 0.0;
-  const Estimate est = inner.FromStats(stats);
-  if (!std::isfinite(est.delta)) {
+  const double delta = inner.DeltaFromStats(stats);
+  if (!std::isfinite(delta)) {
     return std::numeric_limits<double>::infinity();
   }
-  return std::fabs(est.delta);
+  return std::fabs(delta);
 }
 
-std::vector<size_t> SingleBucket(size_t size) { return {0, size}; }
+void SingleBucket(size_t size, std::vector<size_t>* bounds) {
+  bounds->clear();
+  bounds->push_back(0);
+  bounds->push_back(size);
+}
 
 }  // namespace
+
+std::vector<size_t> BucketPartitioner::Partition(
+    const SortedEntityIndex& index, const StatsSumEstimator& inner) const {
+  PartitionScratch scratch;
+  std::vector<size_t> bounds;
+  PartitionInto(index, inner, &scratch, &bounds);
+  return bounds;
+}
 
 EquiWidthPartitioner::EquiWidthPartitioner(int num_buckets)
     : num_buckets_(num_buckets) {
@@ -84,26 +163,31 @@ std::string EquiWidthPartitioner::name() const {
   return "eq-width-" + std::to_string(num_buckets_);
 }
 
-std::vector<size_t> EquiWidthPartitioner::Partition(
-    const SortedEntityIndex& index, const StatsSumEstimator& inner) const {
+void EquiWidthPartitioner::PartitionInto(const SortedEntityIndex& index,
+                                         const StatsSumEstimator& inner,
+                                         PartitionScratch* scratch,
+                                         std::vector<size_t>* bounds) const {
   UUQ_UNUSED(inner);
+  UUQ_UNUSED(scratch);
   const auto& entities = index.entities();
-  if (entities.empty()) return SingleBucket(0);
+  if (entities.empty()) return SingleBucket(0, bounds);
   const double lo = entities.front().value;
   const double hi = entities.back().value;
-  if (num_buckets_ == 1 || hi == lo) return SingleBucket(entities.size());
+  if (num_buckets_ == 1 || hi == lo) {
+    return SingleBucket(entities.size(), bounds);
+  }
 
   const double width = (hi - lo) / num_buckets_;
-  std::vector<size_t> bounds{0};
+  bounds->clear();
+  bounds->push_back(0);
   size_t pos = 0;
   for (int b = 1; b < num_buckets_; ++b) {
     const double boundary = lo + width * b;
     while (pos < entities.size() && entities[pos].value <= boundary) ++pos;
     // Empty buckets collapse (duplicate boundaries are dropped).
-    if (pos > bounds.back()) bounds.push_back(pos);
+    if (pos > bounds->back()) bounds->push_back(pos);
   }
-  if (entities.size() > bounds.back()) bounds.push_back(entities.size());
-  return bounds;
+  if (entities.size() > bounds->back()) bounds->push_back(entities.size());
 }
 
 EquiHeightPartitioner::EquiHeightPartitioner(int num_buckets)
@@ -115,13 +199,17 @@ std::string EquiHeightPartitioner::name() const {
   return "eq-height-" + std::to_string(num_buckets_);
 }
 
-std::vector<size_t> EquiHeightPartitioner::Partition(
-    const SortedEntityIndex& index, const StatsSumEstimator& inner) const {
+void EquiHeightPartitioner::PartitionInto(const SortedEntityIndex& index,
+                                          const StatsSumEstimator& inner,
+                                          PartitionScratch* scratch,
+                                          std::vector<size_t>* bounds) const {
   UUQ_UNUSED(inner);
+  UUQ_UNUSED(scratch);
   const size_t size = index.size();
-  if (size == 0) return SingleBucket(0);
+  if (size == 0) return SingleBucket(0, bounds);
   const int k = std::min<int>(num_buckets_, static_cast<int>(size));
-  std::vector<size_t> bounds{0};
+  bounds->clear();
+  bounds->push_back(0);
   for (int b = 1; b < k; ++b) {
     size_t pos = size * static_cast<size_t>(b) / static_cast<size_t>(k);
     // Entities with equal values must not straddle a boundary (a bucket is a
@@ -130,43 +218,48 @@ std::vector<size_t> EquiHeightPartitioner::Partition(
         index.entities()[pos].value == index.entities()[pos - 1].value) {
       pos = index.UpperBoundOfValueAt(pos - 1);
     }
-    if (pos > bounds.back() && pos < size) bounds.push_back(pos);
+    if (pos > bounds->back() && pos < size) bounds->push_back(pos);
   }
-  bounds.push_back(size);
-  return bounds;
+  bounds->push_back(size);
 }
 
-std::vector<size_t> DynamicPartitioner::Partition(
-    const SortedEntityIndex& index, const StatsSumEstimator& inner) const {
+void DynamicPartitioner::PartitionInto(const SortedEntityIndex& index,
+                                       const StatsSumEstimator& inner,
+                                       PartitionScratch* scratch,
+                                       std::vector<size_t>* bounds) const {
+  UUQ_CHECK(scratch != nullptr && bounds != nullptr);
   const size_t size = index.size();
-  if (size == 0) return SingleBucket(0);
+  if (size == 0) return SingleBucket(0, bounds);
 
-  struct Range {
-    size_t begin;
-    size_t end;
-  };
+  auto& todo = scratch->todo;
+  auto& done = scratch->done;
+  auto& cuts = scratch->cuts;
+  auto& candidates = scratch->candidates;
+  todo.clear();
+  done.clear();
 
   // delta_min tracks the global objective Σ|Δ(b)| over all current buckets
   // (todo + finalized), exactly as Algorithm 1's δmin.
   double delta_min = AbsDelta(inner, index.Slice(0, size));
-  std::deque<Range> todo{{0, size}};
-  std::vector<Range> final_buckets;
+  todo.push_back({0, size});
 
-  while (!todo.empty()) {
-    const Range b = todo.front();
-    todo.pop_front();
-    const double b_delta = AbsDelta(inner, index.Slice(b.begin, b.end));
+  // FIFO worklist on a flat vector: `head` plays the deque's pop_front, so
+  // the split order — and with it every tie-break — matches the historical
+  // deque-based traversal while staying allocation-free on reuse.
+  for (size_t head = 0; head < todo.size(); ++head) {
+    const auto [b_begin, b_end] = todo[head];
+    const double b_delta = AbsDelta(inner, index.Slice(b_begin, b_end));
     // Objective contribution of everything except bucket b. Infinity-aware:
     // if b_delta is infinite, the remainder is what other buckets contribute;
     // recompute defensively rather than subtracting inf.
     double delta_rest;
     if (std::isinf(b_delta) || std::isinf(delta_min)) {
       delta_rest = 0.0;
-      for (const Range& r : final_buckets) {
-        delta_rest += AbsDelta(inner, index.Slice(r.begin, r.end));
+      for (const auto& r : done) {
+        delta_rest += AbsDelta(inner, index.Slice(r.first, r.second));
       }
-      for (const Range& r : todo) {
-        delta_rest += AbsDelta(inner, index.Slice(r.begin, r.end));
+      for (size_t i = head + 1; i < todo.size(); ++i) {
+        delta_rest += AbsDelta(inner, index.Slice(todo[i].first, todo[i].second));
       }
       delta_min = delta_rest + b_delta;
     } else {
@@ -177,56 +270,55 @@ std::vector<size_t> DynamicPartitioner::Partition(
     // candidates are independent slice evaluations, so wide buckets fan out
     // over the pool; the serial argmin below keeps the first-minimum
     // tie-break, so the result never depends on the thread count.
-    std::vector<size_t> cuts;
+    cuts.clear();
     {
-      size_t cut = b.begin < size ? index.UpperBoundOfValueAt(b.begin) : b.end;
-      while (cut < b.end) {
+      size_t cut = b_begin < size ? index.UpperBoundOfValueAt(b_begin) : b_end;
+      while (cut < b_end) {
         cuts.push_back(cut);
         cut = index.UpperBoundOfValueAt(cut);
       }
     }
-    std::vector<double> candidates(cuts.size());
-    const auto evaluate = [&](int64_t i) {
+    candidates.resize(cuts.size());
+    const auto evaluate = [&, b_begin = b_begin, b_end = b_end](int64_t i) {
       const size_t cut = cuts[static_cast<size_t>(i)];
       candidates[static_cast<size_t>(i)] =
-          delta_rest + AbsDelta(inner, index.Slice(b.begin, cut)) +
-          AbsDelta(inner, index.Slice(cut, b.end));
+          delta_rest + AbsDelta(inner, index.Slice(b_begin, cut)) +
+          AbsDelta(inner, index.Slice(cut, b_end));
     };
     // Below ~64 candidates the closed-form slice math is cheaper than the
-    // dispatch; run inline.
-    if (cuts.size() >= 64) {
-      ThreadPool::OrDefault(pool_)->ParallelFor(
-          0, static_cast<int64_t>(cuts.size()), evaluate);
+    // dispatch; and when the dispatch would run inline anyway (1-thread
+    // pool, or nested inside a pool worker — every bootstrap replicate)
+    // skip even the std::function construction: the scan stays heap-free.
+    ThreadPool* pool = ThreadPool::OrDefault(pool_);
+    const int64_t num_cuts = static_cast<int64_t>(cuts.size());
+    if (num_cuts >= 64 && !pool->WouldRunInline(num_cuts)) {
+      pool->ParallelFor(0, num_cuts, evaluate);
     } else {
-      for (int64_t i = 0; i < static_cast<int64_t>(cuts.size()); ++i) {
-        evaluate(i);
-      }
+      for (int64_t i = 0; i < num_cuts; ++i) evaluate(i);
     }
 
     bool found = false;
-    Range best_left{0, 0}, best_right{0, 0};
+    size_t best_cut = 0;
     for (size_t i = 0; i < cuts.size(); ++i) {
       if (candidates[i] < delta_min) {
         delta_min = candidates[i];
-        best_left = {b.begin, cuts[i]};
-        best_right = {cuts[i], b.end};
+        best_cut = cuts[i];
         found = true;
       }
     }
 
     if (found) {
-      todo.push_back(best_left);
-      todo.push_back(best_right);
+      todo.push_back({b_begin, best_cut});
+      todo.push_back({best_cut, b_end});
     } else {
-      final_buckets.push_back(b);
+      done.push_back({b_begin, b_end});
     }
   }
 
-  std::vector<size_t> bounds{0};
-  std::sort(final_buckets.begin(), final_buckets.end(),
-            [](const Range& a, const Range& b) { return a.begin < b.begin; });
-  for (const Range& r : final_buckets) bounds.push_back(r.end);
-  return bounds;
+  std::sort(done.begin(), done.end());
+  bounds->clear();
+  bounds->push_back(0);
+  for (const auto& r : done) bounds->push_back(r.second);
 }
 
 BucketSumEstimator::BucketSumEstimator()
@@ -238,29 +330,37 @@ BucketSumEstimator::BucketSumEstimator(
     std::shared_ptr<const StatsSumEstimator> inner)
     : partitioner_(std::move(partitioner)), inner_(std::move(inner)) {
   UUQ_CHECK(partitioner_ != nullptr && inner_ != nullptr);
+  name_ = "bucket[" + partitioner_->name();
+  if (inner_->name() != "naive") name_ += "," + inner_->name();
+  name_ += "]";
 }
 
-std::string BucketSumEstimator::name() const {
-  std::string n = "bucket[" + partitioner_->name();
-  if (inner_->name() != "naive") n += "," + inner_->name();
-  return n + "]";
-}
+std::string BucketSumEstimator::name() const { return name_; }
 
-std::vector<ValueBucket> BucketSumEstimator::ComputeBuckets(
-    const SortedEntityIndex& index) const {
-  const std::vector<size_t> bounds = partitioner_->Partition(index, *inner_);
-  std::vector<ValueBucket> buckets;
-  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
-    const size_t begin = bounds[i];
-    const size_t end = bounds[i + 1];
+void BucketSumEstimator::ComputeBucketsInto(
+    const SortedEntityIndex& index, PartitionScratch* partition_scratch,
+    std::vector<size_t>* bounds, std::vector<ValueBucket>* out) const {
+  partitioner_->PartitionInto(index, *inner_, partition_scratch, bounds);
+  out->clear();
+  for (size_t i = 0; i + 1 < bounds->size(); ++i) {
+    const size_t begin = (*bounds)[i];
+    const size_t end = (*bounds)[i + 1];
     if (begin == end) continue;
-    ValueBucket bucket;
+    out->emplace_back();
+    ValueBucket& bucket = out->back();
     bucket.lo = index.entities()[begin].value;
     bucket.hi = index.entities()[end - 1].value;
     bucket.stats = index.Slice(begin, end);
     bucket.estimate = inner_->FromStats(bucket.stats);
-    buckets.push_back(std::move(bucket));
   }
+}
+
+std::vector<ValueBucket> BucketSumEstimator::ComputeBuckets(
+    const SortedEntityIndex& index) const {
+  PartitionScratch partition_scratch;
+  std::vector<size_t> bounds;
+  std::vector<ValueBucket> buckets;
+  ComputeBucketsInto(index, &partition_scratch, &bounds, &buckets);
   return buckets;
 }
 
@@ -271,7 +371,8 @@ std::vector<ValueBucket> BucketSumEstimator::ComputeBuckets(
 
 std::vector<ValueBucket> BucketSumEstimator::ComputeBuckets(
     const ReplicateSample& rep) const {
-  return ComputeBuckets(SortedEntityIndex(rep.entities));
+  static thread_local IndexScratch scratch;
+  return ComputeBuckets(scratch.RebuildIndex(rep));
 }
 
 namespace {
@@ -312,13 +413,23 @@ Estimate CombineBuckets(const std::string& estimator_name,
 
 Estimate BucketSumEstimator::EstimateImpact(
     const IntegratedSample& sample) const {
-  return CombineBuckets(name(), ComputeBuckets(sample),
+  return CombineBuckets(name_, ComputeBuckets(sample),
                         SampleStats::FromSample(sample));
 }
 
 Estimate BucketSumEstimator::EstimateReplicate(
     const ReplicateSample& rep) const {
-  return CombineBuckets(name(), ComputeBuckets(rep),
+  static thread_local IndexScratch scratch;
+  return EstimateReplicate(rep, &scratch);
+}
+
+Estimate BucketSumEstimator::EstimateReplicate(const ReplicateSample& rep,
+                                               IndexScratch* scratch) const {
+  UUQ_CHECK(scratch != nullptr);
+  const SortedEntityIndex& index = scratch->RebuildIndex(rep);
+  ComputeBucketsInto(index, &scratch->partition_, &scratch->bounds_,
+                     &scratch->buckets_);
+  return CombineBuckets(name_, scratch->buckets_,
                         SampleStats::FromReplicate(rep));
 }
 

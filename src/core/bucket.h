@@ -13,6 +13,17 @@
 // Slices are evaluated in O(1) via prefix sums over the value-sorted entity
 // array; the dynamic algorithm therefore costs O(u) per candidate-split scan
 // instead of O(u·size).
+//
+// REPLICATE HOT PATH. Bootstrap/jackknife replicates re-run the whole
+// estimator B times; IndexScratch makes those runs allocation-free: the
+// sorted index, prefix array, partition worklists, and bucket vector are
+// all reused, and when the replicate carries its SampleView the re-sort is
+// INCREMENTAL — points are gathered in the view's precomputed rank order
+// (a replicate perturbs multiplicities, not the entity ordering, so the
+// gather is already nearly sorted) and fixed up with an adaptive insertion
+// pass. The index orders points canonically by (value, multiplicity), which
+// makes the sorted array — and every prefix sum — independent of the input
+// permutation, so the scratch path is bit-identical to a fresh index.
 #ifndef UUQ_CORE_BUCKET_H_
 #define UUQ_CORE_BUCKET_H_
 
@@ -24,6 +35,7 @@
 namespace uuq {
 
 class ThreadPool;
+class IndexScratch;
 
 /// A value-range bucket with its slice statistics and inner estimate.
 struct ValueBucket {
@@ -38,11 +50,33 @@ struct ValueBucket {
 ///
 /// Stores only the (value, multiplicity) points the bucket math reads — no
 /// keys, no categories — so it is equally at home indexing a full sample's
-/// entities or a columnar bootstrap replicate.
+/// entities or a columnar bootstrap replicate. A default-constructed index
+/// is an empty reusable shell: Clear()/Append()/Finalize() rebuild it in
+/// place without allocating once its buffers are warm.
 class SortedEntityIndex {
  public:
+  SortedEntityIndex() = default;
   explicit SortedEntityIndex(const std::vector<EntityStat>& entities);
   explicit SortedEntityIndex(std::vector<EntityPoint> points);
+
+  /// Canonical point order: ascending (value, multiplicity). Total up to
+  /// indistinguishable points, so any input permutation of the same point
+  /// multiset sorts to the same array content — the bit-identity guarantee
+  /// behind the scratch-reuse and incremental-re-sort paths.
+  static bool PointLess(const EntityPoint& a, const EntityPoint& b) {
+    return a.value < b.value ||
+           (a.value == b.value && a.multiplicity < b.multiplicity);
+  }
+
+  /// In-place rebuild, step 1: drop all points (capacity retained).
+  void Clear() { points_.clear(); }
+  /// In-place rebuild, step 2: append one point (any order).
+  void Append(const EntityPoint& point) { points_.push_back(point); }
+  /// In-place rebuild, step 3: sort + rebuild the prefix array, reusing the
+  /// internal buffers. `nearly_sorted` selects an adaptive insertion sort
+  /// (O(points + inversions), falling back to std::sort past a shift
+  /// budget); the final content is canonical either way.
+  void Finalize(bool nearly_sorted);
 
   size_t size() const { return points_.size(); }
   const std::vector<EntityPoint>& entities() const { return points_; }
@@ -55,11 +89,18 @@ class SortedEntityIndex {
   size_t UpperBoundOfValueAt(size_t i) const;
 
  private:
-  void BuildPrefix();
-
-  std::vector<EntityPoint> points_;  // sorted ascending by value
+  std::vector<EntityPoint> points_;  // sorted ascending by (value, mult)
   // prefix_[k] = stats over points_[0..k)
   std::vector<SampleStats> prefix_;
+};
+
+/// Reusable buffers for BucketPartitioner::PartitionInto (worklists and the
+/// candidate-split scan). One per thread; contents are transient per call.
+struct PartitionScratch {
+  std::vector<size_t> cuts;
+  std::vector<double> candidates;
+  std::vector<std::pair<size_t, size_t>> todo;  // FIFO worklist (head index)
+  std::vector<std::pair<size_t, size_t>> done;  // finalized buckets
 };
 
 /// Partitioning strategy interface: returns bucket boundaries as half-open
@@ -68,10 +109,15 @@ class BucketPartitioner {
  public:
   virtual ~BucketPartitioner() = default;
   virtual std::string name() const = 0;
-  /// Returns slice boundaries: a sorted vector b_0=0 < b_1 < ... < b_k=size.
-  virtual std::vector<size_t> Partition(const SortedEntityIndex& index,
-                                        const StatsSumEstimator& inner)
-      const = 0;
+  /// Writes slice boundaries b_0=0 < b_1 < ... < b_k=size into *bounds,
+  /// reusing `scratch` — allocation-free once warm (the replicate hot path).
+  virtual void PartitionInto(const SortedEntityIndex& index,
+                             const StatsSumEstimator& inner,
+                             PartitionScratch* scratch,
+                             std::vector<size_t>* bounds) const = 0;
+  /// Allocating convenience wrapper around PartitionInto.
+  std::vector<size_t> Partition(const SortedEntityIndex& index,
+                                const StatsSumEstimator& inner) const;
 };
 
 /// §3.3.1: `num_buckets` equal-width value ranges over [min, max].
@@ -79,8 +125,9 @@ class EquiWidthPartitioner final : public BucketPartitioner {
  public:
   explicit EquiWidthPartitioner(int num_buckets);
   std::string name() const override;
-  std::vector<size_t> Partition(const SortedEntityIndex& index,
-                                const StatsSumEstimator& inner) const override;
+  void PartitionInto(const SortedEntityIndex& index,
+                     const StatsSumEstimator& inner, PartitionScratch* scratch,
+                     std::vector<size_t>* bounds) const override;
 
  private:
   int num_buckets_;
@@ -91,8 +138,9 @@ class EquiHeightPartitioner final : public BucketPartitioner {
  public:
   explicit EquiHeightPartitioner(int num_buckets);
   std::string name() const override;
-  std::vector<size_t> Partition(const SortedEntityIndex& index,
-                                const StatsSumEstimator& inner) const override;
+  void PartitionInto(const SortedEntityIndex& index,
+                     const StatsSumEstimator& inner, PartitionScratch* scratch,
+                     std::vector<size_t>* bounds) const override;
 
  private:
   int num_buckets_;
@@ -105,7 +153,10 @@ class EquiHeightPartitioner final : public BucketPartitioner {
 /// evaluation per distinct value) runs on a ThreadPool when the bucket has
 /// enough candidates to amortize the dispatch; each candidate writes only
 /// its own slot and the argmin keeps the serial first-minimum tie-break, so
-/// the partition is identical for every thread count.
+/// the partition is identical for every thread count. When the call would
+/// run inline anyway (1-thread pool, or nested inside a pool worker — the
+/// bootstrap replicate case) the scan skips the dispatch entirely and stays
+/// allocation-free.
 class DynamicPartitioner final : public BucketPartitioner {
  public:
   DynamicPartitioner() = default;
@@ -113,11 +164,41 @@ class DynamicPartitioner final : public BucketPartitioner {
   explicit DynamicPartitioner(ThreadPool* pool) : pool_(pool) {}
 
   std::string name() const override { return "dynamic"; }
-  std::vector<size_t> Partition(const SortedEntityIndex& index,
-                                const StatsSumEstimator& inner) const override;
+  void PartitionInto(const SortedEntityIndex& index,
+                     const StatsSumEstimator& inner, PartitionScratch* scratch,
+                     std::vector<size_t>* bounds) const override;
 
  private:
   ThreadPool* pool_ = nullptr;
+};
+
+/// Reusable per-thread state for allocation-free replicate bucket
+/// evaluation: the scatter columns of the incremental re-sort (resting
+/// invariant: multiplicity column all-zero), the sorted index + prefix
+/// buffers, and the partition/bucket vectors. One scratch serves replicates
+/// of any size from any SampleView, interleaved in any order — every
+/// rebuild starts from the resting state, so results never depend on what
+/// the scratch evaluated before.
+class IndexScratch {
+ public:
+  IndexScratch() = default;
+  IndexScratch(const IndexScratch&) = delete;
+  IndexScratch& operator=(const IndexScratch&) = delete;
+
+  /// Rebuilds the scratch-owned SortedEntityIndex from `rep` and returns
+  /// it. With rep.view attached the points are gathered in the view's
+  /// entity rank order (incremental re-sort); otherwise copied and fully
+  /// sorted. Both paths produce the identical canonical index.
+  const SortedEntityIndex& RebuildIndex(const ReplicateSample& rep);
+
+ private:
+  friend class BucketSumEstimator;
+  SortedEntityIndex index_;
+  std::vector<int64_t> scatter_mult_;  // per original entity; all-zero at rest
+  std::vector<double> scatter_value_;
+  PartitionScratch partition_;
+  std::vector<size_t> bounds_;
+  std::vector<ValueBucket> buckets_;
 };
 
 /// The composed bucket estimator (Eq. 11): Δ = Σ_b Δ(b).
@@ -134,14 +215,21 @@ class BucketSumEstimator final : public SumEstimator {
 
   /// Columnar replicate path (bit-identical to EstimateImpact on the
   /// materialized replicate — the whole-sample stats fold runs in
-  /// first-touch order and the index sort sees the same sequence).
+  /// first-touch order and the canonical index sort sees the same point
+  /// multiset). Runs through a thread-local IndexScratch: zero heap
+  /// allocations per replicate once warm.
   bool SupportsReplicates() const override { return true; }
   Estimate EstimateReplicate(const ReplicateSample& rep) const override;
+  /// Same, through a caller-owned scratch (engines and tests that manage
+  /// reuse explicitly).
+  Estimate EstimateReplicate(const ReplicateSample& rep,
+                             IndexScratch* scratch) const;
 
   /// The full per-bucket breakdown (used by AVG and MIN/MAX, §5, and by the
   /// static-bucket ablation benches).
   std::vector<ValueBucket> ComputeBuckets(const IntegratedSample& sample) const;
-  /// Same, over a columnar replicate (AVG/MIN-MAX bootstrap).
+  /// Same, over a columnar replicate (AVG/MIN-MAX bootstrap); reuses the
+  /// thread-local scratch for the index rebuild.
   std::vector<ValueBucket> ComputeBuckets(const ReplicateSample& rep) const;
   /// Shared core: buckets of an already-built index.
   std::vector<ValueBucket> ComputeBuckets(const SortedEntityIndex& index) const;
@@ -150,8 +238,15 @@ class BucketSumEstimator final : public SumEstimator {
   const StatsSumEstimator& inner() const { return *inner_; }
 
  private:
+  /// Partition + per-bucket evaluation into scratch-owned vectors.
+  void ComputeBucketsInto(const SortedEntityIndex& index,
+                          PartitionScratch* partition_scratch,
+                          std::vector<size_t>* bounds,
+                          std::vector<ValueBucket>* out) const;
+
   std::shared_ptr<const BucketPartitioner> partitioner_;
   std::shared_ptr<const StatsSumEstimator> inner_;
+  std::string name_;  // cached: replicate paths stamp it per Estimate
 };
 
 }  // namespace uuq

@@ -80,7 +80,7 @@ class SumEstimator {
   /// estimator that returns true from SupportsReplicates() must make
   /// EstimateReplicate(rep) produce the same Estimate that EstimateImpact
   /// would produce on the materialized IntegratedSample of the same draws
-  /// (bit-identical for the columnar-supported fusion policies; see
+  /// (bit-identical for every fusion policy, kMajority included; see
   /// sample_view.h). Estimators without an override are bootstrapped
   /// through the materializing fallback instead.
   virtual bool SupportsReplicates() const { return false; }
@@ -93,6 +93,15 @@ class SumEstimator {
 class StatsSumEstimator : public SumEstimator {
  public:
   virtual Estimate FromStats(const SampleStats& stats) const = 0;
+
+  /// Δ̂ alone, bit-identical to FromStats(stats).delta. The bucket split
+  /// scan evaluates thousands of candidate slices per partition and only
+  /// reads |Δ|; overriding this skips the full Estimate (and its string
+  /// field) on that hot path. The default is the semantics-defining
+  /// fallback for estimators that never bothered to specialize.
+  virtual double DeltaFromStats(const SampleStats& stats) const {
+    return FromStats(stats).delta;
+  }
 
   Estimate EstimateImpact(const IntegratedSample& sample) const override {
     return FromStats(SampleStats::FromSample(sample));

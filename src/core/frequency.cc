@@ -38,4 +38,15 @@ Estimate FrequencyEstimator::FromStats(const SampleStats& stats) const {
   return est;
 }
 
+double FrequencyEstimator::DeltaFromStats(const SampleStats& stats) const {
+  // Same expression/operation order as FromStats — bit-identical delta.
+  if (stats.empty() || stats.f1 == 0) return 0.0;
+  const double n_hat =
+      assume_uniform_ ? GoodTuringNhat(stats) : Chao92Nhat(stats);
+  const double missing_count = n_hat - static_cast<double>(stats.c);
+  const double missing_value =
+      stats.singleton_sum / static_cast<double>(stats.f1);
+  return missing_value * missing_count;
+}
+
 }  // namespace uuq

@@ -24,6 +24,7 @@ class FrequencyEstimator final : public StatsSumEstimator {
     return assume_uniform_ ? "freq-gt" : "freq";
   }
   Estimate FromStats(const SampleStats& stats) const override;
+  double DeltaFromStats(const SampleStats& stats) const override;
 
  private:
   bool assume_uniform_;

@@ -24,4 +24,12 @@ Estimate NaiveEstimator::FromStats(const SampleStats& stats) const {
   return est;
 }
 
+double NaiveEstimator::DeltaFromStats(const SampleStats& stats) const {
+  // Same expression/operation order as FromStats — bit-identical delta.
+  if (stats.empty()) return 0.0;
+  const double missing_count =
+      Chao92Nhat(stats) - static_cast<double>(stats.c);
+  return stats.ValueMean() * missing_count;
+}
+
 }  // namespace uuq

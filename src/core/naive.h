@@ -16,6 +16,7 @@ class NaiveEstimator final : public StatsSumEstimator {
  public:
   std::string name() const override { return "naive"; }
   Estimate FromStats(const SampleStats& stats) const override;
+  double DeltaFromStats(const SampleStats& stats) const override;
 };
 
 }  // namespace uuq

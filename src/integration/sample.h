@@ -57,9 +57,11 @@ class IntegratedSample {
       : policy_(policy) {}
 
   /// Ingests one observation (key is normalized internally). Constant-ish
-  /// time: histogram updates are O(log n), fusion is O(#reports) only for
-  /// kMajority. The optional category is entity-level metadata; the first
-  /// non-empty report wins.
+  /// time: histogram updates are O(log n); kMajority fusion re-scans the
+  /// entity's report vector (O(#reports²) per Add — the columnar
+  /// SampleView's report-slot histogram is the fast path for replicates).
+  /// The optional category is entity-level metadata; the first non-empty
+  /// report wins.
   void Add(const std::string& source_id, const std::string& entity_key,
            double value, const std::string& category = "");
 

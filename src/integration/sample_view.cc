@@ -24,11 +24,12 @@ std::vector<int32_t> BsLexOrder(size_t count) {
 }  // namespace
 
 /// The per-replicate fusion fold shared by BuildReplicate (source-grouped
-/// replay) and BuildLeaveOneOut (arrival-order replay): dense per-entity
-/// accumulators with first-touch tracking. Observe() mirrors what
-/// IntegratedSample::Add's incremental Fuse converges to for each policy;
-/// Emit() divides out kAverage, restores the scratch resting state (count
-/// all-zero), and fills out->entities in first-touch order.
+/// replay) and BuildLeaveOneOut (arrival-order replay) for the streaming
+/// policies: dense per-entity accumulators with first-touch tracking.
+/// Observe() mirrors what IntegratedSample::Add's incremental Fuse converges
+/// to for each policy; Emit() divides out kAverage, restores the scratch
+/// resting state (count all-zero), and fills out->entities in first-touch
+/// order.
 class ReplicateFold {
  public:
   ReplicateFold(FusionPolicy policy, ReplicateScratch* scratch,
@@ -67,6 +68,7 @@ class ReplicateFold {
       out->entities.push_back({value, m});
       count_[e] = 0;  // restore the resting invariant
     }
+    out->entity_indices = scratch_->touched_;
   }
 
  private:
@@ -74,6 +76,89 @@ class ReplicateFold {
   ReplicateScratch* const scratch_;
   int64_t* UUQ_RESTRICT count_ = nullptr;
   double* UUQ_RESTRICT acc_ = nullptr;
+};
+
+/// The kMajority counting-sort fold: per-slot report histogram updated per
+/// observation, per-entity mode resolved at Emit by scanning the entity's
+/// slot range — max count wins, ties broken by the slot whose first touch
+/// came earliest in replay order (IntegratedSample::Fuse's first-occurrence
+/// rule, since a slot's first touch IS its value's first occurrence).
+class MajorityFold {
+ public:
+  MajorityFold(ReplicateScratch* scratch, int64_t num_entities,
+               int64_t num_slots, const double* slot_value,
+               const int64_t* ent_slot_begin)
+      : scratch_(scratch),
+        slot_value_(slot_value),
+        ent_slot_begin_(ent_slot_begin) {
+    if (scratch->count_.size() < static_cast<size_t>(num_entities)) {
+      scratch->count_.resize(static_cast<size_t>(num_entities), 0);
+      scratch->acc_.resize(static_cast<size_t>(num_entities), 0.0);
+    }
+    if (scratch->slot_count_.size() < static_cast<size_t>(num_slots)) {
+      scratch->slot_count_.resize(static_cast<size_t>(num_slots), 0);
+      scratch->slot_seq_.resize(static_cast<size_t>(num_slots), 0);
+    }
+    scratch->touched_.clear();
+    count_ = scratch->count_.data();
+    slot_count_ = scratch->slot_count_.data();
+    slot_seq_ = scratch->slot_seq_.data();
+  }
+
+  void Observe(int32_t e, int32_t slot) {
+    if (count_[e]++ == 0) scratch_->touched_.push_back(e);
+    if (slot_count_[slot]++ == 0) slot_seq_[slot] = seq_++;
+  }
+
+  void Emit(ReplicateSample* out) {
+    out->policy = FusionPolicy::kMajority;
+    out->entities.clear();
+    out->entities.reserve(scratch_->touched_.size());
+    for (int32_t e : scratch_->touched_) {
+      const int64_t begin = ent_slot_begin_[e];
+      const int64_t end = ent_slot_begin_[e + 1];
+      int64_t best_slot = -1;
+      int64_t first_slot = -1;  // earliest-touched slot: the NaN fallback
+      int32_t best_count = 0;
+      int32_t best_seq = 0;
+      int32_t first_seq = 0;
+      for (int64_t s = begin; s < end; ++s) {
+        const int32_t count = slot_count_[s];
+        if (count == 0) continue;
+        const int32_t seq = slot_seq_[s];
+        if (first_slot < 0 || seq < first_seq) {
+          first_slot = s;
+          first_seq = seq;
+        }
+        // A NaN report never accumulates a count in the materialized fold
+        // (NaN == NaN is false), so a NaN slot can never win the contest
+        // there either — skip it here to match.
+        const double v = slot_value_[s];
+        if (v == v && (count > best_count ||
+                       (count == best_count && seq < best_seq))) {
+          best_count = count;
+          best_seq = seq;
+          best_slot = s;
+        }
+        slot_count_[s] = 0;  // restore the resting invariant
+      }
+      // All reports NaN: the materialized fold keeps reports.front() — the
+      // first occurrence in replay order, i.e. the earliest-touched slot.
+      if (best_slot < 0) best_slot = first_slot;
+      out->entities.push_back({slot_value_[best_slot], count_[e]});
+      count_[e] = 0;
+    }
+    out->entity_indices = scratch_->touched_;
+  }
+
+ private:
+  ReplicateScratch* const scratch_;
+  const double* UUQ_RESTRICT slot_value_;
+  const int64_t* UUQ_RESTRICT ent_slot_begin_;
+  int64_t* UUQ_RESTRICT count_ = nullptr;
+  int32_t* UUQ_RESTRICT slot_count_ = nullptr;
+  int32_t* UUQ_RESTRICT slot_seq_ = nullptr;
+  int32_t seq_ = 0;
 };
 
 SampleView::SampleView(const IntegratedSample& sample)
@@ -109,6 +194,8 @@ SampleView::SampleView(const IntegratedSample& sample)
     obs_value_.push_back(obs.value);
   }
 
+  if (policy_ == FusionPolicy::kMajority) BuildMajoritySlots();
+
   // Counting sort into source-grouped columns; arrival order is preserved
   // within each source, so a replayed source is byte-identical to its slice
   // of the original stream.
@@ -118,15 +205,73 @@ SampleView::SampleView(const IntegratedSample& sample)
   for (size_t s = 0; s < l; ++s) src_begin_[s + 1] += src_begin_[s];
   src_entity_.resize(n);
   src_value_.resize(n);
+  if (!obs_slot_.empty()) src_slot_.resize(n);
   std::vector<int64_t> cursor(src_begin_.begin(), src_begin_.end() - 1);
   for (size_t i = 0; i < n; ++i) {
     const size_t slot =
         static_cast<size_t>(cursor[static_cast<size_t>(obs_source_[i])]++);
     src_entity_[slot] = obs_entity_[i];
     src_value_[slot] = obs_value_[i];
+    if (!obs_slot_.empty()) src_slot_[slot] = obs_slot_[i];
   }
 
+  // Rank order for incremental replicate re-sorts: ascending original fused
+  // value, entity index as the deterministic tie-break.
+  entity_rank_order_.resize(static_cast<size_t>(num_entities_));
+  for (int64_t e = 0; e < num_entities_; ++e) {
+    entity_rank_order_[static_cast<size_t>(e)] = static_cast<int32_t>(e);
+  }
+  const std::vector<EntityStat>& entities = sample.entities();
+  std::sort(entity_rank_order_.begin(), entity_rank_order_.end(),
+            [&entities](int32_t a, int32_t b) {
+              const double va = entities[static_cast<size_t>(a)].value;
+              const double vb = entities[static_cast<size_t>(b)].value;
+              return va < vb || (va == vb && a < b);
+            });
+
   bs_lex_order_ = BsLexOrder(l);
+}
+
+void SampleView::BuildMajoritySlots() {
+  // Per-entity distinct-report dictionaries in first-arrival order. A linear
+  // probe per observation is fine at construction: entities see a handful of
+  // distinct report values in practice, and this runs once per view.
+  std::vector<std::vector<double>> dict(static_cast<size_t>(num_entities_));
+  std::vector<int32_t> local_slot(obs_value_.size());
+  for (size_t i = 0; i < obs_value_.size(); ++i) {
+    std::vector<double>& values = dict[static_cast<size_t>(obs_entity_[i])];
+    const double v = obs_value_[i];
+    int32_t slot = -1;
+    for (size_t d = 0; d < values.size(); ++d) {
+      if (values[d] == v) {
+        slot = static_cast<int32_t>(d);
+        break;
+      }
+    }
+    if (slot < 0) {
+      slot = static_cast<int32_t>(values.size());
+      values.push_back(v);
+    }
+    local_slot[i] = slot;
+  }
+
+  ent_slot_begin_.assign(static_cast<size_t>(num_entities_) + 1, 0);
+  for (int64_t e = 0; e < num_entities_; ++e) {
+    ent_slot_begin_[static_cast<size_t>(e) + 1] =
+        ent_slot_begin_[static_cast<size_t>(e)] +
+        static_cast<int64_t>(dict[static_cast<size_t>(e)].size());
+  }
+  slot_value_.resize(static_cast<size_t>(ent_slot_begin_.back()));
+  for (int64_t e = 0; e < num_entities_; ++e) {
+    const std::vector<double>& values = dict[static_cast<size_t>(e)];
+    std::copy(values.begin(), values.end(),
+              slot_value_.begin() + ent_slot_begin_[static_cast<size_t>(e)]);
+  }
+  obs_slot_.resize(obs_value_.size());
+  for (size_t i = 0; i < obs_value_.size(); ++i) {
+    obs_slot_[i] = static_cast<int32_t>(
+        ent_slot_begin_[static_cast<size_t>(obs_entity_[i])] + local_slot[i]);
+  }
 }
 
 void SampleView::DrawBootstrapSources(Rng* rng,
@@ -156,47 +301,73 @@ void SampleView::EmitReplicateSourceSizes(const std::vector<int32_t>& draws,
   }
 }
 
-void SampleView::BuildReplicate(const std::vector<int32_t>& draws,
-                                ReplicateScratch* scratch,
-                                ReplicateSample* out) const {
-  UUQ_CHECK(scratch != nullptr && out != nullptr);
-  UUQ_CHECK_MSG(PolicySupportsColumnar(policy_),
-                "kMajority fusion needs MaterializeReplicate");
-  ReplicateFold fold(policy_, scratch, num_entities_);
-
-  // Replay the drawn sources in draw order — the exact observation sequence
-  // the legacy resampler fed through IntegratedSample::Add — folding each
-  // entity's reports with the fusion policy as we go.
+template <typename Fold, typename T>
+void SampleView::ReplayDrawnSources(const std::vector<int32_t>& draws,
+                                    const T* payload, Fold* fold) const {
   for (int32_t s : draws) {
     UUQ_DCHECK(s >= 0 && s < static_cast<int32_t>(source_ids_.size()));
     const int64_t begin = src_begin_[static_cast<size_t>(s)];
     const int64_t end = src_begin_[static_cast<size_t>(s) + 1];
     for (int64_t j = begin; j < end; ++j) {
-      fold.Observe(src_entity_[static_cast<size_t>(j)],
-                   src_value_[static_cast<size_t>(j)]);
+      fold->Observe(src_entity_[static_cast<size_t>(j)],
+                    payload[static_cast<size_t>(j)]);
     }
   }
-  fold.Emit(out);
+}
+
+template <typename Fold, typename T>
+void SampleView::ReplayArrivalExcluding(int32_t excluded, const T* payload,
+                                        Fold* fold) const {
+  const size_t n = obs_entity_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (obs_source_[i] == excluded) continue;
+    fold->Observe(obs_entity_[i], payload[i]);
+  }
+}
+
+void SampleView::BuildReplicate(const std::vector<int32_t>& draws,
+                                ReplicateScratch* scratch,
+                                ReplicateSample* out) const {
+  UUQ_CHECK(scratch != nullptr && out != nullptr);
+  out->view = this;
+
+  // Replay the drawn sources in draw order — the exact observation sequence
+  // the legacy resampler fed through IntegratedSample::Add — folding each
+  // entity's reports with the fusion policy as we go.
+  if (policy_ == FusionPolicy::kMajority) {
+    MajorityFold fold(scratch, num_entities_,
+                      static_cast<int64_t>(slot_value_.size()),
+                      slot_value_.data(), ent_slot_begin_.data());
+    ReplayDrawnSources(draws, src_slot_.data(), &fold);
+    fold.Emit(out);
+  } else {
+    ReplicateFold fold(policy_, scratch, num_entities_);
+    ReplayDrawnSources(draws, src_value_.data(), &fold);
+    fold.Emit(out);
+  }
   EmitReplicateSourceSizes(draws, out);
 }
 
 void SampleView::BuildLeaveOneOut(int32_t excluded, ReplicateScratch* scratch,
                                   ReplicateSample* out) const {
   UUQ_CHECK(scratch != nullptr && out != nullptr);
-  UUQ_CHECK_MSG(PolicySupportsColumnar(policy_),
-                "kMajority fusion needs MaterializeLeaveOneOut");
   UUQ_CHECK(excluded >= 0 &&
             excluded < static_cast<int32_t>(source_ids_.size()));
-  ReplicateFold fold(policy_, scratch, num_entities_);
+  out->view = this;
 
   // The legacy jackknife replays the GLOBAL arrival order minus one source;
   // use the arrival columns so the fold and first-touch order match it.
-  const size_t n = obs_value_.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (obs_source_[i] == excluded) continue;
-    fold.Observe(obs_entity_[i], obs_value_[i]);
+  if (policy_ == FusionPolicy::kMajority) {
+    MajorityFold fold(scratch, num_entities_,
+                      static_cast<int64_t>(slot_value_.size()),
+                      slot_value_.data(), ent_slot_begin_.data());
+    ReplayArrivalExcluding(excluded, obs_slot_.data(), &fold);
+    fold.Emit(out);
+  } else {
+    ReplicateFold fold(policy_, scratch, num_entities_);
+    ReplayArrivalExcluding(excluded, obs_value_.data(), &fold);
+    fold.Emit(out);
   }
-  fold.Emit(out);
   out->source_sizes.clear();
   out->source_sizes.reserve(source_ids_.size() - 1);
   for (int32_t s = 0; s < static_cast<int32_t>(source_ids_.size()); ++s) {

@@ -18,19 +18,27 @@
 // and emits a ReplicateSample: fused value + multiplicity per touched
 // entity, in first-touch order, plus the replicate's per-source sizes.
 //
-// DETERMINISM CONTRACT. For the kAverage/kFirst/kLast fusion policies the
-// columnar replicate is BIT-IDENTICAL to the sample the legacy map-based
-// resampler would have materialized from the same draws: observations are
-// replayed in the same order (draw order, intra-source arrival order; the
-// jackknife replays global arrival order), so the fused-value fold, the
-// first-touch entity order, and the id-ordered source sizes all match the
-// materialized IntegratedSample exactly. kMajority fusion needs the full
-// per-entity report multiset, so callers fall back to MaterializeReplicate
-// for it (PolicySupportsColumnar returns false).
+// kMajority FUSION runs columnar through a counting-sort report gather: at
+// flatten time every observation is mapped to a REPORT SLOT (its entity's
+// distinct report values, first-arrival order), so a replicate maintains a
+// per-slot histogram — built once, updated per draw — and the per-entity
+// mode falls out of a scan of the entity's slot range, ties broken by the
+// slot first touched in replay order (exactly IntegratedSample::Fuse's
+// first-occurrence rule). Every fusion policy therefore evaluates columnar;
+// MaterializeReplicate remains as the conformance reference and the
+// fallback for external estimators without a columnar path.
+//
+// DETERMINISM CONTRACT. The columnar replicate is BIT-IDENTICAL to the
+// sample the legacy map-based resampler would have materialized from the
+// same draws: observations are replayed in the same order (draw order,
+// intra-source arrival order; the jackknife replays global arrival order),
+// so the fused-value fold, the first-touch entity order, and the id-ordered
+// source sizes all match the materialized IntegratedSample exactly — for
+// every fusion policy, kMajority included.
 //
 // THREADING. A SampleView is immutable after construction and safe to share
 // across threads. Each thread owns its ReplicateScratch/ReplicateSample;
-// scratch buffers are restored to their resting state (count column all
+// scratch buffers are restored to their resting state (count columns all
 // zero) before BuildReplicate returns, so reuse never changes results.
 #ifndef UUQ_INTEGRATION_SAMPLE_VIEW_H_
 #define UUQ_INTEGRATION_SAMPLE_VIEW_H_
@@ -44,6 +52,8 @@
 
 namespace uuq {
 
+class SampleView;
+
 /// The per-entity state estimators actually consume: fused value and
 /// multiplicity. (Keys and categories never enter the estimation math.)
 struct EntityPoint {
@@ -55,15 +65,33 @@ struct EntityPoint {
 /// replay order — the same order the materialized IntegratedSample's
 /// entities() would have — and `source_sizes` matches the materialized
 /// sample's SourceSizeVector() (id-sorted) element for element.
+/// `entity_indices[i]` is the ORIGINAL entity index (into the source
+/// sample's entities()) behind entities[i], and `view` points at the
+/// producing SampleView: together they let downstream consumers (the bucket
+/// estimator's IndexScratch) reuse per-view precomputation such as the
+/// entity rank order. Both are set by the Build* methods; a hand-assembled
+/// replicate may leave them empty/null and still evaluates everywhere,
+/// just without the incremental fast paths.
+///
+/// LIFETIME. `view` is a non-owning alias: the SampleView (and the sample
+/// behind it) must outlive every use of the replicate through view-aware
+/// consumers. A replicate that may outlive its view must null the pointer
+/// (consumers then take the view-free path). The Build* methods keep
+/// entity_indices consistent with the view's entity space; hand-assembled
+/// replicates that set `view` themselves own that invariant (checked by
+/// UUQ_DCHECK in debug builds).
 struct ReplicateSample {
   FusionPolicy policy = FusionPolicy::kAverage;
   std::vector<EntityPoint> entities;
+  std::vector<int32_t> entity_indices;
   std::vector<int64_t> source_sizes;
+  const SampleView* view = nullptr;
 };
 
 /// Reusable per-thread buffers for BuildReplicate / BuildLeaveOneOut.
-/// Resting invariant: `count` is all-zero (enforced by the builders), so one
-/// scratch can serve any number of replicates of any SampleView.
+/// Resting invariant: `count` and `slot_count` are all-zero (enforced by the
+/// builders), so one scratch can serve any number of replicates of any
+/// SampleView, interleaved in any order.
 class ReplicateScratch {
  public:
   ReplicateScratch() = default;
@@ -75,10 +103,14 @@ class ReplicateScratch {
  private:
   friend class SampleView;
   friend class ReplicateFold;  // the shared fusion fold in sample_view.cc
+  friend class MajorityFold;   // the counting-sort kMajority fold
   std::vector<int32_t> draws_;
   std::vector<int64_t> count_;   // per original entity; all-zero at rest
   std::vector<double> acc_;      // policy accumulator (sum / first / last)
   std::vector<int32_t> touched_; // entity indices in first-touch order
+  // kMajority report histogram (per report slot; see SampleView).
+  std::vector<int32_t> slot_count_;  // all-zero at rest
+  std::vector<int32_t> slot_seq_;    // first-touch sequence; valid iff count>0
 };
 
 class SampleView {
@@ -88,10 +120,13 @@ class SampleView {
   /// the view.
   explicit SampleView(const IntegratedSample& sample);
 
-  /// kMajority fusion cannot be folded in one streaming pass; everything
-  /// else can.
+  /// Every fusion policy now folds columnar (kMajority via the per-slot
+  /// report histogram). Retained so callers can keep gating on it; the
+  /// materializing fallback is only needed for estimators without a
+  /// columnar replicate path.
   static bool PolicySupportsColumnar(FusionPolicy policy) {
-    return policy != FusionPolicy::kMajority;
+    (void)policy;
+    return true;
   }
 
   int64_t num_sources() const {
@@ -113,6 +148,14 @@ class SampleView {
            src_begin_[static_cast<size_t>(s)];
   }
 
+  /// Original entity indices sorted ascending by (fused value, index): the
+  /// rank-preserving gather order for incremental replicate re-sorts (a
+  /// bootstrap replicate perturbs multiplicities and nudges fused values,
+  /// so a gather in this order is already nearly sorted by replicate value).
+  const std::vector<int32_t>& entity_rank_order() const {
+    return entity_rank_order_;
+  }
+
   /// Draws num_sources() source indices with replacement into `draws`.
   /// Consumes the Rng exactly like the legacy map-based resampler (l calls
   /// to NextBounded(l)), so a given seed selects the same source multiset as
@@ -120,20 +163,20 @@ class SampleView {
   void DrawBootstrapSources(Rng* rng, std::vector<int32_t>* draws) const;
 
   /// Builds the bootstrap replicate implied by `draws`. Allocation-free
-  /// after scratch/out warm-up. Requires a columnar-supported policy.
+  /// after scratch/out warm-up. Serves every fusion policy.
   void BuildReplicate(const std::vector<int32_t>& draws,
                       ReplicateScratch* scratch, ReplicateSample* out) const;
 
   /// Builds the delete-one-source jackknife replicate (arrival-order replay
-  /// skipping source `excluded`). Requires a columnar-supported policy.
+  /// skipping source `excluded`). Serves every fusion policy.
   void BuildLeaveOneOut(int32_t excluded, ReplicateScratch* scratch,
                         ReplicateSample* out) const;
 
   /// Materializes the IntegratedSample a draw multiset corresponds to —
   /// byte-identical to the legacy map-based ResampleSources body (fresh
-  /// "bs<draw>" identities, intra-source arrival order). Works for every
-  /// fusion policy; this is the kMajority fallback and the conformance
-  /// reference.
+  /// "bs<draw>" identities, intra-source arrival order). This is the
+  /// conformance reference and the fallback for estimators without a
+  /// columnar replicate path.
   IntegratedSample MaterializeReplicate(
       const std::vector<int32_t>& draws) const;
 
@@ -147,6 +190,21 @@ class SampleView {
   /// "bs1", "bs10", ... is LEXICOGRAPHIC in the draw position).
   void EmitReplicateSourceSizes(const std::vector<int32_t>& draws,
                                 ReplicateSample* out) const;
+
+  /// Shared replay loops: feed Observe(entity, payload[j]) for every
+  /// observation of the drawn sources (draw order, intra-source arrival
+  /// order) / of the arrival stream minus `excluded`. `payload` is the
+  /// value column for the streaming folds and the slot column for the
+  /// majority fold.
+  template <typename Fold, typename T>
+  void ReplayDrawnSources(const std::vector<int32_t>& draws, const T* payload,
+                          Fold* fold) const;
+  template <typename Fold, typename T>
+  void ReplayArrivalExcluding(int32_t excluded, const T* payload,
+                              Fold* fold) const;
+
+  /// Builds the kMajority report-slot columns (see file comment).
+  void BuildMajoritySlots();
 
   const IntegratedSample* sample_;
   FusionPolicy policy_;
@@ -163,7 +221,17 @@ class SampleView {
   std::vector<double> src_value_;
   std::vector<int64_t> src_begin_;
 
+  // kMajority report slots (built only for that policy): entity e owns
+  // slots [ent_slot_begin_[e], ent_slot_begin_[e+1]); slot_value_ is the
+  // slot's report value (first-arrival bit pattern); obs_slot_/src_slot_
+  // map each observation (arrival / source-grouped order) to its slot.
+  std::vector<int64_t> ent_slot_begin_;
+  std::vector<double> slot_value_;
+  std::vector<int32_t> obs_slot_;
+  std::vector<int32_t> src_slot_;
+
   std::vector<std::string> source_ids_;  // sorted ascending
+  std::vector<int32_t> entity_rank_order_;
   // Lexicographic order of the draw positions' "bs<i>" identities, cached
   // for the common draws.size() == num_sources() case.
   std::vector<int32_t> bs_lex_order_;

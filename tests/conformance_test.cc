@@ -158,18 +158,24 @@ TEST(BootstrapConformance, FusionPoliciesColumnarMatchesMaterialized) {
                              BucketSumEstimator(), "bucket/first");
   ExpectOldNewBootstrapAgree(SyntheticSample(9, FusionPolicy::kLast),
                              BucketSumEstimator(), "bucket/last");
+  ExpectOldNewBootstrapAgree(SyntheticSample(9, FusionPolicy::kMajority),
+                             BucketSumEstimator(), "bucket/majority");
 }
 
-TEST(BootstrapConformance, MajorityPolicyFallsBackToMaterialized) {
-  // kAuto on a kMajority sample must transparently use the materializing
-  // path (and therefore agree with kMaterialized exactly).
+TEST(BootstrapConformance, MajorityPolicyRunsColumnarUnderAuto) {
+  // kMajority now folds columnar (report-slot histogram), so kAuto must take
+  // the columnar path and still agree with the materializing reference.
   const IntegratedSample sample = SyntheticSample(9, FusionPolicy::kMajority);
   const BucketSumEstimator bucket;
   const BootstrapInterval auto_path =
       RunBootstrap(sample, bucket, ReplicateEvaluation::kAuto);
+  const BootstrapInterval columnar =
+      RunBootstrap(sample, bucket, ReplicateEvaluation::kColumnar);
   const BootstrapInterval materialized =
       RunBootstrap(sample, bucket, ReplicateEvaluation::kMaterialized);
-  ExpectIntervalsAgree(auto_path, materialized, 0.0, "bucket/majority");
+  ExpectIntervalsAgree(auto_path, columnar, 0.0, "bucket/majority-auto");
+  ExpectIntervalsAgree(auto_path, materialized, kOldNewRelTol,
+                       "bucket/majority-materialized");
 }
 
 TEST(JackknifeConformance, ColumnarMatchesMaterialized) {

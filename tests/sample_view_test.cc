@@ -95,11 +95,12 @@ TEST(SampleViewRoundTrip, LosslessFlattening) {
 TEST(SampleViewProperty, BootstrapReplicateMatchesMaterialized) {
   Rng rng(0xB00);
   const FusionPolicy policies[] = {FusionPolicy::kAverage, FusionPolicy::kFirst,
-                                   FusionPolicy::kLast};
+                                   FusionPolicy::kLast,
+                                   FusionPolicy::kMajority};
   ReplicateScratch scratch;  // shared across all trials: reuse must be safe
   ReplicateSample rep;
   for (int trial = 0; trial < 60; ++trial) {
-    const FusionPolicy policy = policies[trial % 3];
+    const FusionPolicy policy = policies[trial % 4];
     // Up to 16 sources so the "bs10" lexicographic source-size ordering
     // regime (draws >= 11) is exercised directly, not just numerically.
     const IntegratedSample sample =
@@ -136,11 +137,12 @@ TEST(SampleViewProperty, BootstrapReplicateMatchesMaterialized) {
 TEST(SampleViewProperty, LeaveOneOutMatchesMaterialized) {
   Rng rng(0x100);
   const FusionPolicy policies[] = {FusionPolicy::kAverage, FusionPolicy::kFirst,
-                                   FusionPolicy::kLast};
+                                   FusionPolicy::kLast,
+                                   FusionPolicy::kMajority};
   ReplicateScratch scratch;
   ReplicateSample rep;
   for (int trial = 0; trial < 30; ++trial) {
-    const FusionPolicy policy = policies[trial % 3];
+    const FusionPolicy policy = policies[trial % 4];
     const IntegratedSample sample = RandomSample(&rng, policy);
     const SampleView view(sample);
     for (int32_t excluded = 0;
@@ -243,18 +245,34 @@ TEST(SampleViewProperty, EmptySample) {
   EXPECT_TRUE(view.MaterializeReplicate(draws).empty());
 }
 
-TEST(SampleViewDeathTest, MajorityPolicyRejectsColumnarBuild) {
+TEST(SampleViewProperty, MajorityPolicyBuildsColumnar) {
+  // kMajority folds columnar through the report-slot histogram; the tiny
+  // deterministic case pins the mode and the first-occurrence tie-break
+  // (the fuzz suite in majority_columnar_test.cc covers the general case).
   IntegratedSample sample(FusionPolicy::kMajority);
   sample.Add("a", "x", 1.0);
-  sample.Add("b", "x", 1.0);
+  sample.Add("b", "x", 2.0);
+  sample.Add("c", "x", 2.0);
   const SampleView view(sample);
-  EXPECT_FALSE(SampleView::PolicySupportsColumnar(FusionPolicy::kMajority));
+  EXPECT_TRUE(SampleView::PolicySupportsColumnar(FusionPolicy::kMajority));
   ReplicateScratch scratch;
   ReplicateSample rep;
-  const std::vector<int32_t> draws{0, 1};
-  EXPECT_DEATH(view.BuildReplicate(draws, &scratch, &rep), "kMajority");
-  // The materialized path still serves kMajority.
-  EXPECT_EQ(view.MaterializeReplicate(draws).n(), 2);
+
+  // Draws {a, b, c}: reports 1, 2, 2 — the mode is 2.
+  view.BuildReplicate({0, 1, 2}, &scratch, &rep);
+  ASSERT_EQ(rep.entities.size(), 1u);
+  EXPECT_DOUBLE_EQ(rep.entities[0].value, 2.0);
+  EXPECT_EQ(rep.entities[0].multiplicity, 3);
+
+  // Draws {a, b}: 1 and 2 tie — the first occurrence in replay order wins.
+  view.BuildReplicate({0, 1}, &scratch, &rep);
+  ASSERT_EQ(rep.entities.size(), 1u);
+  EXPECT_DOUBLE_EQ(rep.entities[0].value, 1.0);
+  view.BuildReplicate({1, 0}, &scratch, &rep);
+  EXPECT_DOUBLE_EQ(rep.entities[0].value, 2.0);
+
+  // Each build matches the materialized reference exactly.
+  ExpectReplicateMatchesMaterialized(rep, view.MaterializeReplicate({1, 0}));
 }
 
 }  // namespace
