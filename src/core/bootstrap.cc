@@ -53,6 +53,12 @@ BootstrapInterval PercentileInterval(double point,
     if (std::isfinite(value)) interval.replicates.push_back(value);
   }
   interval.finite_replicates = static_cast<int>(interval.replicates.size());
+  // Every replicate non-finite (e.g. an estimator whose species formula
+  // diverges on every resample): there is nothing to take a quantile of —
+  // Quantile on an empty vector would be meaningless — so degrade to the
+  // degenerate [point, point] interval with `replicates` left empty and
+  // finite_replicates == 0 (the caller's signal that the interval carries
+  // no resampling information).
   if (interval.replicates.empty()) {
     interval.lo = interval.hi = interval.median = interval.point;
     return interval;
@@ -101,9 +107,17 @@ BootstrapInterval BootstrapAggregate(
               view.BuildReplicate(scratch.draws(), &scratch, &rep);
               return columnar(rep);
             }
-            std::vector<int32_t> draws;
+            // Materializing reference path: rebuild into a pooled sample
+            // (identical to a fresh one through every accessor) instead of
+            // growing a new IntegratedSample per replicate. The arena hands
+            // nested evaluations their own sample, so a `materialized`
+            // callback that itself bootstraps stays correct.
+            thread_local SampleArena arena;
+            thread_local std::vector<int32_t> draws;
             view.DrawBootstrapSources(&rng, &draws);
-            return materialized(view.MaterializeReplicate(draws));
+            const SampleArena::Lease lease = arena.Acquire(view.policy());
+            view.MaterializeReplicateInto(draws, lease.get());
+            return materialized(*lease);
           });
   return PercentileInterval(point, values, options.confidence);
 }
@@ -134,6 +148,12 @@ JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
   interval.point = estimator.EstimateImpact(sample).corrected_sum;
   interval.sources = static_cast<int>(sample.num_sources());
   interval.lo = interval.hi = interval.point;
+  // num_sources() <= 1 is structurally degenerate: with one source the only
+  // leave-one-out replicate is the EMPTY sample (and with zero there are no
+  // replicates at all), so running estimators over an empty view would just
+  // manufacture meaningless zeros for the variance sum. Return the
+  // degenerate [point, point] interval (finite_replicates == 0,
+  // standard_error == 0) before any view or replicate machinery spins up.
   if (interval.sources < 2) return interval;
 
   const bool use_columnar =
@@ -154,8 +174,11 @@ JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
               view.BuildLeaveOneOut(excluded, &scratch, &rep);
               return estimator.EstimateReplicate(rep).corrected_sum;
             }
-            return estimator.EstimateImpact(view.MaterializeLeaveOneOut(excluded))
-                .corrected_sum;
+            // Pooled leave-one-out materialization (see BootstrapAggregate).
+            thread_local SampleArena arena;
+            const SampleArena::Lease lease = arena.Acquire(view.policy());
+            view.MaterializeLeaveOneOutInto(excluded, lease.get());
+            return estimator.EstimateImpact(*lease).corrected_sum;
           });
   std::vector<double> replicates;
   replicates.reserve(values.size());

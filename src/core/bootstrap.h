@@ -18,7 +18,16 @@
 // (bucket.h), so a B-replicate run performs zero per-replicate heap
 // allocations once warm. Only estimators without a columnar path fall back
 // to materializing each replicate (the pre-columnar behaviour,
-// byte-for-byte).
+// byte-for-byte) — and that reference path rebuilds into per-thread
+// SampleArena-pooled shells (sample.h) rather than growing a fresh
+// IntegratedSample per replicate.
+//
+// DEGENERATE INPUTS. An all-non-finite replicate set (an estimator whose
+// species formula diverges on every resample) degrades the percentile
+// interval to [point, point] with `replicates` empty and finite_replicates
+// == 0; a sample with fewer than 2 sources short-circuits the jackknife to
+// the same degenerate shape without ever evaluating an estimator on the
+// empty leave-one-out view.
 //
 // DETERMINISM. The replicate loop is sharded across the ThreadPool with one
 // Rng::Split() stream per replicate, derived in replicate order before the

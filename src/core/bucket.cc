@@ -231,86 +231,222 @@ void DynamicPartitioner::PartitionInto(const SortedEntityIndex& index,
   const size_t size = index.size();
   if (size == 0) return SingleBucket(0, bounds);
 
+  constexpr double kUnknown = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kPruned = std::numeric_limits<double>::infinity();
   auto& todo = scratch->todo;
   auto& done = scratch->done;
   auto& cuts = scratch->cuts;
+  auto& left_half = scratch->left_half;
+  auto& right_half = scratch->right_half;
   auto& candidates = scratch->candidates;
+  auto& memo_cuts = scratch->memo_cuts;
+  auto& memo_delta = scratch->memo_delta;
   todo.clear();
   done.clear();
+  memo_cuts.clear();
+  memo_delta.clear();
 
   // delta_min tracks the global objective Σ|Δ(b)| over all current buckets
-  // (todo + finalized), exactly as Algorithm 1's δmin.
+  // (todo + finalized), exactly as Algorithm 1's δmin. done_delta_sum is
+  // the Σ|Δ| of the finalized buckets, accumulated in done-push order —
+  // the same left-fold a recomputation loop over `done` would run.
   double delta_min = AbsDelta(inner, index.Slice(0, size));
-  todo.push_back({0, size});
+  double done_delta_sum = 0.0;
+  todo.push_back({0, size, delta_min, 0, 0, false, false});
 
   // FIFO worklist on a flat vector: `head` plays the deque's pop_front, so
   // the split order — and with it every tie-break — matches the historical
   // deque-based traversal while staying allocation-free on reuse.
   for (size_t head = 0; head < todo.size(); ++head) {
-    const auto [b_begin, b_end] = todo[head];
-    const double b_delta = AbsDelta(inner, index.Slice(b_begin, b_end));
+    const PartitionScratch::Bucket work = todo[head];  // copy: todo may grow
+    const size_t b_begin = work.begin;
+    const size_t b_end = work.end;
+    // |Δ| of this bucket was evaluated when it was a candidate slice of the
+    // parent's scan (same Slice, same DeltaFromStats — bit-identical to
+    // recomputing it); the root computed it above.
+    const double b_delta = work.delta;
     // Objective contribution of everything except bucket b. Infinity-aware:
-    // if b_delta is infinite, the remainder is what other buckets contribute;
-    // recompute defensively rather than subtracting inf.
+    // if b_delta is infinite, the remainder is what other buckets
+    // contribute — rebuilt from the memoized per-bucket deltas (bit-
+    // identical to re-evaluating every stored range, per the memo
+    // invariant) rather than subtracting inf; O(#pending) additions, no
+    // slice re-evaluation even on all-infinite inputs.
     double delta_rest;
     if (std::isinf(b_delta) || std::isinf(delta_min)) {
-      delta_rest = 0.0;
-      for (const auto& r : done) {
-        delta_rest += AbsDelta(inner, index.Slice(r.first, r.second));
-      }
+      delta_rest = done_delta_sum;
       for (size_t i = head + 1; i < todo.size(); ++i) {
-        delta_rest += AbsDelta(inner, index.Slice(todo[i].first, todo[i].second));
+        delta_rest += todo[i].delta;
       }
       delta_min = delta_rest + b_delta;
     } else {
       delta_rest = delta_min - b_delta;
     }
 
-    // Scan candidate split points: after each run of equal values. The
-    // candidates are independent slice evaluations, so wide buckets fan out
-    // over the pool; the serial argmin below keeps the first-minimum
-    // tie-break, so the result never depends on the thread count.
-    cuts.clear();
-    {
+    // Candidate split points: after each run of equal values. A split never
+    // changes run boundaries, so a child inherits its cut list (and the
+    // known half-deltas) from the parent scan; only the root walks the
+    // index. The arena is append-only and only grows in the split phase
+    // below, so these pointers stay valid for the whole scan.
+    if (!work.has_memo) {
+      cuts.clear();
       size_t cut = b_begin < size ? index.UpperBoundOfValueAt(b_begin) : b_end;
       while (cut < b_end) {
         cuts.push_back(cut);
         cut = index.UpperBoundOfValueAt(cut);
       }
     }
-    candidates.resize(cuts.size());
-    const auto evaluate = [&, b_begin = b_begin, b_end = b_end](int64_t i) {
-      const size_t cut = cuts[static_cast<size_t>(i)];
-      candidates[static_cast<size_t>(i)] =
-          delta_rest + AbsDelta(inner, index.Slice(b_begin, cut)) +
-          AbsDelta(inner, index.Slice(cut, b_end));
-    };
-    // Below ~64 candidates the closed-form slice math is cheaper than the
-    // dispatch; and when the dispatch would run inline anyway (1-thread
-    // pool, or nested inside a pool worker — every bootstrap replicate)
-    // skip even the std::function construction: the scan stays heap-free.
-    ThreadPool* pool = ThreadPool::OrDefault(pool_);
-    const int64_t num_cuts = static_cast<int64_t>(cuts.size());
-    if (num_cuts >= 64 && !pool->WouldRunInline(num_cuts)) {
-      pool->ParallelFor(0, num_cuts, evaluate);
-    } else {
-      for (int64_t i = 0; i < num_cuts; ++i) evaluate(i);
-    }
+    const size_t num_cuts =
+        work.has_memo ? work.memo_end - work.memo_begin : cuts.size();
+    // No UUQ_RESTRICT here: cut_at aliases memo_cuts' storage in the memo
+    // case, and the split phase below mutates memo_cuts (every read after
+    // an append re-resolves by index instead of going through cut_at).
+    const size_t* cut_at =
+        work.has_memo ? memo_cuts.data() + work.memo_begin : cuts.data();
+    const double* known =
+        work.has_memo ? memo_delta.data() + work.memo_begin : nullptr;
+    const bool known_is_left = work.memo_is_left;
+
+    left_half.resize(num_cuts);
+    right_half.resize(num_cuts);
+    double* UUQ_RESTRICT lhalf = left_half.data();
+    double* UUQ_RESTRICT rhalf = right_half.data();
 
     bool found = false;
-    size_t best_cut = 0;
-    for (size_t i = 0; i < cuts.size(); ++i) {
-      if (candidates[i] < delta_min) {
-        delta_min = candidates[i];
-        best_cut = cuts[i];
-        found = true;
+    size_t best_index = 0;
+    // PRUNING. Every candidate total is (delta_rest + |Δ(left)|) +
+    // |Δ(right)| with both halves nonnegative, so delta_rest plus any
+    // already-known half is a lower bound (in FP too: fl is monotone and
+    // adding a nonnegative term never shrinks the sum). A candidate whose
+    // bound cannot go strictly below δmin can neither win the argmin nor
+    // move δmin, so its missing half is never computed (its slots stay NaN
+    // and its total reads +inf, which the argmin ignores); when even
+    // delta_rest ≥ δmin — e.g. a singleton-free bucket with Δ == 0 — the
+    // whole scan is skipped.
+    if (delta_rest < delta_min && num_cuts > 0) {
+      // Evaluates candidate i against `prune_min`, records both halves
+      // (NaN where skipped) for the children, and returns the candidate
+      // total (+inf when pruned).
+      const auto evaluate = [&, b_begin, b_end](size_t i,
+                                                double prune_min) -> double {
+        const size_t cut = cut_at[i];
+        double left = kUnknown;
+        double right = kUnknown;
+        if (known != nullptr) (known_is_left ? left : right) = known[i];
+        const bool left_known = !std::isnan(left);
+        const bool right_known = !std::isnan(right);
+        const double bound = delta_rest + (left_known ? left : 0.0) +
+                             (right_known ? right : 0.0);
+        if (bound >= prune_min) {
+          lhalf[i] = left;
+          rhalf[i] = right;
+          return kPruned;
+        }
+        if (!left_known) {
+          left = AbsDelta(inner, index.Slice(b_begin, cut));
+          if (!right_known && delta_rest + left >= prune_min) {
+            lhalf[i] = left;
+            rhalf[i] = right;
+            return kPruned;
+          }
+        }
+        if (!right_known) right = AbsDelta(inner, index.Slice(cut, b_end));
+        lhalf[i] = left;
+        rhalf[i] = right;
+        return delta_rest + left + right;
+      };
+      // Wide scans fan out over the pool (pruning against the scan-start
+      // δmin, which every worker can read race-free); each candidate writes
+      // only its own slots and the serial argmin keeps the first-minimum
+      // tie-break, so the result never depends on the thread count. Below
+      // ~64 candidates the closed-form slice math is cheaper than the
+      // dispatch; and when the dispatch would run inline anyway (1-thread
+      // pool, or nested inside a pool worker — every bootstrap replicate)
+      // skip even the std::function construction: the scan stays heap-free
+      // and the running δmin prunes harder, with the identical outcome.
+      ThreadPool* pool = ThreadPool::OrDefault(pool_);
+      const int64_t n64 = static_cast<int64_t>(num_cuts);
+      if (n64 >= 64 && !pool->WouldRunInline(n64)) {
+        candidates.resize(num_cuts);
+        const double prune_min = delta_min;
+        pool->ParallelFor(0, n64, [&](int64_t i) {
+          candidates[static_cast<size_t>(i)] =
+              evaluate(static_cast<size_t>(i), prune_min);
+        });
+        for (size_t i = 0; i < num_cuts; ++i) {
+          if (candidates[i] < delta_min) {
+            delta_min = candidates[i];
+            best_index = i;
+            found = true;
+          }
+        }
+      } else {
+        for (size_t i = 0; i < num_cuts; ++i) {
+          const double total = evaluate(i, delta_min);
+          if (total < delta_min) {
+            delta_min = total;
+            best_index = i;
+            found = true;
+          }
+        }
       }
     }
 
     if (found) {
-      todo.push_back({b_begin, best_cut});
-      todo.push_back({best_cut, b_end});
+      // The winner was fully evaluated, so both of its halves are the
+      // children's bucket deltas; the other candidates hand their
+      // child-side halves (NaN where pruned) down through the arena.
+      // (Appends read only the scan-local half arrays plus `cut_at`
+      // re-resolved by index, so arena reallocation is safe.)
+      //
+      // ARENA CAP. The arena is append-only and finished slices are never
+      // reclaimed, so a pathological peel-one-run-per-split partition would
+      // grow it to O(runs²). Past a generous O(size) budget, children are
+      // pushed WITHOUT a memo slice instead — they re-walk their cuts and
+      // evaluate both halves fresh, which is bit-identical (the memoized
+      // values ARE those expressions' results), just slower — bounding the
+      // thread_local scratch's high-water mark. The per-bucket delta is a
+      // scalar and is always carried.
+      const size_t best_cut = cut_at[best_index];
+      const size_t cut_base = work.has_memo ? work.memo_begin : 0;
+      const std::vector<size_t>& cut_source = work.has_memo ? memo_cuts : cuts;
+      const bool memoize_children = memo_cuts.size() <= 32 * size + 1024;
+
+      PartitionScratch::Bucket left_child;
+      left_child.begin = b_begin;
+      left_child.end = best_cut;
+      left_child.delta = left_half[best_index];
+      if (memoize_children) {
+        left_child.memo_begin = memo_cuts.size();
+        for (size_t i = 0; i < best_index; ++i) {
+          const size_t cut = cut_source[cut_base + i];
+          memo_cuts.push_back(cut);
+          memo_delta.push_back(left_half[i]);
+        }
+        left_child.memo_end = memo_cuts.size();
+        left_child.memo_is_left = true;
+        left_child.has_memo = true;
+      }
+
+      PartitionScratch::Bucket right_child;
+      right_child.begin = best_cut;
+      right_child.end = b_end;
+      right_child.delta = right_half[best_index];
+      if (memoize_children) {
+        right_child.memo_begin = memo_cuts.size();
+        for (size_t i = best_index + 1; i < num_cuts; ++i) {
+          const size_t cut = cut_source[cut_base + i];
+          memo_cuts.push_back(cut);
+          memo_delta.push_back(right_half[i]);
+        }
+        right_child.memo_end = memo_cuts.size();
+        right_child.memo_is_left = false;
+        right_child.has_memo = true;
+      }
+
+      todo.push_back(left_child);
+      todo.push_back(right_child);
     } else {
+      done_delta_sum += b_delta;
       done.push_back({b_begin, b_end});
     }
   }

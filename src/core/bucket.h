@@ -94,13 +94,54 @@ class SortedEntityIndex {
   std::vector<SampleStats> prefix_;
 };
 
-/// Reusable buffers for BucketPartitioner::PartitionInto (worklists and the
-/// candidate-split scan). One per thread; contents are transient per call.
+/// Reusable buffers for BucketPartitioner::PartitionInto: the worklists,
+/// the candidate-split scan columns, and the dynamic partitioner's
+/// split-memo arena. One per thread; contents are transient per call.
+///
+/// MEMOIZATION. When the dynamic scan splits a bucket, both child slices
+/// were already fully evaluated as candidates of the parent scan: the
+/// winning cut's |Δ(left)| / |Δ(right)| become the children's own bucket
+/// deltas, and every other candidate's half on the child's side of the cut
+/// is that child's scan half too (a split never changes the equal-value run
+/// boundaries, so the child's candidate cut list is a sub-range of the
+/// parent's). The arena carries those cuts and half-deltas from scan to
+/// scan; NaN marks a half the parent never evaluated (pruned), which the
+/// child recomputes fresh. Since a memoized value is the result of the
+/// exact Slice + DeltaFromStats expression the child would run, the
+/// memoized partition is bit-identical to the scan-everything one. The
+/// arena is append-only per partition call and capped at O(index size):
+/// past the cap (pathological peel-one-run-per-split shapes would grow it
+/// quadratically) children are pushed without a memo slice and evaluate
+/// fresh — same results, bounded scratch.
 struct PartitionScratch {
-  std::vector<size_t> cuts;
-  std::vector<double> candidates;
-  std::vector<std::pair<size_t, size_t>> todo;  // FIFO worklist (head index)
-  std::vector<std::pair<size_t, size_t>> done;  // finalized buckets
+  /// One dynamic worklist entry: a bucket plus what the parent scan already
+  /// learned about it.
+  struct Bucket {
+    size_t begin = 0;
+    size_t end = 0;
+    /// Memoized |Δ(begin, end)| (the parent candidate's winning half; the
+    /// root computes it directly).
+    double delta = 0.0;
+    /// Arena slice [memo_begin, memo_end): candidate cuts inherited from
+    /// the parent scan and, aligned with them, the known half-deltas.
+    size_t memo_begin = 0;
+    size_t memo_end = 0;
+    /// True when the inherited halves are the LEFT halves |Δ(begin, cut)|
+    /// (this bucket was a left child); false for |Δ(cut, end)|.
+    bool memo_is_left = false;
+    bool has_memo = false;
+  };
+
+  std::vector<size_t> cuts;        ///< current scan's candidate cut positions
+  std::vector<double> left_half;   ///< |Δ(begin,cut)| per candidate; NaN unknown
+  std::vector<double> right_half;  ///< |Δ(cut,end)| per candidate; NaN unknown
+  std::vector<double> candidates;  ///< per-candidate objective totals
+  std::vector<Bucket> todo;        ///< FIFO worklist (head index)
+  std::vector<std::pair<size_t, size_t>> done;  ///< finalized buckets
+  // Split-memo arena (append-only per partition call), addressed by
+  // Bucket::memo_begin/memo_end.
+  std::vector<size_t> memo_cuts;
+  std::vector<double> memo_delta;
 };
 
 /// Partitioning strategy interface: returns bucket boundaries as half-open
@@ -157,6 +198,18 @@ class EquiHeightPartitioner final : public BucketPartitioner {
 /// run inline anyway (1-thread pool, or nested inside a pool worker — the
 /// bootstrap replicate case) the scan skips the dispatch entirely and stays
 /// allocation-free.
+///
+/// MEMOIZED + PRUNED (see PartitionScratch). Child scans inherit their cut
+/// lists and one half of every candidate's |Δ| from the parent scan, so
+/// only the other half is computed; and because AbsDelta is nonnegative,
+/// `delta_rest + (known halves)` lower-bounds every candidate total — a
+/// candidate whose bound cannot go strictly below the running δmin can
+/// neither win the argmin nor move δmin, so its remaining half is skipped
+/// outright (a whole scan is skipped when even delta_rest ≥ δmin, e.g. a
+/// singleton-free bucket with Δ == 0). Pruning and memoization change which
+/// expressions are (re)computed, never their values: the partition — and
+/// every downstream interval — is bit-identical to the exhaustive scan at
+/// every thread count.
 class DynamicPartitioner final : public BucketPartitioner {
  public:
   DynamicPartitioner() = default;

@@ -99,6 +99,14 @@ class StatsSumEstimator : public SumEstimator {
   /// reads |Δ|; overriding this skips the full Estimate (and its string
   /// field) on that hot path. The default is the semantics-defining
   /// fallback for estimators that never bothered to specialize.
+  ///
+  /// CONTRACT: this must be a pure deterministic function of `stats` — the
+  /// dynamic partitioner MEMOIZES the values it computed for a parent
+  /// bucket's candidate slices and reuses them verbatim in the child scans
+  /// (bucket.h), so a stateful or input-order-sensitive implementation
+  /// would silently break the memoized-vs-fresh bit-identity guarantee.
+  /// (Any return value is legal, non-finite included; the scan's pruning
+  /// bound is built on |Δ| after its own fabs/inf normalization.)
   virtual double DeltaFromStats(const SampleStats& stats) const {
     return FromStats(stats).delta;
   }

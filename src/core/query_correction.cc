@@ -20,6 +20,10 @@ std::string CorrectedAnswer::ToString() const {
   out += "  observed  (closed world): " + FormatDouble(observed, 2) + "\n";
   out += "  corrected (+unknown unknowns via " + estimate.estimator +
          "): " + FormatDouble(corrected, 2) + "\n";
+  if (unconstrained) {
+    out += "  correction UNCONSTRAINED at this sample size (species estimate "
+           "diverged; reporting the observed answer)\n";
+  }
   if (aggregate == AggregateKind::kMin || aggregate == AggregateKind::kMax) {
     out += claim_true_extreme
                ? "  the observed extreme is likely the TRUE extreme "
@@ -85,6 +89,20 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
   answer.advice = advisor.Advise(sample);
   const SampleStats stats = SampleStats::FromSample(sample);
 
+  // Degenerate species estimates (coverage <= 0 sends Chao92's N̂ — and
+  // with it Δ̂ and the corrected answer — to +inf, or to NaN once an inf
+  // flows through 0-weighted arithmetic) must not leak out of the
+  // correction layer: flag the answer unconstrained and report the observed
+  // value. Runs before attach() so the bootstrap's point estimate (and the
+  // degenerate [point, point] interval of an all-non-finite replicate set)
+  // is the clamped, finite answer.
+  const auto clamp_unconstrained = [&answer] {
+    if (!std::isfinite(answer.corrected)) {
+      answer.unconstrained = true;
+      answer.corrected = answer.observed;
+    }
+  };
+
   const auto attach = [&](const std::function<double(const ReplicateSample&)>&
                               columnar,
                           const std::function<double(const IntegratedSample&)>&
@@ -104,6 +122,7 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
       answer.corrected = answer.estimate.corrected_sum;
       answer.bound = ComputeSumUpperBound(stats, options_.bound);
       answer.bound_valid = true;
+      clamp_unconstrained();
       // answer.corrected already holds the point estimate, so go through
       // attach() (which reuses it) rather than BootstrapCorrectedSum (which
       // would re-run the estimator on the full sample).
@@ -129,6 +148,7 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
       answer.estimate = count.EstimateCount(sample);
       answer.observed = static_cast<double>(stats.c);
       answer.corrected = answer.estimate.corrected_sum;
+      clamp_unconstrained();
       attach(
           [&count](const ReplicateSample& rep) {
             return count.EstimateCount(rep).corrected_sum;
@@ -143,6 +163,7 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
       answer.estimate = avg.EstimateAvg(sample);
       answer.observed = stats.ValueMean();
       answer.corrected = answer.estimate.corrected_sum;
+      clamp_unconstrained();
       attach(
           [&avg](const ReplicateSample& rep) {
             return avg.EstimateAvg(rep).corrected_sum;

@@ -32,6 +32,12 @@ struct CorrectedAnswer {
   std::string query_text;
   double observed = 0.0;   ///< φK — the closed-world answer
   double corrected = 0.0;  ///< φ̂D = φK + Δ̂
+  /// True when the species estimate degenerated to a non-finite value (an
+  /// all-singleton sample drives Chao92's coverage term to 0 and N̂ to +inf
+  /// — see chao92.cc): nothing constrains the unknown-unknowns impact at
+  /// this sample size, so `corrected` falls back to `observed` instead of
+  /// reporting inf/NaN. The raw degenerate output stays in `estimate`.
+  bool unconstrained = false;
   Estimate estimate;       ///< the underlying estimator output
   Advice advice;           ///< §6.5 estimator advice + coverage warning
   /// SUM only: the §4 worst-case bound.

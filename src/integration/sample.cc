@@ -59,32 +59,31 @@ void IntegratedSample::Add(const std::string& source_id,
 
   auto it = index_.find(key);
   if (it == index_.end()) {
-    // New entity: multiplicity 0 -> 1.
-    EntityState state;
-    state.stat_index = entities_.size();
-    state.reports.push_back(value);
-    log_.push_back({source_idx, static_cast<int32_t>(entities_.size()), value});
+    // New entity: multiplicity 0 -> 1. Reuse a pooled report buffer when
+    // Reset() left one behind (its allocation survives the clear).
+    const size_t stat_index = entities_.size();
+    if (reports_.size() <= stat_index) reports_.emplace_back();
+    reports_[stat_index].push_back(value);
+    log_.push_back({source_idx, static_cast<int32_t>(stat_index), value});
     entities_.push_back({key, value, 1, category});
-    index_.emplace(key, std::move(state));
+    index_.emplace(key, stat_index);
     ++multiplicity_histogram_[1];
     observed_sum_ += value;
     singleton_sum_ += value;
     return;
   }
-  log_.push_back(
-      {source_idx, static_cast<int32_t>(it->second.stat_index), value});
-  if (!category.empty() &&
-      entities_[it->second.stat_index].category.empty()) {
-    entities_[it->second.stat_index].category = category;
+  const size_t stat_index = it->second;
+  log_.push_back({source_idx, static_cast<int32_t>(stat_index), value});
+  if (!category.empty() && entities_[stat_index].category.empty()) {
+    entities_[stat_index].category = category;
   }
 
-  EntityState& state = it->second;
-  EntityStat& stat = entities_[state.stat_index];
+  EntityStat& stat = entities_[stat_index];
   const double old_value = stat.value;
   const int64_t old_mult = stat.multiplicity;
 
-  state.reports.push_back(value);
-  const double new_value = Fuse(state.reports);
+  reports_[stat_index].push_back(value);
+  const double new_value = Fuse(reports_[stat_index]);
 
   // Histogram shift old_mult -> old_mult + 1.
   auto hist_it = multiplicity_histogram_.find(old_mult);
@@ -98,6 +97,26 @@ void IntegratedSample::Add(const std::string& source_id,
   observed_sum_ += new_value - old_value;
   stat.value = new_value;
   stat.multiplicity = old_mult + 1;
+}
+
+void IntegratedSample::Reset(FusionPolicy policy) {
+  policy_ = policy;
+  n_ = 0;
+  observed_sum_ = 0.0;
+  singleton_sum_ = 0.0;
+  // Clear each used report buffer IN PLACE: the vector-of-vectors keeps
+  // every inner allocation, so the next fill re-uses them slot by slot
+  // (reports_ only ever grows; slots past the new entity count are spares).
+  for (size_t i = 0; i < entities_.size() && i < reports_.size(); ++i) {
+    reports_[i].clear();
+  }
+  entities_.clear();
+  index_.clear();
+  multiplicity_histogram_.clear();
+  source_sizes_.clear();
+  source_names_.clear();
+  source_index_.clear();
+  log_.clear();
 }
 
 FrequencyStatistics IntegratedSample::Fstats() const {
@@ -149,6 +168,35 @@ IntegratedSample IntegratedSample::Filter(
             entity.category);
   }
   return out;
+}
+
+SampleArena::Lease::~Lease() {
+  if (arena_ != nullptr) arena_->Release(sample_);
+}
+
+SampleArena::Lease SampleArena::Acquire(FusionPolicy policy) {
+  std::unique_ptr<IntegratedSample> sample;
+  if (!free_.empty()) {
+    sample = std::move(free_.back());
+    free_.pop_back();
+    sample->Reset(policy);
+  } else {
+    sample = std::make_unique<IntegratedSample>(policy);
+  }
+  IntegratedSample* raw = sample.get();
+  leased_.push_back(std::move(sample));
+  return Lease(this, raw);
+}
+
+void SampleArena::Release(IntegratedSample* sample) {
+  for (auto it = leased_.begin(); it != leased_.end(); ++it) {
+    if (it->get() == sample) {
+      free_.push_back(std::move(*it));
+      leased_.erase(it);
+      return;
+    }
+  }
+  UUQ_CHECK_MSG(false, "Lease released a sample this arena never leased");
 }
 
 Table IntegratedSample::ToTable(const std::string& table_name,

@@ -86,6 +86,22 @@ TEST(Chao92Nhat, FstatsOverloadAgrees) {
   EXPECT_DOUBLE_EQ(from_scalar, from_fstats);
 }
 
+TEST(Chao92Nhat, ZeroCoverageIsPositiveInfinityNotNan) {
+  // Regression companion to the correction-layer clamp: the coverage <= 0
+  // branch must yield a clean +inf (never NaN, never negative) so the
+  // layers above can detect "unconstrained" with std::isfinite and the
+  // estimators can mark finite = false. All-singleton stats of any size hit
+  // the branch.
+  for (int k = 1; k <= 6; ++k) {
+    const auto stats = StatsFromCounts(std::vector<int64_t>(k, 1));
+    const double chao = Chao92Nhat(stats);
+    const double gt = GoodTuringNhat(stats);
+    EXPECT_TRUE(std::isinf(chao) && chao > 0.0) << k;
+    EXPECT_TRUE(std::isinf(gt) && gt > 0.0) << k;
+    EXPECT_FALSE(std::isnan(chao)) << k;
+  }
+}
+
 TEST(Chao92Nhat, ConvergesToTruthOnUniformResampling) {
   // Sanity: sampling 100 items uniformly with replacement 2000 times gives a
   // near-complete sample; Chao92 should estimate ≈ 100.

@@ -1,0 +1,271 @@
+// Fuzz suite for the memoized + pruned dynamic split scan (PR 4).
+//
+// The reference below is a straight port of the PR 3 scan: every bucket
+// re-walks its cut list and evaluates BOTH |Δ| halves of every candidate,
+// no memo arena, no pruning. The production DynamicPartitioner must produce
+// bit-identical bucket boundaries — and, through the bootstrap, bit-identical
+// interval endpoints — on every input we can throw at it: tie-heavy,
+// constant-value, single-entity, all-singleton (infinite deltas), negative
+// values, and random bootstrap replicates through the scratch path, at every
+// thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/bootstrap.h"
+#include "core/bucket.h"
+#include "core/frequency.h"
+#include "core/naive.h"
+#include "integration/sample.h"
+#include "integration/sample_view.h"
+
+namespace uuq {
+namespace {
+
+/// |Δ| exactly as the production scan's AbsDelta (bucket.cc).
+double RefAbsDelta(const StatsSumEstimator& inner, const SampleStats& stats) {
+  if (stats.empty()) return 0.0;
+  const double delta = inner.DeltaFromStats(stats);
+  if (!std::isfinite(delta)) return std::numeric_limits<double>::infinity();
+  return std::fabs(delta);
+}
+
+/// The PR 3 dynamic scan, verbatim: FIFO worklist, fresh per-bucket delta,
+/// full two-half evaluation of every candidate, first-minimum tie-break.
+std::vector<size_t> ReferenceDynamicPartition(const SortedEntityIndex& index,
+                                              const StatsSumEstimator& inner) {
+  const size_t size = index.size();
+  std::vector<size_t> bounds;
+  if (size == 0) {
+    bounds = {0, 0};
+    return bounds;
+  }
+
+  std::vector<std::pair<size_t, size_t>> todo;
+  std::vector<std::pair<size_t, size_t>> done;
+  double delta_min = RefAbsDelta(inner, index.Slice(0, size));
+  todo.push_back({0, size});
+
+  for (size_t head = 0; head < todo.size(); ++head) {
+    const auto [b_begin, b_end] = todo[head];
+    const double b_delta = RefAbsDelta(inner, index.Slice(b_begin, b_end));
+    double delta_rest;
+    if (std::isinf(b_delta) || std::isinf(delta_min)) {
+      delta_rest = 0.0;
+      for (const auto& r : done) {
+        delta_rest += RefAbsDelta(inner, index.Slice(r.first, r.second));
+      }
+      for (size_t i = head + 1; i < todo.size(); ++i) {
+        delta_rest +=
+            RefAbsDelta(inner, index.Slice(todo[i].first, todo[i].second));
+      }
+      delta_min = delta_rest + b_delta;
+    } else {
+      delta_rest = delta_min - b_delta;
+    }
+
+    std::vector<size_t> cuts;
+    {
+      size_t cut = b_begin < size ? index.UpperBoundOfValueAt(b_begin) : b_end;
+      while (cut < b_end) {
+        cuts.push_back(cut);
+        cut = index.UpperBoundOfValueAt(cut);
+      }
+    }
+    bool found = false;
+    size_t best_cut = 0;
+    for (size_t cut : cuts) {
+      const double candidate = delta_rest +
+                               RefAbsDelta(inner, index.Slice(b_begin, cut)) +
+                               RefAbsDelta(inner, index.Slice(cut, b_end));
+      if (candidate < delta_min) {
+        delta_min = candidate;
+        best_cut = cut;
+        found = true;
+      }
+    }
+    if (found) {
+      todo.push_back({b_begin, best_cut});
+      todo.push_back({best_cut, b_end});
+    } else {
+      done.push_back({b_begin, b_end});
+    }
+  }
+
+  std::sort(done.begin(), done.end());
+  bounds.push_back(0);
+  for (const auto& r : done) bounds.push_back(r.second);
+  return bounds;
+}
+
+void ExpectSamePartition(const SortedEntityIndex& index,
+                         const StatsSumEstimator& inner,
+                         const std::string& what) {
+  const std::vector<size_t> expected = ReferenceDynamicPartition(index, inner);
+  const DynamicPartitioner dynamic;
+  const std::vector<size_t> serial_memo = dynamic.Partition(index, inner);
+  ASSERT_EQ(serial_memo, expected) << what;
+
+  // And again through a parallel pool (the >=64-candidate fan-out path
+  // prunes against the scan-start δmin instead of the running one — the
+  // boundaries must not care).
+  ThreadPool pool(4);
+  const DynamicPartitioner parallel(&pool);
+  EXPECT_EQ(parallel.Partition(index, inner), expected) << what << " [pool]";
+}
+
+SortedEntityIndex IndexOf(const std::vector<EntityPoint>& points) {
+  return SortedEntityIndex(std::vector<EntityPoint>(points));
+}
+
+TEST(PartitionMemoFuzz, RandomSamplesMatchUnmemoizedScan) {
+  Rng rng(0xF42);
+  const NaiveEstimator naive;
+  const FrequencyEstimator freq;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBounded(400));
+    std::vector<EntityPoint> points;
+    points.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      points.push_back({rng.NextUniform(-100.0, 1000.0),
+                        1 + static_cast<int64_t>(rng.NextBounded(5))});
+    }
+    const SortedEntityIndex index = IndexOf(points);
+    ExpectSamePartition(index, naive, "random/naive trial " +
+                                          std::to_string(trial));
+    ExpectSamePartition(index, freq,
+                        "random/freq trial " + std::to_string(trial));
+  }
+}
+
+TEST(PartitionMemoFuzz, TieHeavySamplesMatchUnmemoizedScan) {
+  // Few distinct values, many multiplicity ties: stresses the equal-value
+  // run boundaries the child cut lists inherit and the first-minimum
+  // tie-break among equal candidate totals.
+  Rng rng(0xF43);
+  const NaiveEstimator naive;
+  for (int trial = 0; trial < 40; ++trial) {
+    const int distinct = 2 + static_cast<int>(rng.NextBounded(6));
+    const int n = 20 + static_cast<int>(rng.NextBounded(300));
+    std::vector<EntityPoint> points;
+    for (int i = 0; i < n; ++i) {
+      points.push_back(
+          {static_cast<double>(rng.NextBounded(distinct)) * 10.0,
+           1 + static_cast<int64_t>(rng.NextBounded(3))});
+    }
+    ExpectSamePartition(IndexOf(points), naive,
+                        "tie-heavy trial " + std::to_string(trial));
+  }
+}
+
+TEST(PartitionMemoFuzz, ConstantValueSampleIsOneBucket) {
+  const NaiveEstimator naive;
+  std::vector<EntityPoint> points(50, EntityPoint{7.5, 2});
+  points[10].multiplicity = 1;
+  const SortedEntityIndex index = IndexOf(points);
+  ExpectSamePartition(index, naive, "constant-value");
+  // No legal cut exists inside a single equal-value run.
+  const std::vector<size_t> bounds =
+      DynamicPartitioner().Partition(index, naive);
+  EXPECT_EQ(bounds, (std::vector<size_t>{0, 50}));
+}
+
+TEST(PartitionMemoFuzz, SingleEntityAndEmptySamples) {
+  const NaiveEstimator naive;
+  ExpectSamePartition(IndexOf({{3.0, 4}}), naive, "single entity");
+  ExpectSamePartition(IndexOf({{3.0, 1}}), naive, "single singleton");
+  ExpectSamePartition(SortedEntityIndex(std::vector<EntityPoint>{}), naive,
+                      "empty");
+}
+
+TEST(PartitionMemoFuzz, AllSingletonSamplesExerciseInfiniteDeltas) {
+  // Every slice is all-singletons, so every |Δ| is +inf: the scan must take
+  // the infinity-aware delta_rest recomputation on every bucket and still
+  // match the reference (including through the memoized child deltas).
+  Rng rng(0xF44);
+  const NaiveEstimator naive;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBounded(60));
+    std::vector<EntityPoint> points;
+    for (int i = 0; i < n; ++i) {
+      points.push_back({rng.NextUniform(0.0, 50.0), 1});
+    }
+    ExpectSamePartition(IndexOf(points), naive,
+                        "all-singleton trial " + std::to_string(trial));
+  }
+}
+
+TEST(PartitionMemoFuzz, BootstrapReplicatesThroughScratchMatchReference) {
+  // The replicate path: indexes rebuilt through IndexScratch (incremental
+  // re-sort) and partitioned through the scratch-owned memo arena, many
+  // replicates through ONE scratch — each must match the reference scan on
+  // its own index.
+  Rng rng(0xF45);
+  IntegratedSample sample;
+  for (int i = 0; i < 400; ++i) {
+    sample.Add("s" + std::to_string(rng.NextBounded(12)),
+               "e" + std::to_string(rng.NextBounded(150)),
+               rng.NextUniform(-50.0, 500.0));
+  }
+  const SampleView view(sample);
+  const NaiveEstimator naive;
+  const DynamicPartitioner dynamic;
+  ReplicateScratch rscratch;
+  ReplicateSample rep;
+  IndexScratch iscratch;
+  for (int round = 0; round < 25; ++round) {
+    std::vector<int32_t> draws;
+    view.DrawBootstrapSources(&rng, &draws);
+    view.BuildReplicate(draws, &rscratch, &rep);
+    const SortedEntityIndex& index = iscratch.RebuildIndex(rep);
+    EXPECT_EQ(dynamic.Partition(index, naive),
+              ReferenceDynamicPartition(index, naive))
+        << "replicate round " << round;
+  }
+}
+
+TEST(PartitionMemoFuzz, IntervalEndpointsBitIdenticalAcrossPathsAndThreads) {
+  // End to end: the memoized scan feeds both evaluation modes, so columnar,
+  // materialized, 1-thread, and 8-thread bootstrap intervals must all agree
+  // bit for bit.
+  Rng rng(0xF46);
+  IntegratedSample sample;
+  for (int i = 0; i < 500; ++i) {
+    sample.Add("s" + std::to_string(rng.NextBounded(15)),
+               "e" + std::to_string(rng.NextBounded(200)),
+               rng.NextUniform(0.0, 300.0));
+  }
+  const BucketSumEstimator bucket;
+  ThreadPool serial(1);
+  ThreadPool wide(8);
+  BootstrapOptions options;
+  options.replicates = 32;
+
+  options.pool = &serial;
+  options.evaluation = ReplicateEvaluation::kColumnar;
+  const BootstrapInterval col1 = BootstrapCorrectedSum(sample, bucket, options);
+  options.pool = &wide;
+  const BootstrapInterval col8 = BootstrapCorrectedSum(sample, bucket, options);
+  options.evaluation = ReplicateEvaluation::kMaterialized;
+  const BootstrapInterval mat8 = BootstrapCorrectedSum(sample, bucket, options);
+
+  EXPECT_EQ(col1.lo, col8.lo);
+  EXPECT_EQ(col1.hi, col8.hi);
+  EXPECT_EQ(col1.median, col8.median);
+  EXPECT_EQ(col1.lo, mat8.lo);
+  EXPECT_EQ(col1.hi, mat8.hi);
+  EXPECT_EQ(col1.median, mat8.median);
+  ASSERT_EQ(col1.replicates.size(), mat8.replicates.size());
+  for (size_t i = 0; i < col1.replicates.size(); ++i) {
+    EXPECT_EQ(col1.replicates[i], mat8.replicates[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace uuq

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 namespace uuq {
 namespace {
 
@@ -115,6 +118,75 @@ TEST(QueryCorrector, ToStringMentionsKeyNumbers) {
   EXPECT_NE(report.find("observed"), std::string::npos);
   EXPECT_NE(report.find("corrected"), std::string::npos);
   EXPECT_NE(report.find("advice"), std::string::npos);
+}
+
+// Every entity observed exactly once: Good-Turing coverage is 0, Chao92's
+// N-hat is +inf, and the raw corrected sum would be inf too.
+IntegratedSample AllSingletonSample() {
+  IntegratedSample sample;
+  for (int e = 0; e < 20; ++e) {
+    sample.Add("w" + std::to_string(e % 5), "e" + std::to_string(e),
+               10.0 * (e + 1));
+  }
+  return sample;
+}
+
+TEST(QueryCorrector, UnconstrainedSumClampsToObserved) {
+  // Regression: Chao92's coverage <= 0 path returns +inf, which used to
+  // flow straight into CorrectedAnswer::corrected as inf (and into NaN via
+  // inf-weighted arithmetic downstream). The correction layer must flag the
+  // answer unconstrained and report the observed value; the raw degenerate
+  // estimate stays visible in `estimate`.
+  QueryCorrector::Options options;
+  options.estimator = CorrectionEstimator::kNaive;
+  const QueryCorrector corrector(options);
+  auto answer = corrector.Correct(AllSingletonSample(), AggregateKind::kSum);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer.value().unconstrained);
+  EXPECT_TRUE(std::isfinite(answer.value().corrected));
+  EXPECT_DOUBLE_EQ(answer.value().corrected, answer.value().observed);
+  EXPECT_TRUE(std::isinf(answer.value().estimate.n_hat));
+  EXPECT_FALSE(answer.value().estimate.finite);
+  EXPECT_NE(answer.value().ToString().find("UNCONSTRAINED"),
+            std::string::npos);
+}
+
+TEST(QueryCorrector, UnconstrainedCountClampsToObserved) {
+  const QueryCorrector corrector;
+  auto answer = corrector.Correct(AllSingletonSample(), AggregateKind::kCount);
+  ASSERT_TRUE(answer.ok());
+  if (std::isinf(answer.value().estimate.n_hat)) {
+    EXPECT_TRUE(answer.value().unconstrained);
+    EXPECT_DOUBLE_EQ(answer.value().corrected, 20.0);
+  }
+  EXPECT_TRUE(std::isfinite(answer.value().corrected));
+}
+
+TEST(QueryCorrector, UnconstrainedAnswerStillBootstraps) {
+  // attach_bootstrap on a degenerate sample: the interval's point is the
+  // clamped (finite) answer and an all-non-finite replicate set degrades to
+  // the [point, point] interval instead of aborting.
+  QueryCorrector::Options options;
+  options.estimator = CorrectionEstimator::kNaive;
+  options.attach_bootstrap = true;
+  options.bootstrap.replicates = 12;
+  const QueryCorrector corrector(options);
+  auto answer = corrector.Correct(AllSingletonSample(), AggregateKind::kSum);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer.value().unconstrained);
+  ASSERT_TRUE(answer.value().bootstrap_valid);
+  EXPECT_DOUBLE_EQ(answer.value().bootstrap.point, answer.value().observed);
+  EXPECT_TRUE(std::isfinite(answer.value().bootstrap.lo));
+  EXPECT_TRUE(std::isfinite(answer.value().bootstrap.hi));
+}
+
+TEST(QueryCorrector, HealthySampleIsNotFlaggedUnconstrained) {
+  const QueryCorrector corrector;
+  auto answer = corrector.Correct(HealthySample(), AggregateKind::kSum);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer.value().unconstrained);
+  EXPECT_EQ(answer.value().ToString().find("UNCONSTRAINED"),
+            std::string::npos);
 }
 
 TEST(QueryCorrector, EmptySampleStillAnswers) {

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
+#include "common/macros.h"
 #include "common/thread_pool.h"
 #include "core/bootstrap.h"
 #include "core/bucket.h"
@@ -205,6 +208,95 @@ TEST(JackknifeCorrectedSum, DegenerateSingleSource) {
   EXPECT_EQ(jk.sources, 1);
   EXPECT_DOUBLE_EQ(jk.lo, jk.point);
   EXPECT_DOUBLE_EQ(jk.hi, jk.point);
+}
+
+TEST(JackknifeCorrectedSum, SingleSourceNeverEvaluatesTheEmptyView) {
+  // Regression: with one source the only leave-one-out replicate is the
+  // EMPTY sample. The num_sources() <= 1 guard must return the degenerate
+  // [point, point] interval before any replicate machinery runs — for every
+  // estimator and both forced evaluation modes (the columnar force would
+  // otherwise build and evaluate an empty view).
+  IntegratedSample sample;
+  sample.Add("only", "a", 10.0);
+  sample.Add("only", "b", 20.0);
+  sample.Add("only", "a", 10.0);
+  const BucketSumEstimator bucket;
+  for (const ReplicateEvaluation evaluation :
+       {ReplicateEvaluation::kAuto, ReplicateEvaluation::kColumnar,
+        ReplicateEvaluation::kMaterialized}) {
+    const JackknifeInterval jk =
+        JackknifeCorrectedSum(sample, bucket, 1.96, nullptr, evaluation);
+    EXPECT_EQ(jk.sources, 1);
+    EXPECT_EQ(jk.finite_replicates, 0);
+    EXPECT_DOUBLE_EQ(jk.standard_error, 0.0);
+    EXPECT_DOUBLE_EQ(jk.lo, jk.point);
+    EXPECT_DOUBLE_EQ(jk.hi, jk.point);
+  }
+}
+
+TEST(JackknifeCorrectedSum, ZeroSourcesIsDegenerateToo) {
+  IntegratedSample empty;
+  const BucketSumEstimator bucket;
+  const JackknifeInterval jk = JackknifeCorrectedSum(empty, bucket);
+  EXPECT_EQ(jk.sources, 0);
+  EXPECT_EQ(jk.finite_replicates, 0);
+  EXPECT_DOUBLE_EQ(jk.lo, jk.point);
+  EXPECT_DOUBLE_EQ(jk.hi, jk.point);
+}
+
+/// Estimator whose corrected sum is NaN on every input — the all-non-finite
+/// replicate worst case for PercentileInterval.
+class AlwaysNanEstimator final : public SumEstimator {
+ public:
+  std::string name() const override { return "always-nan"; }
+  Estimate EstimateImpact(const IntegratedSample& sample) const override {
+    UUQ_UNUSED(sample);
+    Estimate est;
+    est.estimator = name();
+    est.finite = false;
+    est.delta = std::numeric_limits<double>::quiet_NaN();
+    est.corrected_sum = std::numeric_limits<double>::quiet_NaN();
+    return est;
+  }
+};
+
+TEST(BootstrapCorrectedSum, AllNonFiniteReplicatesDegradeToPointInterval) {
+  // Regression: when every replicate estimate filters out as non-finite the
+  // percentile step has an EMPTY vector — it must return the degenerate
+  // [point, point] interval with `replicates` empty instead of indexing
+  // into nothing.
+  const auto sample = HealthySample();
+  const AlwaysNanEstimator always_nan;
+  BootstrapOptions options;
+  options.replicates = 16;
+  const BootstrapInterval interval =
+      BootstrapCorrectedSum(sample, always_nan, options);
+  EXPECT_EQ(interval.finite_replicates, 0);
+  EXPECT_TRUE(interval.replicates.empty());
+  EXPECT_TRUE(std::isnan(interval.point));
+  EXPECT_TRUE(std::isnan(interval.lo));
+  EXPECT_TRUE(std::isnan(interval.hi));
+  EXPECT_TRUE(std::isnan(interval.median));
+}
+
+TEST(BootstrapCorrectedSum, AllInfiniteReplicatesDegradeToPointInterval) {
+  // Same degenerate path via +inf: a single-source all-singleton sample
+  // resamples to ITSELF on every draw, and Chao92's coverage-zero case
+  // sends every replicate's N-hat (and corrected sum) to infinity.
+  IntegratedSample singletons;
+  for (int i = 0; i < 12; ++i) {
+    singletons.Add("s0", "e" + std::to_string(i), 1.0 + i);
+  }
+  const NaiveEstimator naive;
+  BootstrapOptions options;
+  options.replicates = 16;
+  const BootstrapInterval interval =
+      BootstrapCorrectedSum(singletons, naive, options);
+  EXPECT_EQ(interval.finite_replicates, 0);
+  EXPECT_TRUE(interval.replicates.empty());
+  EXPECT_TRUE(std::isinf(interval.point));
+  EXPECT_DOUBLE_EQ(interval.lo, interval.point);
+  EXPECT_DOUBLE_EQ(interval.hi, interval.point);
 }
 
 TEST(JackknifeCorrectedSum, CoversTruthOnHealthyData) {
