@@ -24,6 +24,18 @@
 // throughput: re-measure and recommit the baseline when the reference path
 // itself is deliberately changed.
 //
+// VERIFY PASS (the wrong-answer-speedup guard). The best-of-N timing loop
+// deliberately re-runs the IDENTICAL workload each rep — same seed, same
+// replicate streams — which is right for best-of timing but means the loop
+// itself can never notice a correct-looking speedup that silently changed
+// the answer. Before any timing, the harness therefore cross-checks the
+// full interval (point/lo/hi/median, bootstrap AND jackknife) of the
+// production batched split scan against the scalar reference scan
+// (SplitScanMode::kScalar) and of the default replicate blocking against
+// block=1, all bit-for-bit. UUQ_BENCH_VERIFY=0 skips it (debugging only —
+// CI always runs it), so the ratio gate below can never pass on a
+// wrong-answer speedup.
+//
 // Rows are APPENDED to bench_out.json so one CI artifact carries both this
 // harness and bench_parallel_speedup.
 #include <algorithm>
@@ -70,6 +82,60 @@ void CheckBitIdentical(double a, double b, const char* label) {
   }
 }
 
+void CheckSameInterval(const BootstrapInterval& a, const BootstrapInterval& b,
+                       const char* label) {
+  CheckBitIdentical(a.point, b.point, label);
+  CheckBitIdentical(a.lo, b.lo, label);
+  CheckBitIdentical(a.hi, b.hi, label);
+  CheckBitIdentical(a.median, b.median, label);
+  if (a.replicates != b.replicates) {
+    throw Fatal{std::string(label) + ": replicate sets differ"};
+  }
+}
+
+/// The pre-timing correctness pass (see header comment): batched-vs-scalar
+/// split scans and blocked-vs-unblocked replicate scheduling must produce
+/// bit-identical intervals before any speedup is trusted.
+void VerifyBatchedAgainstScalar(const IntegratedSample& sample,
+                                const BucketSumEstimator& batched,
+                                ThreadPool* serial) {
+  const BucketSumEstimator scalar(
+      std::make_shared<DynamicPartitioner>(serial, SplitScanMode::kScalar),
+      std::make_shared<NaiveEstimator>());
+
+  BootstrapOptions options;
+  options.replicates = 48;
+  options.pool = serial;
+  options.evaluation = ReplicateEvaluation::kColumnar;
+  const BootstrapInterval batched_bs =
+      BootstrapCorrectedSum(sample, batched, options);
+  const BootstrapInterval scalar_bs =
+      BootstrapCorrectedSum(sample, scalar, options);
+  CheckSameInterval(batched_bs, scalar_bs,
+                    "verify bootstrap batched-vs-scalar scan");
+
+  options.replicate_block = 1;
+  const BootstrapInterval unblocked =
+      BootstrapCorrectedSum(sample, batched, options);
+  CheckSameInterval(batched_bs, unblocked,
+                    "verify bootstrap blocked-vs-unblocked replicates");
+
+  const JackknifeInterval jk_batched = JackknifeCorrectedSum(
+      sample, batched, 1.96, serial, ReplicateEvaluation::kColumnar);
+  const JackknifeInterval jk_scalar = JackknifeCorrectedSum(
+      sample, scalar, 1.96, serial, ReplicateEvaluation::kColumnar);
+  CheckBitIdentical(jk_batched.point, jk_scalar.point,
+                    "verify jackknife batched-vs-scalar scan (point)");
+  CheckBitIdentical(jk_batched.standard_error, jk_scalar.standard_error,
+                    "verify jackknife batched-vs-scalar scan (se)");
+  CheckBitIdentical(jk_batched.lo, jk_scalar.lo,
+                    "verify jackknife batched-vs-scalar scan (lo)");
+  CheckBitIdentical(jk_batched.hi, jk_scalar.hi,
+                    "verify jackknife batched-vs-scalar scan (hi)");
+  std::printf("verify pass OK: batched == scalar scan, blocked == "
+              "unblocked replicates (bit-identical intervals)\n");
+}
+
 }  // namespace
 }  // namespace uuq
 
@@ -100,6 +166,16 @@ int main() {
 
   try {
     ThreadPool serial(1);
+
+    // Correctness before speed: the timing loop re-seeds identically each
+    // rep, so it cannot catch a wrong-answer speedup by itself.
+    const char* verify_env = std::getenv("UUQ_BENCH_VERIFY");
+    if (verify_env == nullptr || std::strcmp(verify_env, "0") != 0) {
+      VerifyBatchedAgainstScalar(sample, bucket, &serial);
+    } else {
+      std::printf("verify pass SKIPPED (UUQ_BENCH_VERIFY=0)\n");
+    }
+
     BootstrapOptions options;
     options.replicates = 48;
     options.pool = &serial;
@@ -150,6 +226,25 @@ int main() {
                 "bootstrap columnar (B=48)", col_ns / 1e6, speedup);
 
     CheckBitIdentical(ref_lo, col_lo, "bootstrap columnar-vs-materialized");
+
+    // ---- scalar-scan columnar (the PR 4-style split scan, for the
+    // ---- batched-kernel trajectory row) ----------------------------------
+    const BucketSumEstimator scalar_bucket(
+        std::make_shared<DynamicPartitioner>(&serial, SplitScanMode::kScalar),
+        std::make_shared<NaiveEstimator>());
+    double sc_lo = 0.0;
+    const int64_t sc_ns = BestOfRepsNs(reps, [&] {
+      sc_lo = BootstrapCorrectedSum(sample, scalar_bucket, options).lo;
+    });
+    CheckBitIdentical(col_lo, sc_lo, "bootstrap batched-vs-scalar scan");
+    const double scan_speedup =
+        col_ns > 0 ? static_cast<double>(sc_ns) / static_cast<double>(col_ns)
+                   : 1.0;
+    rows.push_back({"bootstrap[bucket]", "eval=columnar,scan=scalar,B=48,n=500",
+                    static_cast<double>(sc_ns), scan_speedup});
+    std::printf("%-34s %10.3f ms   %6.2fx batched-vs-scalar scan\n",
+                "bootstrap columnar (scalar scan)", sc_ns / 1e6,
+                scan_speedup);
 
     // ---- determinism across thread counts --------------------------------
     ThreadPool pair(2);

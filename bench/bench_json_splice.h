@@ -1,0 +1,58 @@
+// Shared string-level JSON-array splice helpers for the bench artifacts.
+//
+// Both writers of bench_out.json-shaped files — AppendBenchJson
+// (bench_util.h) and the uuq_bench_history trajectory merger — embed or
+// extend row arrays at the string level: find the outermost brackets, keep
+// the body, refuse files whose last non-whitespace byte is not the closing
+// bracket (a truncated write, e.g. a cancelled CI job, may still contain a
+// ']' inside an estimator name like "bootstrap[bucket]"; building on it
+// would corrupt the artifact forever instead of self-healing). Keeping the
+// rule in ONE place guarantees the merger and the writer can never drift
+// apart. No uuq dependencies — tools include this standalone.
+#ifndef UUQ_BENCH_BENCH_JSON_SPLICE_H_
+#define UUQ_BENCH_BENCH_JSON_SPLICE_H_
+
+#include <cstdio>
+#include <string>
+
+namespace uuq {
+namespace bench {
+
+/// Appends the file's bytes to *out; false when it cannot be opened.
+inline bool ReadFileInto(const std::string& path, std::string* out) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return false;
+  char chunk[4096];
+  size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    out->append(chunk, got);
+  }
+  std::fclose(file);
+  return true;
+}
+
+/// Extracts the contents between the outermost '[' and ']' (trailing
+/// whitespace trimmed); false when the content is not a well-terminated
+/// JSON array per the truncation guard above.
+inline bool ExtractJsonArrayBody(const std::string& content,
+                                 std::string* body) {
+  const size_t open = content.find('[');
+  const size_t close = content.rfind(']');
+  const size_t tail = content.find_last_not_of(" \t\r\n");
+  if (open == std::string::npos || close == std::string::npos ||
+      close <= open || tail != close) {
+    return false;
+  }
+  *body = content.substr(open + 1, close - open - 1);
+  while (!body->empty() &&
+         (body->back() == '\n' || body->back() == ' ' ||
+          body->back() == '\r')) {
+    body->pop_back();
+  }
+  return true;
+}
+
+}  // namespace bench
+}  // namespace uuq
+
+#endif  // UUQ_BENCH_BENCH_JSON_SPLICE_H_

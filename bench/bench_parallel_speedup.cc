@@ -123,6 +123,42 @@ int main() {
                   ns / 1e6, speedup);
     }
 
+    // ---- real multi-core scaling assertion (the CI multicore entry) -------
+    // UUQ_BENCH_REQUIRE_SPEEDUP=<x> demands the Monte-Carlo grid reach an
+    // x-fold speedup at 4 threads (the grid is the embarrassingly parallel
+    // uniform-cost path, so this is the honest scaling gate; bootstrap and
+    // bucket rows stay informational). Hard-fails when the machine has
+    // fewer than 4 hardware threads: the assertion exists precisely so a
+    // mis-provisioned "multicore" runner cannot silently pass.
+    if (const char* require_env = std::getenv("UUQ_BENCH_REQUIRE_SPEEDUP")) {
+      const double required = std::atof(require_env);
+      if (required > 0.0) {
+        double at4 = 0.0;
+        for (const BenchRow& row : rows) {
+          if (row.estimator == "monte-carlo" &&
+              row.config.rfind("threads=4,", 0) == 0) {
+            at4 = row.speedup;
+          }
+        }
+        if (at4 == 0.0) {
+          throw Fatal{"UUQ_BENCH_REQUIRE_SPEEDUP set but no 4-thread row was "
+                      "measured — the runner has fewer than 4 hardware "
+                      "threads (hardware_concurrency=" +
+                      std::to_string(std::thread::hardware_concurrency()) +
+                      "); fix the runner, don't skip the gate"};
+        }
+        if (at4 < required) {
+          throw Fatal{"monte-carlo speedup at 4 threads is " +
+                      std::to_string(at4) + "x, below the required " +
+                      std::to_string(required) +
+                      "x (UUQ_BENCH_REQUIRE_SPEEDUP)"};
+        }
+        std::printf("scaling gate OK: monte-carlo %.2fx at 4 threads "
+                    "(required %.2fx)\n",
+                    at4, required);
+      }
+    }
+
     // ---- MC grid regression gate vs committed baseline --------------------
     // Mirrors bench_bootstrap's gate, but the MC grid has no same-process
     // reference path, so the gated quantity is the SERIAL wall time against

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json_splice.h"
 #include "core/bucket.h"
 #include "core/frequency.h"
 #include "core/monte_carlo.h"
@@ -154,34 +155,16 @@ inline bool WriteBenchJson(const std::string& path,
 
 /// Appends rows to an existing bench_out.json array (rewriting the file) so
 /// several bench binaries can contribute to ONE trajectory artifact; writes
-/// a fresh array when the file is missing or not a JSON array.
+/// a fresh array when the file is missing or not a well-terminated JSON
+/// array (the shared splice helpers in bench_json_splice.h carry the
+/// truncation guard — uuq_bench_history uses the identical rules).
 inline bool AppendBenchJson(const std::string& path,
                             const std::vector<BenchRow>& rows) {
   std::string existing;
-  if (std::FILE* file = std::fopen(path.c_str(), "r")) {
-    char chunk[4096];
-    size_t got;
-    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
-      existing.append(chunk, got);
-    }
-    std::fclose(file);
-  }
-  const size_t open = existing.find('[');
-  const size_t close = existing.rfind(']');
-  // Only splice into a file whose LAST non-whitespace byte is the closing
-  // bracket — a truncated write (e.g. cancelled CI job) may still contain a
-  // ']' inside an estimator name like "bootstrap[bucket]", and building on
-  // that would corrupt the artifact forever instead of self-healing.
-  const size_t tail = existing.find_last_not_of(" \t\r\n");
-  if (open == std::string::npos || close == std::string::npos ||
-      close <= open || tail != close) {
+  ReadFileInto(path, &existing);  // missing file -> empty -> fresh array
+  std::string body;
+  if (!ExtractJsonArrayBody(existing, &body)) {
     return WriteBenchJson(path, rows);
-  }
-  // Keep everything inside the brackets; splice the new rows behind it.
-  std::string body = existing.substr(open + 1, close - open - 1);
-  while (!body.empty() &&
-         (body.back() == '\n' || body.back() == ' ' || body.back() == '\r')) {
-    body.pop_back();
   }
   const bool had_rows = body.find('{') != std::string::npos;
   std::FILE* file = std::fopen(path.c_str(), "w");

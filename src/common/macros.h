@@ -49,4 +49,16 @@
 #define UUQ_RESTRICT
 #endif
 
+// Multi-versions a division-bound lane kernel for wider vector units with
+// runtime dispatch (the batched split-scan kernels: 4-wide vdivpd roughly
+// doubles division throughput over baseline SSE2). Every clone executes the
+// identical IEEE operations per lane, so results never depend on which
+// clone the resolver picks. No-op where the toolchain/arch lacks
+// target_clones + ifunc support.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define UUQ_VECTOR_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define UUQ_VECTOR_CLONES
+#endif
+
 #endif  // UUQ_COMMON_MACROS_H_

@@ -72,6 +72,19 @@ struct BootstrapOptions {
   /// replicates (every fusion policy evaluates columnar); kMaterialized is
   /// the conformance/debugging reference.
   ReplicateEvaluation evaluation = ReplicateEvaluation::kAuto;
+  /// Replicates evaluated per pool task. A block > 1 amortizes the
+  /// ParallelFor dispatch and keeps one worker's ReplicateScratch /
+  /// IndexScratch / SampleArena hot in cache across consecutive replicates
+  /// — the index-rebuild state is rebuilt per replicate either way, but a
+  /// blocked task pays its task-claim and closure overhead once per block.
+  /// The engine additionally caps the effective block so every pool worker
+  /// gets at least ~4 tasks (a wide pool never starves on a handful of
+  /// oversized blocks); values < 1 clamp to 1 (the historical
+  /// one-task-per-replicate dispatch). Pure scheduling: every replicate
+  /// keeps its own pre-derived Rng stream and result slot, so intervals
+  /// are bit-identical for every block size and thread count
+  /// (bench_bootstrap's verify pass pins block=1 against the default).
+  int replicate_block = 8;
 };
 
 struct BootstrapInterval {

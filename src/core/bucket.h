@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/macros.h"
 #include "core/estimate.h"
 
 namespace uuq {
@@ -83,6 +84,30 @@ class SortedEntityIndex {
 
   /// Stats of the half-open slice [begin, end).
   SampleStats Slice(size_t begin, size_t end) const;
+
+  /// The batched split scan's gather primitive: writes slice [begin, end)'s
+  /// stats into lane `lane` of the given SoA columns as doubles (the
+  /// StatsBatchView cast convention) and returns the slice's n. Identical
+  /// values to Slice(), minus the struct round-trip and the value_sum_sq
+  /// column no Δ expression reads.
+  int64_t SliceColumnsInto(size_t begin, size_t end, size_t lane,
+                           double* UUQ_RESTRICT n_col,
+                           double* UUQ_RESTRICT c_col,
+                           double* UUQ_RESTRICT f1_col,
+                           double* UUQ_RESTRICT mm1_col,
+                           double* UUQ_RESTRICT value_sum_col,
+                           double* UUQ_RESTRICT singleton_sum_col) const {
+    const SampleStats& hi = prefix_[end];
+    const SampleStats& lo = prefix_[begin];
+    const int64_t n = hi.n - lo.n;
+    n_col[lane] = static_cast<double>(n);
+    c_col[lane] = static_cast<double>(hi.c - lo.c);
+    f1_col[lane] = static_cast<double>(hi.f1 - lo.f1);
+    mm1_col[lane] = static_cast<double>(hi.sum_mm1 - lo.sum_mm1);
+    value_sum_col[lane] = hi.value_sum - lo.value_sum;
+    singleton_sum_col[lane] = hi.singleton_sum - lo.singleton_sum;
+    return n;
+  }
 
   /// Index one past the last entity sharing entities()[i].value (the
   /// smallest legal split point strictly after position i).
@@ -142,6 +167,35 @@ struct PartitionScratch {
   // Bucket::memo_begin/memo_end.
   std::vector<size_t> memo_cuts;
   std::vector<double> memo_delta;
+  // Batched-scan gather columns (SplitScanMode::kBatched): candidate i's
+  // LEFT half at lane i, its RIGHT half at lane num_cuts + i. The stats
+  // columns form the StatsBatchView handed to DeltaFromStatsBatch (all
+  // doubles, holding static_cast<double> of the integer fields — the view's
+  // cast convention); lane_needed carries the per-lane pre-filter threshold
+  // and lane_delta receives the kernel output (normalized |Δ|, NaN =
+  // certified prunable). A known or bound-pruned half marks its lane
+  // inactive with n = 0 (the kernel's empty-stats convention), so the
+  // gather is pure indexed stores into high-water-sized columns — no
+  // push_back bookkeeping on the replicate hot path.
+  std::vector<double> lane_n;
+  std::vector<double> lane_c;
+  std::vector<double> lane_f1;
+  std::vector<double> lane_mm1;
+  std::vector<double> lane_value_sum;
+  std::vector<double> lane_singleton_sum;
+  std::vector<double> lane_needed;
+  std::vector<double> lane_delta;
+  std::vector<uint32_t> lane_map;  ///< serial path: compact lane → candidate
+  /// Cross-call probe hint: the previous partition's winning root cut
+  /// (0 = none). Bootstrap replicates are near-identical workloads, so the
+  /// candidate nearest the last winner is an excellent probe — its total
+  /// seeds the strict pruning reference before the root scan's first block.
+  /// PURELY an evaluation-count optimization: any candidate's total is a
+  /// valid upper bound on the scan minimum whatever heuristic picked it, so
+  /// partitions are bit-identical with or without the hint (and therefore
+  /// independent of what this scratch evaluated before — the one
+  /// deliberately persistent field in an otherwise transient scratch).
+  size_t root_cut_hint = 0;
 };
 
 /// Partitioning strategy interface: returns bucket boundaries as half-open
@@ -210,11 +264,35 @@ class EquiHeightPartitioner final : public BucketPartitioner {
 /// expressions are (re)computed, never their values: the partition — and
 /// every downstream interval — is bit-identical to the exhaustive scan at
 /// every thread count.
+///
+/// BATCHED (the default). A scan's surviving fresh halves are gathered into
+/// PartitionScratch's SoA columns and evaluated in ONE
+/// DeltaFromStatsBatch pass (fused coverage/γ² chain, no per-candidate
+/// virtual dispatch, auto-vectorizable), pruned against the scan-start δmin
+/// like the parallel fan-out always was; the kernel's multiplication-form
+/// pre-filter (chao92.h) may additionally skip the exact FP chain for lanes
+/// it can certify prunable. Wide scans split the lane range into blocks
+/// across the pool — every lane is an independent pure function of its
+/// stats, so results never depend on the block split or thread count.
+/// SplitScanMode::kScalar keeps the per-candidate evaluation (running-δmin
+/// pruning, the PR 4 code path) as a same-process reference: both modes
+/// produce bit-identical partitions on every input
+/// (tests/partition_memo_test.cc fuzzes batched vs scalar vs the unmemoized
+/// reference scan; bench_bootstrap's verify pass cross-checks end-to-end
+/// intervals before timing).
+enum class SplitScanMode {
+  kBatched,  ///< SoA gather + one DeltaFromStatsBatch kernel pass per scan
+  kScalar,   ///< per-candidate DeltaFromStats (the reference path)
+};
+
 class DynamicPartitioner final : public BucketPartitioner {
  public:
   DynamicPartitioner() = default;
   /// nullptr means ThreadPool::Default().
-  explicit DynamicPartitioner(ThreadPool* pool) : pool_(pool) {}
+  explicit DynamicPartitioner(ThreadPool* pool,
+                              SplitScanMode mode = SplitScanMode::kBatched)
+      : pool_(pool), mode_(mode) {}
+  explicit DynamicPartitioner(SplitScanMode mode) : mode_(mode) {}
 
   std::string name() const override { return "dynamic"; }
   void PartitionInto(const SortedEntityIndex& index,
@@ -223,6 +301,7 @@ class DynamicPartitioner final : public BucketPartitioner {
 
  private:
   ThreadPool* pool_ = nullptr;
+  SplitScanMode mode_ = SplitScanMode::kBatched;
 };
 
 /// Reusable per-thread state for allocation-free replicate bucket

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "stats/coverage.h"
+
 namespace uuq {
 namespace {
 
@@ -18,15 +20,19 @@ SampleStats ScalarsFromFstats(const FrequencyStatistics& fstats) {
 
 double Chao92Nhat(const SampleStats& stats) {
   if (stats.empty()) return 0.0;
-  const double coverage = stats.Coverage();
-  if (coverage <= 0.0) {
+  // One fused chain instead of Coverage() + Gamma2() each re-deriving Ĉ;
+  // c/Ĉ is shared between the base term and γ̂² (coverage.h documents why
+  // the hoist is bit-identical to the historical unfused calls).
+  const CoverageGammaChain chain =
+      FusedCoverageGamma(stats.n, stats.c, stats.f1, stats.sum_mm1);
+  if (chain.coverage <= 0.0) {
     // All singletons: sample coverage is zero, nothing constrains N.
     return std::numeric_limits<double>::infinity();
   }
-  const double base = static_cast<double>(stats.c) / coverage;
   const double skew_correction = static_cast<double>(stats.n) *
-                                 (1.0 - coverage) / coverage * stats.Gamma2();
-  return base + skew_correction;
+                                 (1.0 - chain.coverage) / chain.coverage *
+                                 chain.gamma2;
+  return chain.c_over_coverage + skew_correction;
 }
 
 double Chao92Nhat(const FrequencyStatistics& fstats) {
@@ -35,9 +41,10 @@ double Chao92Nhat(const FrequencyStatistics& fstats) {
 
 double GoodTuringNhat(const SampleStats& stats) {
   if (stats.empty()) return 0.0;
-  const double coverage = stats.Coverage();
-  if (coverage <= 0.0) return std::numeric_limits<double>::infinity();
-  return static_cast<double>(stats.c) / coverage;
+  const CoverageGammaChain chain =
+      FusedCoverageGamma(stats.n, stats.c, stats.f1, stats.sum_mm1);
+  if (chain.coverage <= 0.0) return std::numeric_limits<double>::infinity();
+  return chain.c_over_coverage;
 }
 
 }  // namespace uuq

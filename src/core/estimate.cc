@@ -49,6 +49,31 @@ SampleStats SampleStats::FromReplicate(const ReplicateSample& rep) {
   return stats;
 }
 
+void StatsSumEstimator::DeltaFromStatsBatch(const StatsBatchView& batch,
+                                            const double* min_needed,
+                                            double* out) const {
+  // Semantics-defining fallback: the scalar chain per lane, no pre-filter
+  // (ignoring min_needed is always legal — it only licenses skipping).
+  // Count columns round-trip through the view's cast convention
+  // (static_cast<double> of the field, exact below 2^53 — see
+  // StatsBatchView), so the reconstructed stats equal the originals.
+  UUQ_UNUSED(min_needed);
+  for (size_t i = 0; i < batch.size; ++i) {
+    if (batch.n[i] == 0.0) {
+      out[i] = 0.0;
+      continue;
+    }
+    SampleStats stats;
+    stats.n = static_cast<int64_t>(batch.n[i]);
+    stats.c = static_cast<int64_t>(batch.c[i]);
+    stats.f1 = static_cast<int64_t>(batch.f1[i]);
+    stats.sum_mm1 = static_cast<int64_t>(batch.sum_mm1[i]);
+    stats.value_sum = batch.value_sum[i];
+    stats.singleton_sum = batch.singleton_sum[i];
+    out[i] = NormalizedAbsDelta(DeltaFromStats(stats));
+  }
+}
+
 Estimate SumEstimator::EstimateReplicate(const ReplicateSample& rep) const {
   UUQ_UNUSED(rep);
   UUQ_CHECK_MSG(false,
@@ -58,18 +83,17 @@ Estimate SumEstimator::EstimateReplicate(const ReplicateSample& rep) const {
 }
 
 double SampleStats::Coverage() const {
+  // One division only — identical to FusedCoverageGamma's coverage field,
+  // but callers that need just Ĉ (the per-bucket coverage_ok gate) should
+  // not pay the chain's c/Ĉ and dispersion divisions.
   if (n == 0) return 0.0;
   return std::clamp(1.0 - static_cast<double>(f1) / static_cast<double>(n),
                     0.0, 1.0);
 }
 
 double SampleStats::Gamma2() const {
-  if (n < 2) return 0.0;
-  const double coverage = Coverage();
-  if (coverage <= 0.0) return 0.0;
-  const double dispersion = static_cast<double>(sum_mm1) /
-                            (static_cast<double>(n) * (n - 1));
-  return std::max((static_cast<double>(c) / coverage) * dispersion - 1.0, 0.0);
+  // γ̂² consumes the whole chain, so the fused form wastes nothing here.
+  return FusedCoverageGamma(n, c, f1, sum_mm1).gamma2;
 }
 
 double SampleStats::ValueMean() const {

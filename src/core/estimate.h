@@ -9,7 +9,9 @@
 #ifndef UUQ_CORE_ESTIMATE_H_
 #define UUQ_CORE_ESTIMATE_H_
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,42 @@ struct SampleStats {
 
   bool empty() const { return n == 0; }
 };
+
+/// Structure-of-arrays view over a batch of slice statistics — the currency
+/// of the batched split-scan kernel (`StatsSumEstimator::DeltaFromStatsBatch`).
+/// Lane i of every column describes one SampleStats; the columns carry
+/// exactly the fields the closed-form Δ expressions read (value_sum_sq is
+/// deliberately absent — no DeltaFromStats consumes it).
+///
+/// ALL columns are doubles — including the count fields — so the kernels
+/// are single-type, branch-free, auto-vectorizable loops. A count column
+/// must hold exactly `static_cast<double>(field)`; since the scalar chain's
+/// first touch of every integer field is that same cast, the kernels remain
+/// bit-identical to it whenever the cast is value-preserving, i.e. for
+/// every count below 2^53 (a ~9·10^15-observation slice; any real sample).
+/// All pointers must address at least `size` elements; the view does not
+/// own them (the dynamic partitioner gathers into PartitionScratch-pooled
+/// columns).
+struct StatsBatchView {
+  size_t size = 0;
+  const double* n = nullptr;
+  const double* c = nullptr;
+  const double* f1 = nullptr;
+  const double* sum_mm1 = nullptr;
+  const double* value_sum = nullptr;
+  const double* singleton_sum = nullptr;
+};
+
+/// The split scan's |Δ| normalization: fabs for finite deltas, +infinity for
+/// non-finite ones (singleton-only slices must never look attractive to the
+/// split search). Scalar and batched candidate evaluation share this exact
+/// function, which is half of the batch kernel's bit-identity contract.
+inline double NormalizedAbsDelta(double delta) {
+  if (!std::isfinite(delta)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::fabs(delta);
+}
 
 /// What an estimator returns. delta is the paper's Δ̂; the corrected answer
 /// is φK + Δ̂ (Eq. 2).
@@ -110,6 +148,29 @@ class StatsSumEstimator : public SumEstimator {
   virtual double DeltaFromStats(const SampleStats& stats) const {
     return FromStats(stats).delta;
   }
+
+  /// Batched |Δ| evaluation over SoA columns — the split scan's hot kernel.
+  /// One call evaluates every candidate slice of a scan in a single pass
+  /// over the columns (auto-vectorizable; no virtual dispatch per lane).
+  ///
+  /// CONTRACT: for every lane i, out[i] must be the NORMALIZED |Δ| of lane
+  /// i's stats — exactly NormalizedAbsDelta(DeltaFromStats(stats_i)), with
+  /// 0.0 for empty stats (n == 0) — bit-identical to the scalar chain,
+  /// UNLESS `min_needed` is non-null and the implementation can
+  /// CONSERVATIVELY certify that the normalized |Δ| is ≥ min_needed[i]; it
+  /// may then write NaN instead (the "pruned, value unknown" marker, which
+  /// the scan treats exactly like its monotone pruning bound: the candidate
+  /// total reads +inf and the memo records the half as never-evaluated). A
+  /// certificate must never be wrong — writing NaN for a lane whose true
+  /// normalized |Δ| is below its threshold would change partitions. The
+  /// same purity requirements as DeltaFromStats apply lane-wise.
+  ///
+  /// The default loops over the scalar path with no pre-filter — the
+  /// semantics-defining fallback for estimators that never specialized.
+  /// `min_needed` entries may be anything (±inf, NaN ⇒ never certify).
+  virtual void DeltaFromStatsBatch(const StatsBatchView& batch,
+                                   const double* min_needed,
+                                   double* out) const;
 
   Estimate EstimateImpact(const IntegratedSample& sample) const override {
     return FromStats(SampleStats::FromSample(sample));

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <limits>
 
+#include "common/macros.h"
 #include "core/chao92.h"
+#include "stats/coverage.h"
 
 namespace uuq {
 
@@ -47,6 +49,93 @@ double FrequencyEstimator::DeltaFromStats(const SampleStats& stats) const {
   const double missing_value =
       stats.singleton_sum / static_cast<double>(stats.f1);
   return missing_value * missing_count;
+}
+
+namespace {
+
+/// The batched frequency chain — the naive kernel's structure (see
+/// naive.cc for the blend-by-blend bit-identity argument; the shared fused
+/// chain is Chao92NhatLane in chao92.h) with the frequency estimator's two
+/// differences: the value proxy is φf1/f1 (f1 == 0 lanes blend to 0.0, the
+/// "sample looks complete" convention) and `kUniform` selects the γ̂²-free
+/// Good-Turing N̂ (the Eq. 10 form; the dead skew computation folds away at
+/// compile time). Pre-filter scaled_mass = |φf1|·c.
+template <bool kUniform>
+inline double FrequencyLane(double nd, double cd, double f1d, double mm1d,
+                            double phi) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kMaxFinite = std::numeric_limits<double>::max();
+  const Chao92Lane lane = Chao92NhatLane(nd, cd, f1d, mm1d);
+  const double n_hat = kUniform ? lane.good_turing_n_hat : lane.n_hat;
+  const double missing_count = n_hat - cd;
+  const double missing_value = phi / f1d;
+  double abs_delta = std::fabs(missing_value * missing_count);
+  abs_delta = abs_delta <= kMaxFinite ? abs_delta : kInf;
+  abs_delta = nd == 0.0 ? 0.0 : abs_delta;
+  return f1d == 0.0 ? 0.0 : abs_delta;
+}
+
+// Separate loops per (uniform, filtered) combination: any control flow in
+// the loop body defeats the vectorizer's if-conversion (see naive.cc).
+template <bool kUniform>
+UUQ_VECTOR_CLONES void FrequencyBatchKernel(
+    size_t size, const double* UUQ_RESTRICT n_col,
+    const double* UUQ_RESTRICT c_col, const double* UUQ_RESTRICT f1_col,
+    const double* UUQ_RESTRICT mm1_col, const double* UUQ_RESTRICT phi_col,
+    double* UUQ_RESTRICT out) {
+  for (size_t i = 0; i < size; ++i) {
+    out[i] = FrequencyLane<kUniform>(n_col[i], c_col[i], f1_col[i],
+                                     mm1_col[i], phi_col[i]);
+  }
+}
+
+template <bool kUniform>
+UUQ_VECTOR_CLONES void FrequencyBatchKernelFiltered(
+    size_t size, const double* UUQ_RESTRICT n_col,
+    const double* UUQ_RESTRICT c_col, const double* UUQ_RESTRICT f1_col,
+    const double* UUQ_RESTRICT mm1_col, const double* UUQ_RESTRICT phi_col,
+    const double* UUQ_RESTRICT needed, double* UUQ_RESTRICT out) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < size; ++i) {
+    const double nd = n_col[i];
+    const double cd = c_col[i];
+    const double f1d = f1_col[i];
+    const double phi = phi_col[i];
+    const double abs_delta =
+        FrequencyLane<kUniform>(nd, cd, f1d, mm1_col[i], phi);
+    // nd/f1d > 0 guards: those lanes' exact value is the 0.0 convention,
+    // which no certificate may override.
+    const bool certified =
+        (nd > 0.0) & (f1d > 0.0) &
+        Chao92PreFilterCertifies(std::fabs(phi) * cd, nd, f1d, needed[i]);
+    out[i] = certified ? kNaN : abs_delta;
+  }
+}
+
+}  // namespace
+
+void FrequencyEstimator::DeltaFromStatsBatch(const StatsBatchView& batch,
+                                             const double* min_needed,
+                                             double* out) const {
+  if (min_needed == nullptr) {
+    if (assume_uniform_) {
+      FrequencyBatchKernel<true>(batch.size, batch.n, batch.c, batch.f1,
+                                 batch.sum_mm1, batch.singleton_sum, out);
+    } else {
+      FrequencyBatchKernel<false>(batch.size, batch.n, batch.c, batch.f1,
+                                  batch.sum_mm1, batch.singleton_sum, out);
+    }
+    return;
+  }
+  if (assume_uniform_) {
+    FrequencyBatchKernelFiltered<true>(batch.size, batch.n, batch.c,
+                                       batch.f1, batch.sum_mm1,
+                                       batch.singleton_sum, min_needed, out);
+  } else {
+    FrequencyBatchKernelFiltered<false>(batch.size, batch.n, batch.c,
+                                        batch.f1, batch.sum_mm1,
+                                        batch.singleton_sum, min_needed, out);
+  }
 }
 
 }  // namespace uuq

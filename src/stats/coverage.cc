@@ -6,10 +6,14 @@
 namespace uuq {
 
 double GoodTuringCoverage(const FrequencyStatistics& stats) {
+  // One division only — identical to FusedCoverageGamma's coverage field
+  // (see SampleStats::Coverage for why coverage-only callers skip the
+  // fused chain's extra divisions).
   if (stats.n() == 0) return 0.0;
-  double coverage =
-      1.0 - static_cast<double>(stats.singletons()) / stats.n();
-  return std::clamp(coverage, 0.0, 1.0);
+  return std::clamp(
+      1.0 - static_cast<double>(stats.singletons()) /
+                static_cast<double>(stats.n()),
+      0.0, 1.0);
 }
 
 double UnseenMass(const FrequencyStatistics& stats) {
@@ -17,15 +21,9 @@ double UnseenMass(const FrequencyStatistics& stats) {
 }
 
 double SquaredCvEstimate(const FrequencyStatistics& stats) {
-  const int64_t n = stats.n();
-  if (n < 2) return 0.0;
-  const double coverage = GoodTuringCoverage(stats);
-  if (coverage <= 0.0) return 0.0;
-  const double c_over_coverage = stats.c() / coverage;
-  const double dispersion =
-      static_cast<double>(stats.SumIiMinusOneFi()) /
-      (static_cast<double>(n) * (n - 1));
-  return std::max(c_over_coverage * dispersion - 1.0, 0.0);
+  return FusedCoverageGamma(stats.n(), stats.c(), stats.singletons(),
+                            stats.SumIiMinusOneFi())
+      .gamma2;
 }
 
 double ExactCv(const std::vector<double>& publicities) {

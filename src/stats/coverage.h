@@ -7,9 +7,45 @@
 #ifndef UUQ_STATS_COVERAGE_H_
 #define UUQ_STATS_COVERAGE_H_
 
+#include <algorithm>
+#include <cstdint>
+
 #include "stats/fstats.h"
 
 namespace uuq {
+
+/// One fused evaluation of the Eq. 4 / Eq. 6 chain from raw scalar
+/// sufficient statistics (n, c, f1, Σm(m−1)) — the division-hoisted core
+/// shared by `SampleStats::Coverage`/`Gamma2`, `Chao92Nhat`, and the batched
+/// split-scan kernels (`StatsSumEstimator::DeltaFromStatsBatch`).
+///
+/// The historical call chain divided by Ĉ twice with the SAME operands —
+/// once for Chao92's c/Ĉ base term and once inside γ̂² — and recomputed Ĉ
+/// itself per call. Hoisting computes each division exactly once; because a
+/// repeated FP expression over identical operands is deterministic, every
+/// field below is bit-identical to what the unfused two-call chain produced.
+struct CoverageGammaChain {
+  double coverage = 0.0;         ///< Ĉ = 1 − f1/n (Eq. 4), clamped to [0, 1]
+  double c_over_coverage = 0.0;  ///< c/Ĉ (left 0 when Ĉ ≤ 0 or n == 0)
+  double gamma2 = 0.0;           ///< γ̂² (Eq. 6); 0 when undefined
+};
+
+inline CoverageGammaChain FusedCoverageGamma(int64_t n, int64_t c, int64_t f1,
+                                             int64_t sum_mm1) {
+  CoverageGammaChain out;
+  if (n == 0) return out;  // empty: nothing is covered
+  out.coverage =
+      std::clamp(1.0 - static_cast<double>(f1) / static_cast<double>(n), 0.0,
+                 1.0);
+  if (out.coverage <= 0.0) return out;  // all singletons: Ĉ = 0, γ̂² undefined
+  out.c_over_coverage = static_cast<double>(c) / out.coverage;
+  if (n >= 2) {
+    const double dispersion = static_cast<double>(sum_mm1) /
+                              (static_cast<double>(n) * (n - 1));
+    out.gamma2 = std::max(out.c_over_coverage * dispersion - 1.0, 0.0);
+  }
+  return out;
+}
 
 /// Good-Turing sample coverage Ĉ = 1 − f1/n (Eq. 4). Returns 0 for an empty
 /// sample (nothing is covered). Always in [0, 1].

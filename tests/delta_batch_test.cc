@@ -1,0 +1,347 @@
+// Fuzz suite for the batched SoA Δ kernels (PR 5).
+//
+// StatsSumEstimator::DeltaFromStatsBatch must be BIT-IDENTICAL to the
+// scalar chain — NormalizedAbsDelta(DeltaFromStats(stats)) — on every
+// evaluated lane, for every estimator with a specialized kernel (naive,
+// frequency, freq-gt) and for the base-class fallback. With per-lane
+// `min_needed` thresholds the multiplication-form pre-filter
+// (Chao92PreFilterCertifies) may blend NaN over a lane ONLY when the true
+// normalized |Δ| really is at or above the lane's threshold — a wrong
+// certificate would change partitions, so the fuzz hammers thresholds
+// placed exactly at, just below, and just above the true value, across
+// random / tie-heavy / all-singleton / constant-value slice populations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/bucket.h"
+#include "core/chao92.h"
+#include "core/estimate.h"
+#include "core/frequency.h"
+#include "core/naive.h"
+
+namespace uuq {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// SoA columns built from a vector of SampleStats via the StatsBatchView
+/// cast convention (static_cast<double> of every count field).
+struct Columns {
+  std::vector<double> n, c, f1, mm1, value_sum, singleton_sum;
+
+  explicit Columns(const std::vector<SampleStats>& stats) {
+    for (const SampleStats& s : stats) {
+      n.push_back(static_cast<double>(s.n));
+      c.push_back(static_cast<double>(s.c));
+      f1.push_back(static_cast<double>(s.f1));
+      mm1.push_back(static_cast<double>(s.sum_mm1));
+      value_sum.push_back(s.value_sum);
+      singleton_sum.push_back(s.singleton_sum);
+    }
+  }
+
+  StatsBatchView View() const {
+    StatsBatchView view;
+    view.size = n.size();
+    view.n = n.data();
+    view.c = c.data();
+    view.f1 = f1.data();
+    view.sum_mm1 = mm1.data();
+    view.value_sum = value_sum.data();
+    view.singleton_sum = singleton_sum.data();
+    return view;
+  }
+};
+
+/// The scalar reference for one lane: exactly what the split scan's AbsDelta
+/// computes (0.0 for empty stats, fabs-or-inf otherwise).
+double ScalarReference(const StatsSumEstimator& est, const SampleStats& s) {
+  if (s.empty()) return 0.0;
+  return NormalizedAbsDelta(est.DeltaFromStats(s));
+}
+
+void ExpectBatchMatchesScalar(const StatsSumEstimator& est,
+                              const std::vector<SampleStats>& stats,
+                              const std::string& what) {
+  const Columns cols(stats);
+  std::vector<double> out(stats.size(),
+                          std::numeric_limits<double>::quiet_NaN());
+  est.DeltaFromStatsBatch(cols.View(), /*min_needed=*/nullptr, out.data());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const double expected = ScalarReference(est, stats[i]);
+    // Bit-identical: exact double equality (NaN never legal without
+    // min_needed — non-finite deltas normalize to +inf, not NaN).
+    EXPECT_FALSE(std::isnan(out[i])) << what << " lane " << i;
+    EXPECT_EQ(expected, out[i]) << what << " lane " << i << " of "
+                                << stats.size();
+  }
+}
+
+/// With thresholds: every non-NaN lane must still be bit-identical, and
+/// every NaN (certified) lane's TRUE value must be >= its threshold.
+void ExpectFilteredBatchSound(const StatsSumEstimator& est,
+                              const std::vector<SampleStats>& stats,
+                              const std::vector<double>& needed,
+                              const std::string& what) {
+  const Columns cols(stats);
+  std::vector<double> out(stats.size(), 0.0);
+  est.DeltaFromStatsBatch(cols.View(), needed.data(), out.data());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const double expected = ScalarReference(est, stats[i]);
+    if (std::isnan(out[i])) {
+      // Certified prunable: must be a TRUE statement about the exact value.
+      EXPECT_GE(expected, needed[i])
+          << what << ": pre-filter certified lane " << i
+          << " below its threshold (|delta|=" << expected << ")";
+    } else {
+      EXPECT_EQ(expected, out[i]) << what << " lane " << i;
+    }
+  }
+}
+
+std::vector<SampleStats> RandomSliceStats(Rng* rng, int lanes,
+                                          bool tie_heavy, bool all_singleton,
+                                          bool constant_value) {
+  // Build each lane's stats by folding a random entity slice — realistic,
+  // internally consistent sufficient statistics (the only kind the scan
+  // ever produces).
+  std::vector<SampleStats> out;
+  for (int lane = 0; lane < lanes; ++lane) {
+    SampleStats s;
+    const int entities = 1 + static_cast<int>(rng->NextBounded(40));
+    const double constant = rng->NextUniform(-50.0, 50.0);
+    for (int e = 0; e < entities; ++e) {
+      const double value =
+          constant_value ? constant
+                         : rng->NextUniform(-100.0, 1000.0);
+      int64_t mult = 1;
+      if (!all_singleton) {
+        mult = tie_heavy ? 1 + static_cast<int64_t>(rng->NextBounded(2))
+                         : 1 + static_cast<int64_t>(rng->NextBounded(6));
+      }
+      s.Add(EntityPoint{value, mult});
+    }
+    out.push_back(s);
+  }
+  // A few hand-built degenerates per batch: empty lanes, inconsistent
+  // hand-assembled lanes (n > 0, c == 0), and huge counts near the
+  // pre-filter's refuse-to-certify domain edge.
+  out.push_back(SampleStats{});
+  SampleStats inconsistent;
+  inconsistent.n = 7;
+  inconsistent.f1 = 2;
+  inconsistent.value_sum = 123.5;
+  out.push_back(inconsistent);
+  SampleStats huge;
+  huge.n = (int64_t{1} << 31);
+  huge.c = (int64_t{1} << 30);
+  huge.f1 = 12345;
+  huge.sum_mm1 = (int64_t{1} << 33);
+  huge.value_sum = 1e18;
+  huge.singleton_sum = 1e12;
+  out.push_back(huge);
+  return out;
+}
+
+class DeltaBatchFuzz : public ::testing::Test {
+ protected:
+  NaiveEstimator naive_;
+  FrequencyEstimator freq_;
+  FrequencyEstimator freq_gt_{/*assume_uniform=*/true};
+
+  std::vector<const StatsSumEstimator*> All() const {
+    return {&naive_, &freq_, &freq_gt_};
+  }
+};
+
+TEST_F(DeltaBatchFuzz, RandomSlicesBitIdentical) {
+  Rng rng(0xBA7C4);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto stats = RandomSliceStats(&rng, 64, false, false, false);
+    for (const StatsSumEstimator* est : All()) {
+      ExpectBatchMatchesScalar(*est, stats,
+                               est->name() + " random trial " +
+                                   std::to_string(trial));
+    }
+  }
+}
+
+TEST_F(DeltaBatchFuzz, TieHeavySlicesBitIdentical) {
+  Rng rng(0xBA7C5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto stats = RandomSliceStats(&rng, 48, true, false, false);
+    for (const StatsSumEstimator* est : All()) {
+      ExpectBatchMatchesScalar(*est, stats,
+                               est->name() + " tie-heavy trial " +
+                                   std::to_string(trial));
+    }
+  }
+}
+
+TEST_F(DeltaBatchFuzz, AllSingletonSlicesNormalizeToInfinity) {
+  // Every slice all-singletons: Chao92 diverges, the scalar chain returns a
+  // non-finite delta, and both paths must normalize it to exactly +inf.
+  Rng rng(0xBA7C6);
+  const auto stats = RandomSliceStats(&rng, 48, false, true, false);
+  for (const StatsSumEstimator* est : All()) {
+    ExpectBatchMatchesScalar(*est, stats, est->name() + " all-singleton");
+  }
+  const Columns cols(stats);
+  std::vector<double> out(stats.size());
+  naive_.DeltaFromStatsBatch(cols.View(), nullptr, out.data());
+  int infinities = 0;
+  for (size_t i = 0; i < stats.size(); ++i) {
+    if (stats[i].n > 0 && stats[i].n == stats[i].f1 && out[i] == kInf) {
+      ++infinities;
+    }
+  }
+  EXPECT_GT(infinities, 0) << "fuzz population never exercised the "
+                              "all-singleton divergence";
+}
+
+TEST_F(DeltaBatchFuzz, ConstantValueSlicesBitIdentical) {
+  Rng rng(0xBA7C7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto stats = RandomSliceStats(&rng, 32, false, false, true);
+    for (const StatsSumEstimator* est : All()) {
+      ExpectBatchMatchesScalar(*est, stats,
+                               est->name() + " constant-value trial " +
+                                   std::to_string(trial));
+    }
+  }
+}
+
+TEST_F(DeltaBatchFuzz, BaseClassFallbackMatchesScalar) {
+  // An estimator without a specialized kernel: the semantics-defining
+  // default loop must satisfy the same contract (and ignore min_needed).
+  struct Halved final : public StatsSumEstimator {
+    std::string name() const override { return "halved"; }
+    Estimate FromStats(const SampleStats& stats) const override {
+      Estimate est;
+      est.estimator = name();
+      est.delta = stats.value_sum * 0.5;
+      return est;
+    }
+  } halved;
+  Rng rng(0xBA7C8);
+  const auto stats = RandomSliceStats(&rng, 48, false, false, false);
+  ExpectBatchMatchesScalar(halved, stats, "fallback");
+  const Columns cols(stats);
+  std::vector<double> needed(stats.size(), 1e-30);  // trivially certifiable
+  std::vector<double> out(stats.size());
+  halved.DeltaFromStatsBatch(cols.View(), needed.data(), out.data());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_FALSE(std::isnan(out[i]))
+        << "fallback may not certify (it has no pre-filter)";
+  }
+}
+
+TEST_F(DeltaBatchFuzz, PreFilterNeverCertifiesBelowThreshold) {
+  // Thresholds planted around the true value — equal, a hair below, a hair
+  // above, far below, far above, zero, negative, inf, NaN — across all
+  // slice populations. A NaN output whose true |Δ| is below the threshold
+  // is the one bug class that would silently change partitions.
+  Rng rng(0xBA7C9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const bool ties = (trial % 3) == 1;
+    const bool singletons = (trial % 3) == 2;
+    const auto stats = RandomSliceStats(&rng, 48, ties, singletons, false);
+    for (const StatsSumEstimator* est : All()) {
+      std::vector<double> needed;
+      for (const SampleStats& s : stats) {
+        const double truth = ScalarReference(*est, s);
+        switch (rng.NextBounded(9)) {
+          case 0: needed.push_back(truth); break;
+          case 1: needed.push_back(truth * (1.0 - 1e-12)); break;
+          case 2: needed.push_back(truth * (1.0 + 1e-12)); break;
+          case 3: needed.push_back(truth * 0.25); break;
+          case 4: needed.push_back(truth * 4.0); break;
+          case 5: needed.push_back(0.0); break;
+          case 6: needed.push_back(-1.0); break;
+          case 7: needed.push_back(kInf); break;
+          default:
+            needed.push_back(std::numeric_limits<double>::quiet_NaN());
+        }
+      }
+      ExpectFilteredBatchSound(*est, stats, needed,
+                               est->name() + " threshold trial " +
+                                   std::to_string(trial));
+    }
+  }
+}
+
+TEST_F(DeltaBatchFuzz, PreFilterNeverRejectsTheTrueMinimum) {
+  // The scan-shaped property: gather a batch of candidate slices from a
+  // real sorted index with per-lane thresholds derived from a pruning
+  // reference (as DynamicPartitioner would), and pin that the lane holding
+  // the batch's true minimum is never masked when its value is below the
+  // reference — so a pre-filtering scan can always still find the argmin.
+  Rng rng(0xBA7CA);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<EntityPoint> points;
+    const int n = 30 + static_cast<int>(rng.NextBounded(200));
+    for (int i = 0; i < n; ++i) {
+      points.push_back({rng.NextUniform(-100.0, 500.0),
+                        1 + static_cast<int64_t>(rng.NextBounded(4))});
+    }
+    const SortedEntityIndex index{std::vector<EntityPoint>(points)};
+    std::vector<SampleStats> stats;
+    for (size_t cut = 1; cut < index.size(); ++cut) {
+      stats.push_back(index.Slice(0, cut));
+      stats.push_back(index.Slice(cut, index.size()));
+    }
+    for (const StatsSumEstimator* est : All()) {
+      double truth_min = kInf;
+      size_t min_lane = 0;
+      std::vector<double> truth;
+      for (size_t i = 0; i < stats.size(); ++i) {
+        truth.push_back(ScalarReference(*est, stats[i]));
+        if (truth.back() < truth_min) {
+          truth_min = truth.back();
+          min_lane = i;
+        }
+      }
+      // Reference strictly above the minimum: the minimum lane must come
+      // back exact; lanes certified away must truly clear the reference.
+      const double reference = truth_min * 1.5 + 1.0;
+      std::vector<double> needed(stats.size(), reference);
+      const Columns cols(stats);
+      std::vector<double> out(stats.size());
+      est->DeltaFromStatsBatch(cols.View(), needed.data(), out.data());
+      EXPECT_FALSE(std::isnan(out[min_lane]))
+          << est->name() << " trial " << trial
+          << ": pre-filter rejected the true minimum";
+      if (!std::isnan(out[min_lane])) {
+        EXPECT_EQ(truth_min, out[min_lane]) << est->name();
+      }
+      for (size_t i = 0; i < stats.size(); ++i) {
+        if (std::isnan(out[i])) {
+          EXPECT_GE(truth[i], reference) << est->name() << " lane " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DeltaBatchFuzz, HelperRefusesOutOfDomainCertificates) {
+  // The branch-free helper must reject non-positive, non-finite, and
+  // beyond-2^30-n inputs outright (the conservatism contract's hard edges).
+  EXPECT_FALSE(Chao92PreFilterCertifies(1e30, 100.0, 5.0, 0.0));
+  EXPECT_FALSE(Chao92PreFilterCertifies(1e30, 100.0, 5.0, -1.0));
+  EXPECT_FALSE(Chao92PreFilterCertifies(1e30, 100.0, 5.0, kInf));
+  EXPECT_FALSE(Chao92PreFilterCertifies(
+      1e30, 100.0, 5.0, std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(Chao92PreFilterCertifies(kInf, 100.0, 5.0, 1.0));
+  EXPECT_FALSE(Chao92PreFilterCertifies(1e30, 2e9, 5.0, 1.0));
+  // And a plainly-in-domain certificate still works.
+  EXPECT_TRUE(Chao92PreFilterCertifies(1e6, 100.0, 5.0, 1.0));
+}
+
+}  // namespace
+}  // namespace uuq

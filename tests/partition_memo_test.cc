@@ -108,16 +108,27 @@ void ExpectSamePartition(const SortedEntityIndex& index,
                          const StatsSumEstimator& inner,
                          const std::string& what) {
   const std::vector<size_t> expected = ReferenceDynamicPartition(index, inner);
-  const DynamicPartitioner dynamic;
-  const std::vector<size_t> serial_memo = dynamic.Partition(index, inner);
-  ASSERT_EQ(serial_memo, expected) << what;
+  // Batched SoA scan (the default mode since PR 5).
+  const DynamicPartitioner batched;
+  const std::vector<size_t> serial_batched = batched.Partition(index, inner);
+  ASSERT_EQ(serial_batched, expected) << what << " [batched]";
 
-  // And again through a parallel pool (the >=64-candidate fan-out path
-  // prunes against the scan-start δmin instead of the running one — the
+  // Scalar per-candidate scan (the PR 4 path, kept as the same-process
+  // reference mode): must agree with both.
+  const DynamicPartitioner scalar(SplitScanMode::kScalar);
+  ASSERT_EQ(scalar.Partition(index, inner), expected) << what << " [scalar]";
+
+  // And again through a parallel pool for both modes (the fan-out paths
+  // prune against the scan-start δmin instead of the running one, and the
+  // batched fan-out additionally runs the kernel's pre-filter — the
   // boundaries must not care).
   ThreadPool pool(4);
-  const DynamicPartitioner parallel(&pool);
-  EXPECT_EQ(parallel.Partition(index, inner), expected) << what << " [pool]";
+  const DynamicPartitioner parallel_batched(&pool);
+  EXPECT_EQ(parallel_batched.Partition(index, inner), expected)
+      << what << " [batched pool]";
+  const DynamicPartitioner parallel_scalar(&pool, SplitScanMode::kScalar);
+  EXPECT_EQ(parallel_scalar.Partition(index, inner), expected)
+      << what << " [scalar pool]";
 }
 
 SortedEntityIndex IndexOf(const std::vector<EntityPoint>& points) {
@@ -219,14 +230,21 @@ TEST(PartitionMemoFuzz, BootstrapReplicatesThroughScratchMatchReference) {
   ReplicateScratch rscratch;
   ReplicateSample rep;
   IndexScratch iscratch;
+  // ONE partition scratch shared across every round: its cross-call
+  // root_cut_hint goes warm after round 0, so this also pins that the
+  // probe-seeded pruning never changes boundaries.
+  PartitionScratch pscratch;
+  std::vector<size_t> bounds;
   for (int round = 0; round < 25; ++round) {
     std::vector<int32_t> draws;
     view.DrawBootstrapSources(&rng, &draws);
     view.BuildReplicate(draws, &rscratch, &rep);
     const SortedEntityIndex& index = iscratch.RebuildIndex(rep);
-    EXPECT_EQ(dynamic.Partition(index, naive),
-              ReferenceDynamicPartition(index, naive))
+    dynamic.PartitionInto(index, naive, &pscratch, &bounds);
+    EXPECT_EQ(bounds, ReferenceDynamicPartition(index, naive))
         << "replicate round " << round;
+    EXPECT_EQ(dynamic.Partition(index, naive), bounds)
+        << "warm-hint scratch vs fresh scratch, round " << round;
   }
 }
 
