@@ -1,0 +1,165 @@
+// Serving-layer throughput/latency harness: drives the QueryService with
+// open-loop concurrent load (all queries submitted up front from competing
+// submitter threads, no coordination with completions) and reports
+// corrected-queries/s plus p50/p99 end-to-end latency, with and without
+// injected faults. Rows land in bench_out.json for the cross-PR perf
+// trajectory:
+//   estimator="serving", config="pr=6,workers=W,faults=off,metric=p50",
+//   ns_per_op=<latency>  — plus a metric=throughput row where ns_per_op is
+//   wall-clock ns per completed query.
+//
+// Expected shape: p50 close to a single query's corrector latency while
+// the queue stays shallow; p99 dominated by queueing; the faulted run
+// (slow replicates + queue stalls) degrades latency but never correctness
+// — every result is either OK or a typed failure status, and the run
+// aborts if anything else surfaces.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serving/fault_injector.h"
+#include "serving/query_service.h"
+#include "simulation/scenarios.h"
+
+namespace uuq {
+namespace {
+
+constexpr char kSql[] = "SELECT SUM(value) FROM integrated";
+
+struct LoadResult {
+  double wall_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  int completed = 0;
+  int failed = 0;
+};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+LoadResult RunLoad(const std::shared_ptr<const IntegratedSample>& sample,
+                   int workers, int queries, FaultInjector* faults) {
+  ServingOptions options;
+  options.workers = workers;
+  options.max_queue = queries + 1;  // admission never sheds in this bench
+  options.default_deadline = std::chrono::seconds(60);
+  options.full_interval_budget = std::chrono::milliseconds(1);
+  options.full_replicates = 24;
+  options.faults = faults;
+  QueryService service(options);
+  service.RegisterSample("bench", sample);
+
+  const auto start = std::chrono::steady_clock::now();
+  // Open loop: 4 submitter threads race the full query count in, then
+  // every ticket is awaited. Submission never waits on completions.
+  constexpr int kSubmitters = 4;
+  std::vector<std::vector<QueryService::Ticket>> tickets(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      const int share = queries / kSubmitters + (s == 0 ? queries % kSubmitters : 0);
+      tickets[s].reserve(static_cast<size_t>(share));
+      for (int q = 0; q < share; ++q) {
+        auto ticket = service.Submit("bench", kSql);
+        if (ticket.ok()) tickets[s].push_back(ticket.value());
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  LoadResult out;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<size_t>(queries));
+  for (auto& shard : tickets) {
+    for (auto& ticket : shard) {
+      ServedResult result = ticket.Wait();
+      if (result.status.ok()) {
+        ++out.completed;
+        latencies_ms.push_back(result.queue_ms + result.run_ms);
+      } else {
+        ++out.failed;
+        // The robustness contract: failures are typed, never anything else.
+        switch (result.status.code()) {
+          case StatusCode::kUnavailable:
+          case StatusCode::kResourceExhausted:
+          case StatusCode::kDeadlineExceeded:
+          case StatusCode::kCancelled:
+            break;
+          default:
+            std::fprintf(stderr, "FATAL: untyped serving failure: %s\n",
+                         result.status.ToString().c_str());
+            std::exit(1);
+        }
+      }
+    }
+  }
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  out.p50_ms = Percentile(latencies_ms, 0.50);
+  out.p99_ms = Percentile(latencies_ms, 0.99);
+  return out;
+}
+
+}  // namespace
+}  // namespace uuq
+
+int main() {
+  using namespace uuq;
+  using bench::BenchRow;
+
+  bench::PrintHeader(
+      "Serving throughput/latency under open-loop concurrent load",
+      "p50 near single-query latency, p99 queue-dominated; faulted run "
+      "slower but every failure typed");
+
+  const Scenario scenario = scenarios::UsTechEmployment();
+  auto sample = std::make_shared<IntegratedSample>();
+  for (const Observation& obs : scenario.stream) sample->Add(obs);
+
+  const int queries = bench::RepsFromEnv(1) * 64;
+  const int workers =
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency()) / 2);
+
+  std::vector<BenchRow> rows;
+  const auto report = [&](const char* faults_tag, const LoadResult& r) {
+    const double qps = r.completed / std::max(1e-9, r.wall_s);
+    std::printf(
+        "workers=%d queries=%d faults=%s: %.1f corrected-queries/s, "
+        "p50 %.2f ms, p99 %.2f ms (%d ok, %d typed failures)\n",
+        workers, queries, faults_tag, qps, r.p50_ms, r.p99_ms, r.completed,
+        r.failed);
+    const std::string base = "pr=6,workers=" + std::to_string(workers) +
+                             ",queries=" + std::to_string(queries) +
+                             ",faults=" + faults_tag;
+    rows.push_back({"serving", base + ",metric=throughput",
+                    r.completed > 0 ? r.wall_s * 1e9 / r.completed : 0.0,
+                    1.0});
+    rows.push_back({"serving", base + ",metric=p50", r.p50_ms * 1e6, 1.0});
+    rows.push_back({"serving", base + ",metric=p99", r.p99_ms * 1e6, 1.0});
+  };
+
+  report("off", RunLoad(sample, workers, queries, nullptr));
+
+  auto faults = FaultInjector::Parse(
+      0xC4A05, "slow_replicate=0.05:2ms,queue_stall=0.1:1ms,source_load=0.02");
+  if (!faults.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", faults.status().ToString().c_str());
+    return 1;
+  }
+  report("on", RunLoad(sample, workers, queries, &faults.value()));
+
+  if (!bench::AppendBenchJson(bench::BenchJsonPath(), rows)) return 1;
+  std::printf("\nwrote %zu rows to %s\n", rows.size(),
+              bench::BenchJsonPath().c_str());
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "common/cancel.h"
+
+#include <limits>
+
+namespace uuq {
+
+Status CancelToken::ToStatus(const std::string& what) const {
+  if (!Fired()) return Status::OK();
+  if (reason() == StatusCode::kCancelled) {
+    return Status::Cancelled(what + ": cancelled by caller");
+  }
+  return Status::DeadlineExceeded(what + ": deadline exceeded");
+}
+
+double CancelToken::SecondsRemaining() const {
+  if (state_ == nullptr || !state_->has_deadline) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (state_->reason.load(std::memory_order_relaxed) != 0) return 0.0;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= state_->deadline) return 0.0;
+  return std::chrono::duration<double>(state_->deadline - now).count();
+}
+
+}  // namespace uuq

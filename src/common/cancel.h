@@ -1,0 +1,134 @@
+// Cooperative cancellation and deadlines.
+//
+// The serving layer (src/serving) runs queries with a wall-clock budget and
+// lets callers abandon them; the long-running engines — the bootstrap
+// replicate loop, the Monte-Carlo (θN, θλ) grid, the dynamic bucket split
+// scan — must therefore be interruptible WITHOUT ever abandoning ThreadPool
+// tasks mid-flight (a task killed while it holds thread_local scratch or a
+// result-slot pointer would leave the pool poisoned for the next query).
+//
+// The model is purely cooperative:
+//
+//  * A `CancelSource` owns the shared cancellation state: an optional
+//    steady-clock deadline plus an explicit cancel flag.
+//  * A `CancelToken` is a cheap copyable view of that state. Engines poll
+//    `token.Fired()` at natural task boundaries (one bootstrap replicate,
+//    one MC grid point, one split-scan bucket) and, when it fires, finish
+//    the current unit normally, skip the remaining ones, and return through
+//    the ordinary join path. ParallelFor still waits for every claimed
+//    index, so by the time a cancelled engine call returns, NO task of that
+//    call is running anywhere — scratch reuse stays safe by construction.
+//  * A default-constructed token is inert (never fires, costs one null
+//    check) — the offline single-query path pays nothing and computes
+//    bit-identical results, token or no token.
+//
+// Deadline expiry LATCHES: the first poll past the deadline promotes the
+// state to kDeadlineExceeded, and every later poll is a single relaxed
+// atomic load (no clock read). Explicit cancellation wins over a
+// concurrently-expiring deadline only if its store lands first; either way
+// the state never reverts and every observer agrees on the final reason.
+#ifndef UUQ_COMMON_CANCEL_H_
+#define UUQ_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace uuq {
+
+namespace internal {
+struct CancelShared {
+  // 0 = live, else the terminal StatusCode (kCancelled / kDeadlineExceeded).
+  std::atomic<int> reason{0};
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+};
+}  // namespace internal
+
+/// Cheap copyable view of a CancelSource's state; see header comment.
+class CancelToken {
+ public:
+  /// Inert token: Fired() is always false, reason() is kOk.
+  CancelToken() = default;
+
+  /// Polls the state: true once the source was cancelled or its deadline
+  /// passed. The deadline check latches (at most one clock read per token
+  /// family after expiry; thereafter a relaxed load).
+  bool Fired() const {
+    if (state_ == nullptr) return false;
+    if (state_->reason.load(std::memory_order_relaxed) != 0) return true;
+    if (state_->has_deadline &&
+        std::chrono::steady_clock::now() >= state_->deadline) {
+      int expected = 0;
+      state_->reason.compare_exchange_strong(
+          expected, static_cast<int>(StatusCode::kDeadlineExceeded),
+          std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Terminal reason; kOk while live (does NOT poll the clock — call
+  /// Fired() first when deadline latching matters).
+  StatusCode reason() const {
+    if (state_ == nullptr) return StatusCode::kOk;
+    return static_cast<StatusCode>(
+        state_->reason.load(std::memory_order_relaxed));
+  }
+
+  /// The fired token as a typed Status: Cancelled/DeadlineExceeded with
+  /// `what` as context, or OK when live. Polls (latches a passed deadline).
+  Status ToStatus(const std::string& what) const;
+
+  /// Remaining wall-clock budget; infinity for no deadline, never negative.
+  double SecondsRemaining() const;
+
+  /// False for the inert default-constructed token (can never fire). Lets
+  /// plumbing layers skip overriding an engine's own token with an inert
+  /// one.
+  bool can_fire() const { return state_ != nullptr; }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<internal::CancelShared> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<internal::CancelShared> state_;
+};
+
+/// Owner side: create one per query, hand token() to the engines.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<internal::CancelShared>()) {}
+
+  /// Sets/overwrites the deadline. Must be called before tokens are polled
+  /// from other threads (the serving layer arms it at admission, before the
+  /// query runs).
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    state_->has_deadline = true;
+    state_->deadline = deadline;
+  }
+  void SetDeadlineAfter(std::chrono::nanoseconds budget) {
+    SetDeadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  /// Explicit cancellation (idempotent; loses against an already-latched
+  /// deadline, which is the honest reason the engines saw).
+  void RequestCancel() {
+    int expected = 0;
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<int>(StatusCode::kCancelled),
+        std::memory_order_relaxed);
+  }
+
+  CancelToken token() const { return CancelToken(state_); }
+  bool Fired() const { return token().Fired(); }
+
+ private:
+  std::shared_ptr<internal::CancelShared> state_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_COMMON_CANCEL_H_

@@ -14,7 +14,10 @@
 
 namespace uuq {
 
-/// Error categories used across the library.
+/// Error categories used across the library. The last four are the serving
+/// layer's robustness vocabulary (src/serving): admission control sheds load
+/// with kResourceExhausted, cooperative cancellation surfaces as kCancelled
+/// or kDeadlineExceeded, and injected/real backend outages as kUnavailable.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -24,6 +27,10 @@ enum class StatusCode {
   kParseError,
   kNumericError,
   kUnimplemented,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -57,6 +64,18 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "core/bootstrap.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/macros.h"
@@ -110,10 +111,22 @@ BootstrapInterval BootstrapAggregate(
       std::max(1, options.replicate_block), per_worker_cap);
   const int64_t num_blocks = (replicates + block - 1) / block;
   std::vector<double> values(static_cast<size_t>(replicates));
+  std::atomic<bool> aborted{false};
   pool->ParallelFor(0, num_blocks, [&](int64_t blk) {
         const int64_t begin = blk * block;
         const int64_t end = std::min(replicates, begin + block);
         for (int64_t b = begin; b < end; ++b) {
+          // Replicate-granularity cancellation: a fired token stops this
+          // task before the next replicate; replicates already in flight on
+          // other workers finish normally and ParallelFor joins them all,
+          // so no task ever outlives this call. The inert default token
+          // makes this a null check — the uncancelled run is untouched.
+          if (aborted.load(std::memory_order_relaxed) ||
+              options.cancel.Fired()) {
+            aborted.store(true, std::memory_order_relaxed);
+            return;
+          }
+          if (options.replicate_probe) options.replicate_probe(b);
           Rng rng = streams[static_cast<size_t>(b)];
           if (use_columnar) {
             // Worker-local buffers: resting-state scratch (sample_view.h)
@@ -138,6 +151,16 @@ BootstrapInterval BootstrapAggregate(
           values[static_cast<size_t>(b)] = materialized(*lease);
         }
       });
+  if (aborted.load(std::memory_order_relaxed)) {
+    // Skipped slots hold meaningless zeros, so never take quantiles over a
+    // cancelled run: degrade to the same [point, point] shape as the
+    // all-non-finite case and flag it.
+    BootstrapInterval interval;
+    interval.point = point;
+    interval.lo = interval.hi = interval.median = point;
+    interval.aborted = true;
+    return interval;
+  }
   return PercentileInterval(point, values, options.confidence);
 }
 

@@ -42,6 +42,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "core/estimate.h"
 #include "integration/sample_view.h"
@@ -85,6 +86,18 @@ struct BootstrapOptions {
   /// are bit-identical for every block size and thread count
   /// (bench_bootstrap's verify pass pins block=1 against the default).
   int replicate_block = 8;
+  /// Cooperative cancellation, polled before every replicate. When it fires
+  /// the engine stops claiming replicates, lets in-flight ones finish
+  /// normally (ParallelFor still joins — no task outlives the call), and
+  /// returns the degenerate [point, point] interval with `aborted` set.
+  /// The default (inert) token costs one null check per replicate and
+  /// leaves results bit-identical to a run without a token.
+  CancelToken cancel;
+  /// Test/chaos hook: invoked with the replicate index before each
+  /// replicate is evaluated (on the worker thread that runs it). The
+  /// serving fault injector uses it to model slow replicates; it must not
+  /// throw and must not touch the replicate's results.
+  std::function<void(int64_t)> replicate_probe;
 };
 
 struct BootstrapInterval {
@@ -94,6 +107,11 @@ struct BootstrapInterval {
   double median = 0.0;
   int finite_replicates = 0;  ///< replicates with a finite estimate
   std::vector<double> replicates;  ///< all finite replicate values (sorted)
+  /// True when BootstrapOptions::cancel fired mid-run: the interval is the
+  /// degenerate [point, point] shape (finite_replicates == 0) and carries
+  /// no resampling information. Callers that attach intervals to answers
+  /// must treat an aborted interval as absent.
+  bool aborted = false;
 };
 
 /// Bootstraps `estimator`'s corrected SUM over source-resampled versions of

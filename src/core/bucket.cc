@@ -259,6 +259,16 @@ void DynamicPartitioner::PartitionInto(const SortedEntityIndex& index,
   // the split order — and with it every tie-break — matches the historical
   // deque-based traversal while staying allocation-free on reuse.
   for (size_t head = 0; head < todo.size(); ++head) {
+    // Bucket-granularity cancellation: a fired token finalizes every
+    // pending bucket unsplit, so the bounds below are still a valid
+    // partition (just coarser than Algorithm 1's fixpoint) and no scan —
+    // and therefore no pool fan-out — starts after the token fires.
+    if (cancel_.Fired()) {
+      for (size_t i = head; i < todo.size(); ++i) {
+        done.push_back({todo[i].begin, todo[i].end});
+      }
+      break;
+    }
     const PartitionScratch::Bucket work = todo[head];  // copy: todo may grow
     const size_t b_begin = work.begin;
     const size_t b_end = work.end;

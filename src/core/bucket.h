@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/macros.h"
 #include "core/estimate.h"
 
@@ -288,10 +289,16 @@ enum class SplitScanMode {
 class DynamicPartitioner final : public BucketPartitioner {
  public:
   DynamicPartitioner() = default;
-  /// nullptr means ThreadPool::Default().
+  /// nullptr means ThreadPool::Default(). A non-inert `cancel` token is
+  /// polled once per worklist bucket: when it fires, the buckets still
+  /// pending are finalized UNSPLIT and the scan returns immediately — the
+  /// bounds are a valid (coarser) partition, but not Algorithm 1's
+  /// converged one, so callers must discard the result via the token's
+  /// status. The inert default leaves partitions bit-identical.
   explicit DynamicPartitioner(ThreadPool* pool,
-                              SplitScanMode mode = SplitScanMode::kBatched)
-      : pool_(pool), mode_(mode) {}
+                              SplitScanMode mode = SplitScanMode::kBatched,
+                              CancelToken cancel = {})
+      : pool_(pool), mode_(mode), cancel_(std::move(cancel)) {}
   explicit DynamicPartitioner(SplitScanMode mode) : mode_(mode) {}
 
   std::string name() const override { return "dynamic"; }
@@ -302,6 +309,7 @@ class DynamicPartitioner final : public BucketPartitioner {
  private:
   ThreadPool* pool_ = nullptr;
   SplitScanMode mode_ = SplitScanMode::kBatched;
+  CancelToken cancel_;
 };
 
 /// Reusable per-thread state for allocation-free replicate bucket

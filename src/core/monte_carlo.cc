@@ -197,6 +197,13 @@ double MonteCarloEstimator::NhatFromColumns(
   std::vector<double> zs(points.size());
   ThreadPool::OrDefault(options_.pool)
       ->ParallelFor(0, static_cast<int64_t>(points.size()), [&](int64_t i) {
+        // Grid-point granularity cancellation: a skipped point records an
+        // infinite distance (never the argmin) and costs nothing; in-flight
+        // points finish and ParallelFor joins, so the scratch stays owned.
+        if (options_.cancel.Fired()) {
+          zs[static_cast<size_t>(i)] = std::numeric_limits<double>::infinity();
+          return;
+        }
         thread_local SimulationScratch scratch;
         const GridPoint& point = points[static_cast<size_t>(i)];
         Rng rng = streams[static_cast<size_t>(i)];
@@ -204,6 +211,10 @@ double MonteCarloEstimator::NhatFromColumns(
             point.theta_n, point.lambda, observed_desc, observed_sum,
             source_sizes, &rng, &scratch);
       });
+  // Cancelled mid-grid: the surface is full of +inf holes, so neither the
+  // fit nor the argmin means anything. Return the conservative "sample is
+  // complete" clamp; the caller's token tells it to discard the answer.
+  if (options_.cancel.Fired()) return static_cast<double>(c);
 
   std::vector<double> xs, ys;
   xs.reserve(points.size());

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "core/estimate.h"
 
@@ -60,6 +61,13 @@ struct MonteCarloOptions {
   uint64_t seed = 0xC0FFEEull;
   /// Pool for the grid evaluation; nullptr means ThreadPool::Default().
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation, polled before every grid point. A fired
+  /// token skips the remaining points' simulations (their distances become
+  /// +inf) and the search returns the conservative N̂ = c clamp — finite,
+  /// deterministic given where the token fired, but NOT the converged
+  /// estimate; callers must discard the result via the token's status. The
+  /// inert default token leaves results bit-identical.
+  CancelToken cancel;
 };
 
 class MonteCarloEstimator final : public SumEstimator {

@@ -50,6 +50,10 @@ std::string CorrectedAnswer::ToString() const {
            FormatDouble(bootstrap.hi, 2) + "] over " +
            std::to_string(bootstrap.finite_replicates) + " replicates\n";
   }
+  if (bootstrap_aborted) {
+    out += "  bootstrap interval ABORTED (deadline/cancellation) — point "
+           "estimate only\n";
+  }
   out += "  advice: " + std::string(EstimatorChoiceName(advice.choice)) +
          " — " + advice.rationale + "\n";
   return out;
@@ -57,23 +61,39 @@ std::string CorrectedAnswer::ToString() const {
 
 namespace {
 
+/// Instantiates the SUM estimator with Options::cancel threaded into its
+/// long-running engines. `recommended` is the already-computed §6.5 advice,
+/// so kAuto resolves without re-running the advisor (same decision —
+/// Advise() is deterministic over the same sample and options — and one
+/// fewer diagnostic pass). With the inert default token every branch
+/// constructs the exact configuration the pre-cancellation code did.
 std::unique_ptr<SumEstimator> MakeSumEstimator(
-    const QueryCorrector::Options& options, const EstimatorAdvisor& advisor,
-    const IntegratedSample& sample) {
+    const QueryCorrector::Options& options, EstimatorChoice recommended) {
+  const auto monte_carlo = [&options] {
+    MonteCarloOptions mc = options.advisor.mc_options;
+    if (options.cancel.can_fire()) mc.cancel = options.cancel;
+    return std::make_unique<MonteCarloEstimator>(mc);
+  };
+  const auto bucket = [&options] {
+    return std::make_unique<BucketSumEstimator>(
+        std::make_shared<DynamicPartitioner>(
+            /*pool=*/nullptr, SplitScanMode::kBatched, options.cancel),
+        std::make_shared<NaiveEstimator>());
+  };
   switch (options.estimator) {
     case CorrectionEstimator::kAuto:
-      return advisor.MakeRecommended(sample);
+      if (recommended == EstimatorChoice::kMonteCarlo) return monte_carlo();
+      return bucket();
     case CorrectionEstimator::kBucket:
-      return std::make_unique<BucketSumEstimator>();
+      return bucket();
     case CorrectionEstimator::kMonteCarlo:
-      return std::make_unique<MonteCarloEstimator>(
-          options.advisor.mc_options);
+      return monte_carlo();
     case CorrectionEstimator::kNaive:
       return std::make_unique<NaiveEstimator>();
     case CorrectionEstimator::kFreq:
       return std::make_unique<FrequencyEstimator>();
   }
-  return std::make_unique<BucketSumEstimator>();
+  return bucket();
 }
 
 }  // namespace
@@ -81,6 +101,12 @@ std::unique_ptr<SumEstimator> MakeSumEstimator(
 Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
     const IntegratedSample& sample, AggregateKind aggregate,
     std::string query_text) const {
+  // A token that fired before any work (queue time ate the whole budget)
+  // fails fast with the typed status — no engine spins up at all.
+  if (options_.cancel.Fired()) {
+    return options_.cancel.ToStatus("correction");
+  }
+
   CorrectedAnswer answer;
   answer.aggregate = aggregate;
   answer.query_text = std::move(query_text);
@@ -103,20 +129,44 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
     }
   };
 
-  const auto attach = [&](const std::function<double(const ReplicateSample&)>&
+  // Shared tail of every aggregate case: first the cancellation gate — a
+  // token that fired during the POINT estimate invalidates the whole
+  // answer (the engines' under-cancellation outputs are clamps, not
+  // estimates), so the typed status is all the caller gets — then the
+  // optional bootstrap interval. A token firing inside the interval loop
+  // keeps the exact point estimate and marks bootstrap_aborted: the
+  // serving layer's point-only degradation level.
+  const auto finish = [&](const std::function<double(const ReplicateSample&)>&
                               columnar,
                           const std::function<double(const IntegratedSample&)>&
-                              materialized) {
-    if (!options_.attach_bootstrap || sample.empty()) return;
-    answer.bootstrap = BootstrapAggregate(sample, answer.corrected, columnar,
-                                          materialized, options_.bootstrap);
-    answer.bootstrap_confidence = options_.bootstrap.confidence;
-    answer.bootstrap_valid = true;
+                              materialized) -> Result<CorrectedAnswer> {
+    if (options_.cancel.Fired()) {
+      return options_.cancel.ToStatus("correction");
+    }
+    if (options_.attach_bootstrap && !sample.empty()) {
+      BootstrapOptions bootstrap_options = options_.bootstrap;
+      if (options_.cancel.can_fire()) bootstrap_options.cancel = options_.cancel;
+      answer.bootstrap = BootstrapAggregate(sample, answer.corrected, columnar,
+                                            materialized, bootstrap_options);
+      if (answer.bootstrap.aborted) {
+        // Deadline expiry degrades (a late caller still wants the exact
+        // point estimate); explicit cancellation means nobody is waiting
+        // for ANY answer, so it fails the query even this late.
+        if (options_.cancel.reason() == StatusCode::kCancelled) {
+          return options_.cancel.ToStatus("correction");
+        }
+        answer.bootstrap_aborted = true;
+      } else {
+        answer.bootstrap_confidence = bootstrap_options.confidence;
+        answer.bootstrap_valid = true;
+      }
+    }
+    return answer;
   };
 
   switch (aggregate) {
     case AggregateKind::kSum: {
-      auto estimator = MakeSumEstimator(options_, advisor, sample);
+      auto estimator = MakeSumEstimator(options_, answer.advice.choice);
       answer.estimate = estimator->EstimateImpact(sample);
       answer.observed = stats.value_sum;
       answer.corrected = answer.estimate.corrected_sum;
@@ -124,7 +174,7 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
       answer.bound_valid = true;
       clamp_unconstrained();
       // answer.corrected already holds the point estimate, so go through
-      // attach() (which reuses it) rather than BootstrapCorrectedSum (which
+      // finish() (which reuses it) rather than BootstrapCorrectedSum (which
       // would re-run the estimator on the full sample).
       const SumEstimator* sum_estimator = estimator.get();
       std::function<double(const ReplicateSample&)> columnar;
@@ -133,30 +183,32 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
           return sum_estimator->EstimateReplicate(rep).corrected_sum;
         };
       }
-      attach(columnar, [sum_estimator](const IntegratedSample& resampled) {
-        return sum_estimator->EstimateImpact(resampled).corrected_sum;
-      });
-      return answer;
+      return finish(columnar,
+                    [sum_estimator](const IntegratedSample& resampled) {
+                      return sum_estimator->EstimateImpact(resampled)
+                          .corrected_sum;
+                    });
     }
     case AggregateKind::kCount: {
       const bool use_mc =
           answer.advice.choice == EstimatorChoice::kMonteCarlo &&
           options_.estimator != CorrectionEstimator::kBucket;
+      MonteCarloOptions mc_options = options_.advisor.mc_options;
+      if (options_.cancel.can_fire()) mc_options.cancel = options_.cancel;
       const CountEstimator count(
           use_mc ? CountMethod::kMonteCarlo : CountMethod::kChao92,
-          options_.advisor.mc_options);
+          mc_options);
       answer.estimate = count.EstimateCount(sample);
       answer.observed = static_cast<double>(stats.c);
       answer.corrected = answer.estimate.corrected_sum;
       clamp_unconstrained();
-      attach(
+      return finish(
           [&count](const ReplicateSample& rep) {
             return count.EstimateCount(rep).corrected_sum;
           },
           [&count](const IntegratedSample& resampled) {
             return count.EstimateCount(resampled).corrected_sum;
           });
-      return answer;
     }
     case AggregateKind::kAvg: {
       const AvgEstimator avg;
@@ -164,14 +216,13 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
       answer.observed = stats.ValueMean();
       answer.corrected = answer.estimate.corrected_sum;
       clamp_unconstrained();
-      attach(
+      return finish(
           [&avg](const ReplicateSample& rep) {
             return avg.EstimateAvg(rep).corrected_sum;
           },
           [&avg](const IntegratedSample& resampled) {
             return avg.EstimateAvg(resampled).corrected_sum;
           });
-      return answer;
     }
     case AggregateKind::kMin:
     case AggregateKind::kMax: {
@@ -184,7 +235,7 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
       answer.claim_true_extreme = answer.extreme.claim_true_extreme;
       answer.estimate.estimator = "minmax[bucket]";
       answer.estimate.missing_count = answer.extreme.extreme_bucket_missing;
-      attach(
+      return finish(
           [&minmax, want_max](const ReplicateSample& rep) {
             return (want_max ? minmax.EstimateMax(rep)
                              : minmax.EstimateMin(rep))
@@ -195,7 +246,6 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
                              : minmax.EstimateMin(resampled))
                 .observed_extreme;
           });
-      return answer;
     }
   }
   return Status::InvalidArgument("unsupported aggregate");
@@ -281,7 +331,8 @@ std::string QueryCorrector::GroupedCorrectedAnswer::ToString() const {
     out += "[" + (category.empty() ? std::string("(uncategorized)") : category)
            + "] observed " + FormatDouble(answer.observed, 2) +
            " -> corrected " + FormatDouble(answer.corrected, 2) + " (" +
-           answer.estimate.estimator + ")\n";
+           answer.estimate.estimator + ")" +
+           (answer.unconstrained ? " UNCONSTRAINED" : "") + "\n";
   }
   return out;
 }

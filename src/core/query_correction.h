@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "common/cancel.h"
 #include "core/advisor.h"
 #include "core/bootstrap.h"
 #include "core/bound.h"
@@ -52,6 +53,12 @@ struct CorrectedAnswer {
   bool bootstrap_valid = false;
   double bootstrap_confidence = 0.0;
   BootstrapInterval bootstrap;
+  /// True when Options::cancel fired while the interval was being
+  /// resampled: the point estimate above is complete and exact, but the
+  /// interval was abandoned (bootstrap_valid stays false — the degenerate
+  /// interval carries no information). The serving layer reports this as
+  /// the point-only degradation level.
+  bool bootstrap_aborted = false;
 
   /// Multi-line human-readable report.
   std::string ToString() const;
@@ -69,6 +76,18 @@ class QueryCorrector {
     /// — B replicate re-estimations per query.
     bool attach_bootstrap = false;
     BootstrapOptions bootstrap;
+    /// Cooperative cancellation for the whole correction. The token is
+    /// threaded into every long-running engine the query touches: the
+    /// dynamic split scan (per bucket), the MC grid (per point), and the
+    /// bootstrap loop (per replicate). Firing during the POINT estimate
+    /// fails the query with the token's typed status (kCancelled /
+    /// kDeadlineExceeded — there is nothing safe to report). Firing during
+    /// the INTERVAL depends on the reason: deadline expiry keeps the exact
+    /// point estimate and sets CorrectedAnswer::bootstrap_aborted (the
+    /// caller is late but still listening), while explicit cancellation
+    /// fails with kCancelled (nobody wants any answer). The inert default
+    /// token leaves every result bit-identical to an uncancellable run.
+    CancelToken cancel;
   };
 
   QueryCorrector() : QueryCorrector(Options{}) {}

@@ -1,13 +1,15 @@
 #include "db/csv.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/strings.h"
 
 namespace uuq {
 
-Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, std::vector<size_t>* row_lines) {
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> row;
   std::string field;
@@ -16,6 +18,10 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
 
   size_t i = 0;
   const size_t n = text.size();
+  size_t line = 1;       // 1-based line under the cursor
+  size_t row_line = 1;   // line the current row started on
+  size_t quote_line = 1;  // line the open quoted field started on
+  if (row_lines != nullptr) row_lines->clear();
   auto end_field = [&]() {
     row.push_back(std::move(field));
     field.clear();
@@ -23,6 +29,7 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
   auto end_row = [&]() {
     end_field();
     rows.push_back(std::move(row));
+    if (row_lines != nullptr) row_lines->push_back(row_line);
     row.clear();
     field_started = false;
   };
@@ -39,6 +46,7 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
           ++i;
         }
       } else {
+        if (c == '\n') ++line;  // embedded newline: row keeps its start line
         field += c;
         ++i;
       }
@@ -47,10 +55,13 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
     switch (c) {
       case '"':
         if (!field.empty()) {
-          return Status::ParseError("unexpected quote inside unquoted field "
-                                    "at offset " + std::to_string(i));
+          return Status::ParseError(
+              "line " + std::to_string(line) +
+              ": unexpected quote inside unquoted field (offset " +
+              std::to_string(i) + ")");
         }
         in_quotes = true;
+        quote_line = line;
         field_started = true;
         ++i;
         break;
@@ -66,6 +77,8 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
       case '\n':
         end_row();
         ++i;
+        ++line;
+        row_line = line;
         break;
       default:
         field += c;
@@ -75,7 +88,9 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
     }
   }
   if (in_quotes) {
-    return Status::ParseError("unterminated quoted field");
+    return Status::ParseError(
+        "unterminated quoted field starting on line " +
+        std::to_string(quote_line) + " (truncated file?)");
   }
   // Flush a final row without trailing newline.
   if (field_started || !field.empty() || !row.empty()) {
@@ -139,7 +154,8 @@ bool ParsesAsDouble(const std::string& s, double* out) {
 
 Result<Table> ReadTableCsv(const std::string& table_name,
                            std::string_view text) {
-  auto parsed = ParseCsv(text);
+  std::vector<size_t> row_lines;
+  auto parsed = ParseCsv(text, &row_lines);
   if (!parsed.ok()) return parsed.status();
   const auto& rows = parsed.value();
   if (rows.empty()) {
@@ -149,10 +165,10 @@ Result<Table> ReadTableCsv(const std::string& table_name,
   const size_t num_columns = header.size();
   for (size_t r = 1; r < rows.size(); ++r) {
     if (rows[r].size() != num_columns) {
-      return Status::ParseError("row " + std::to_string(r) + " has " +
-                                std::to_string(rows[r].size()) +
-                                " fields, expected " +
-                                std::to_string(num_columns));
+      return Status::ParseError(
+          "line " + std::to_string(row_lines[r]) + ": row has " +
+          std::to_string(rows[r].size()) + " fields, expected " +
+          std::to_string(num_columns) + " (truncated row?)");
     }
   }
 
@@ -221,7 +237,8 @@ Result<Table> ReadTableCsv(const std::string& table_name,
 }
 
 Result<std::vector<Observation>> ReadObservationsCsv(std::string_view text) {
-  auto parsed = ParseCsv(text);
+  std::vector<size_t> row_lines;
+  auto parsed = ParseCsv(text, &row_lines);
   if (!parsed.ok()) return parsed.status();
   const auto& rows = parsed.value();
   if (rows.empty()) {
@@ -242,17 +259,33 @@ Result<std::vector<Observation>> ReadObservationsCsv(std::string_view text) {
   out.reserve(rows.size() - 1);
   for (size_t r = 1; r < rows.size(); ++r) {
     const auto& row = rows[r];
+    const std::string line = std::to_string(row_lines[r]);
     const size_t needed = static_cast<size_t>(
         std::max(source_col, std::max(entity_col, value_col)));
     if (row.size() <= needed) {
-      return Status::ParseError("row " + std::to_string(r) +
-                                " is missing fields");
+      return Status::ParseError(
+          "line " + line + ": row has " + std::to_string(row.size()) +
+          " fields but the value/source/entity columns need at least " +
+          std::to_string(needed + 1) + " (truncated row?)");
     }
     double value = 0.0;
     if (!ParsesAsDouble(row[value_col], &value)) {
-      return Status::ParseError("row " + std::to_string(r) +
-                                ": value '" + row[value_col] +
-                                "' is not numeric");
+      return Status::ParseError("line " + line + ": value '" +
+                                row[value_col] + "' is not numeric");
+    }
+    // inf/nan would poison φK, every f-statistic ratio, and the bucket
+    // index's value sort — reject at the door instead.
+    if (!std::isfinite(value)) {
+      return Status::ParseError("line " + line + ": value '" +
+                                row[value_col] +
+                                "' is not finite; observation values must "
+                                "be finite numbers");
+    }
+    if (row[source_col].empty()) {
+      return Status::ParseError("line " + line + ": empty source id");
+    }
+    if (row[entity_col].empty()) {
+      return Status::ParseError("line " + line + ": empty entity key");
     }
     out.push_back({row[source_col], row[entity_col], value});
   }

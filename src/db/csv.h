@@ -22,7 +22,12 @@ namespace uuq {
 /// Splits CSV text into rows of raw string fields. Handles quoted fields
 /// ("" as the quote escape), embedded separators and newlines, and both \n
 /// and \r\n line endings. A trailing newline does not produce an empty row.
-Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+/// Parse errors name the 1-based line they occur on. When `row_lines` is
+/// non-null it receives, per returned row, the 1-based line the row STARTS
+/// on — quoted fields may span lines, so row index and line number diverge;
+/// the higher-level readers use this map to report errors by source line.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, std::vector<size_t>* row_lines = nullptr);
 
 /// Quotes a field if it contains the separator, quotes or newlines.
 std::string CsvEscapeField(std::string_view field);
@@ -39,7 +44,11 @@ Result<Table> ReadTableCsv(const std::string& table_name,
 
 /// Parses an observation stream CSV with header "source,entity,value"
 /// (column order free, extra columns ignored, case-insensitive names).
-/// `value` must be numeric in every row.
+/// `value` must be FINITE numeric in every row (inf/nan would poison φK and
+/// every estimator downstream); source and entity must be non-empty. Every
+/// rejection names the offending 1-based source line and field content —
+/// malformed rows, truncated trailing rows, and unterminated quotes all
+/// come back as descriptive kParseError, never a crash or silent skip.
 Result<std::vector<Observation>> ReadObservationsCsv(std::string_view text);
 
 /// Serializes an observation stream with the canonical header.

@@ -1,0 +1,285 @@
+#include "serving/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace uuq {
+
+const char* DegradeLevelName(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kNone:
+      return "none";
+    case DegradeLevel::kReducedReplicates:
+      return "reduced-replicates";
+    case DegradeLevel::kPointOnly:
+      return "point-only";
+  }
+  return "unknown";
+}
+
+/// Shared between the submitting thread (Ticket) and the worker that runs
+/// the query. The worker writes `result` exactly once under `mu` and flips
+/// `done`; Wait() blocks on that. The CancelSource is the query's single
+/// cancellation authority — armed with the deadline at admission, fired
+/// early by Ticket::Cancel() or Shutdown().
+struct QueryService::Ticket::State {
+  // Immutable after admission.
+  uint64_t id = 0;
+  std::shared_ptr<const IntegratedSample> sample;
+  std::string sql;
+  bool want_interval = true;
+  std::chrono::steady_clock::time_point admitted{};
+  CancelSource cancel;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  ServedResult result;
+};
+
+ServedResult QueryService::Ticket::Wait() {
+  UUQ_CHECK_MSG(state_ != nullptr, "Wait() on a default-constructed Ticket");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->done_cv.wait(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+void QueryService::Ticket::Cancel() {
+  if (state_ != nullptr) state_->cancel.RequestCancel();
+}
+
+uint64_t QueryService::Ticket::id() const {
+  return state_ != nullptr ? state_->id : 0;
+}
+
+QueryService::QueryService(ServingOptions options)
+    : options_(std::move(options)),
+      faults_(options_.faults != nullptr ? options_.faults
+                                         : FaultInjector::FromEnv()) {
+  const int workers = std::max(1, options_.workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::RegisterSample(
+    const std::string& name, std::shared_ptr<const IntegratedSample> sample) {
+  UUQ_CHECK(sample != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_[name] = std::move(sample);
+}
+
+Result<QueryService::Ticket> QueryService::Submit(
+    const std::string& sample_name, const std::string& sql,
+    std::chrono::nanoseconds deadline_budget, bool want_interval) {
+  auto state = std::make_shared<Ticket::State>();
+  state->sql = sql;
+  state->want_interval = want_interval;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      return Status::FailedPrecondition("QueryService is shut down");
+    }
+    const auto it = samples_.find(sample_name);
+    if (it == samples_.end()) {
+      return Status::NotFound("no sample registered as '" + sample_name + "'");
+    }
+    // Load shedding: pending = queued + dequeued-but-running. Shedding at
+    // admission keeps the tail bounded — a request the service cannot start
+    // within its deadline is better rejected in microseconds than timed out
+    // after the full budget.
+    const int pending = static_cast<int>(queue_.size()) + in_flight_;
+    if (pending >= std::max(1, options_.max_queue)) {
+      ++stats_.shed;
+      return Status::ResourceExhausted(
+          "serving queue full (" + std::to_string(pending) + " pending)");
+    }
+    state->id = next_query_id_++;
+    state->sample = it->second;
+    state->admitted = std::chrono::steady_clock::now();
+    state->cancel.SetDeadlineAfter(deadline_budget.count() > 0
+                                       ? deadline_budget
+                                       : options_.default_deadline);
+    queue_.push_back(state);
+    ++stats_.admitted;
+  }
+  work_available_.notify_one();
+  Ticket ticket;
+  ticket.state_ = std::move(state);
+  return ticket;
+}
+
+ServedResult QueryService::Execute(const std::string& sample_name,
+                                   const std::string& sql,
+                                   std::chrono::nanoseconds deadline_budget,
+                                   bool want_interval) {
+  auto ticket = Submit(sample_name, sql, deadline_budget, want_interval);
+  if (!ticket.ok()) {
+    ServedResult shed;
+    shed.status = ticket.status();
+    return shed;
+  }
+  return ticket.value().Wait();
+}
+
+QueryService::Stats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void QueryService::Shutdown() {
+  std::deque<std::shared_ptr<Ticket::State>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+    orphaned.swap(queue_);
+  }
+  work_available_.notify_all();
+  // Queued-but-never-started queries resolve with kCancelled — after
+  // admission nothing is silently dropped. Queries a worker already picked
+  // up run to completion (their tokens still fire on deadline), which is
+  // what lets join() below guarantee no engine work survives Shutdown.
+  for (const auto& state : orphaned) {
+    state->cancel.RequestCancel();
+    ServedResult result;
+    result.status = Status::Cancelled("service shut down before execution");
+    result.query_id = state->id;
+    Finish(state, std::move(result));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failed;
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void QueryService::Finish(const std::shared_ptr<Ticket::State>& state,
+                          ServedResult result) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::move(result);
+    state->done = true;
+  }
+  state->done_cv.notify_all();
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Ticket::State> state;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      state = queue_.front();
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    // Injected dequeue stall: models a descheduled/overloaded worker. It
+    // burns the query's own budget, so its observable effect is more
+    // degradation / deadline misses — exactly the production failure mode.
+    faults_->MaybeStall(FaultSite::kQueueStall);
+
+    ServedResult result = RunQuery(state);
+    result.query_id = state->id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (result.status.ok()) {
+        ++stats_.completed;
+        if (result.degraded != DegradeLevel::kNone) ++stats_.degraded;
+      } else {
+        ++stats_.failed;
+      }
+    }
+    Finish(state, std::move(result));
+  }
+}
+
+ServedResult QueryService::RunQuery(
+    const std::shared_ptr<Ticket::State>& state) {
+  ServedResult result;
+  const auto started = std::chrono::steady_clock::now();
+  result.queue_ms =
+      std::chrono::duration<double, std::milli>(started - state->admitted)
+          .count();
+  const CancelToken token = state->cancel.token();
+
+  // Injected infrastructure faults, probed before any engine runs. Each
+  // class surfaces as its documented typed status — never an exception,
+  // never a crash.
+  if (faults_->ShouldFire(FaultSite::kSourceLoad)) {
+    result.status = Status::Unavailable(
+        "injected fault: source load failed for query " +
+        std::to_string(state->id));
+    return result;
+  }
+  if (faults_->ShouldFire(FaultSite::kArenaAlloc)) {
+    result.status = Status::ResourceExhausted(
+        "injected fault: arena allocation failed for query " +
+        std::to_string(state->id));
+    return result;
+  }
+
+  // Pick the degradation level from the budget REMAINING now — queueing
+  // already spent part of it. want_interval=false callers sit at the
+  // point-only rung by choice, not degradation.
+  const double remaining = token.SecondsRemaining();
+  DegradeLevel level = DegradeLevel::kPointOnly;
+  bool by_choice = !state->want_interval;
+  if (!by_choice) {
+    const double full_needed =
+        std::chrono::duration<double>(options_.full_interval_budget).count();
+    const double reduced_needed =
+        std::chrono::duration<double>(options_.reduced_interval_budget)
+            .count();
+    if (remaining >= full_needed) {
+      level = DegradeLevel::kNone;
+    } else if (remaining >= reduced_needed) {
+      level = DegradeLevel::kReducedReplicates;
+    }
+  }
+
+  QueryCorrector::Options correction = options_.correction;
+  correction.cancel = token;
+  correction.attach_bootstrap = level != DegradeLevel::kPointOnly;
+  correction.bootstrap.replicates = level == DegradeLevel::kReducedReplicates
+                                        ? options_.reduced_replicates
+                                        : options_.full_replicates;
+  if (!faults_->inert()) {
+    FaultInjector* faults = faults_;
+    correction.bootstrap.replicate_probe = [faults](int64_t) {
+      faults->MaybeStall(FaultSite::kSlowReplicate);
+    };
+  }
+
+  const QueryCorrector corrector(correction);
+  auto answer = corrector.CorrectSql(*state->sample, state->sql);
+  result.run_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
+  if (!answer.ok()) {
+    result.status = answer.status();
+    return result;
+  }
+  result.answer = std::move(answer).value();
+  result.degraded = by_choice ? DegradeLevel::kNone : level;
+  if (result.answer.bootstrap_aborted) {
+    // The deadline expired inside the interval loop: the point estimate is
+    // exact, the interval is gone — the on-the-fly point-only rung.
+    result.degraded = DegradeLevel::kPointOnly;
+  }
+  if (result.answer.bootstrap_valid) {
+    result.replicates_used = correction.bootstrap.replicates;
+  }
+  return result;
+}
+
+}  // namespace uuq

@@ -1,0 +1,191 @@
+// Deadline-aware concurrent query serving over the correction engine.
+//
+// QueryService is the robustness front end ROADMAP item 1 asks for: it
+// wraps the offline path (sql_parser → predicate pushdown → aggregate →
+// QueryCorrector) with the three behaviours a production deployment needs
+// when queries arrive faster than B bootstrap replicates can run:
+//
+//  * ADMISSION CONTROL — a bounded request queue. Submit() on a full queue
+//    sheds the request immediately with kResourceExhausted instead of
+//    letting latency grow without bound; nothing is ever silently dropped
+//    after admission.
+//
+//  * COOPERATIVE CANCELLATION — every admitted query carries a CancelSource
+//    armed with its deadline (common/cancel.h). The token is threaded into
+//    the bootstrap loop (per replicate), the MC grid (per point), and the
+//    dynamic split scan (per bucket), so an expired or cancelled query
+//    aborts within roughly one replicate's latency — and because every
+//    engine still joins its ParallelFor, no pool task ever outlives the
+//    query or touches freed scratch.
+//
+//  * GRACEFUL DEGRADATION — the interval work is the expensive, optional
+//    part, so it steps down a documented ladder chosen from the budget
+//    REMAINING AT DEQUEUE (queueing time already spent):
+//      level 0 (kNone)              remaining ≥ full_interval_budget →
+//                                   full_replicates bootstrap interval;
+//                                   bit-identical to the offline corrector
+//                                   run with the same options
+//      level 1 (kReducedReplicates) remaining ≥ reduced_interval_budget →
+//                                   reduced_replicates interval, marked
+//                                   degraded
+//      level 2 (kPointOnly)         point estimate only, no interval
+//    A deadline that expires INSIDE a level-0/1 interval degrades the
+//    result to point-only on the fly (the point estimate is already exact);
+//    one that expires during the point estimate itself fails the query with
+//    kDeadlineExceeded. Caller cancellation surfaces as kCancelled.
+//
+// Failure semantics are typed, never exceptional: kResourceExhausted (shed
+// or injected allocation failure), kDeadlineExceeded, kCancelled,
+// kUnavailable (injected source-load outage), kNotFound (unknown sample),
+// plus the parser's own error codes. The deterministic FaultInjector
+// (fault_injector.h) drives the chaos tests that pin this contract.
+#ifndef UUQ_SERVING_QUERY_SERVICE_H_
+#define UUQ_SERVING_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "core/query_correction.h"
+#include "serving/fault_injector.h"
+
+namespace uuq {
+
+/// How far down the ladder a served result stepped (header comment).
+enum class DegradeLevel : int {
+  kNone = 0,               ///< full-replicate interval (or none requested)
+  kReducedReplicates = 1,  ///< interval over reduced_replicates
+  kPointOnly = 2,          ///< point estimate only, interval dropped
+};
+
+const char* DegradeLevelName(DegradeLevel level);
+
+struct ServingOptions {
+  /// Serving worker threads (each runs one query at a time; the engines
+  /// underneath parallelize on `correction`'s pools as usual).
+  int workers = 2;
+  /// Admitted-but-not-finished requests beyond which Submit() sheds.
+  int max_queue = 64;
+  /// Deadline budget for requests that do not bring their own.
+  std::chrono::nanoseconds default_deadline = std::chrono::milliseconds(1000);
+  /// Degradation ladder thresholds on the budget remaining at dequeue.
+  std::chrono::nanoseconds full_interval_budget =
+      std::chrono::milliseconds(250);
+  std::chrono::nanoseconds reduced_interval_budget =
+      std::chrono::milliseconds(50);
+  int full_replicates = 48;
+  int reduced_replicates = 12;
+  /// Base corrector configuration. Per query the service overrides only:
+  /// `cancel` (the query's token), `attach_bootstrap` and
+  /// `bootstrap.replicates` (the ladder), and `bootstrap.replicate_probe`
+  /// (fault injection) — everything else, including every seed, is shared
+  /// with the offline path, which is what makes level-0 results
+  /// bit-identical to it.
+  QueryCorrector::Options correction;
+  /// nullptr → the process-wide FaultInjector::FromEnv() (inert unless the
+  /// UUQ_FAULT_* env knobs are set).
+  FaultInjector* faults = nullptr;
+};
+
+struct ServedResult {
+  Status status;            ///< kOk when `answer` is valid
+  CorrectedAnswer answer;   ///< meaningful only when status.ok()
+  DegradeLevel degraded = DegradeLevel::kNone;
+  int replicates_used = 0;  ///< bootstrap replicates behind the interval
+  double queue_ms = 0.0;    ///< admission → dequeue
+  double run_ms = 0.0;      ///< dequeue → completion
+  uint64_t query_id = 0;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServingOptions options);
+  ~QueryService();  // Shutdown()
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers (or replaces) a named sample; queries reference it by name.
+  void RegisterSample(const std::string& name,
+                      std::shared_ptr<const IntegratedSample> sample);
+
+  /// Handle to one admitted query.
+  class Ticket {
+   public:
+    Ticket() = default;
+    /// Blocks until the query finishes (idempotent).
+    ServedResult Wait();
+    /// Requests cooperative cancellation (kCancelled unless already done).
+    void Cancel();
+    uint64_t id() const;
+
+   private:
+    friend class QueryService;
+    struct State;
+    std::shared_ptr<State> state_;
+  };
+
+  /// Admission: sheds with kResourceExhausted when the queue is full,
+  /// kNotFound for an unregistered sample, kFailedPrecondition after
+  /// Shutdown. `deadline_budget` <= 0 uses options.default_deadline; the
+  /// deadline clock starts NOW (queueing time counts against it).
+  /// `want_interval` false pins the query to the point-only level without
+  /// marking it degraded.
+  Result<Ticket> Submit(const std::string& sample_name, const std::string& sql,
+                        std::chrono::nanoseconds deadline_budget =
+                            std::chrono::nanoseconds(0),
+                        bool want_interval = true);
+
+  /// Submit + Wait. Admission failures come back in ServedResult::status.
+  ServedResult Execute(const std::string& sample_name, const std::string& sql,
+                       std::chrono::nanoseconds deadline_budget =
+                           std::chrono::nanoseconds(0),
+                       bool want_interval = true);
+
+  /// Monotonic counters since construction.
+  struct Stats {
+    int64_t admitted = 0;
+    int64_t shed = 0;        ///< rejected at Submit (queue full)
+    int64_t completed = 0;   ///< finished with kOk
+    int64_t degraded = 0;    ///< finished kOk below level 0
+    int64_t failed = 0;      ///< finished with any non-OK status
+  };
+  Stats stats() const;
+
+  /// Drains: pending queries finish with kCancelled, workers join.
+  /// Idempotent; Submit afterwards returns kFailedPrecondition.
+  void Shutdown();
+
+ private:
+  void WorkerLoop();
+  ServedResult RunQuery(const std::shared_ptr<Ticket::State>& state);
+  static void Finish(const std::shared_ptr<Ticket::State>& state,
+                     ServedResult result);
+
+  const ServingOptions options_;
+  FaultInjector* faults_;  // never null after construction
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<Ticket::State>> queue_;
+  std::map<std::string, std::shared_ptr<const IntegratedSample>> samples_;
+  bool shutting_down_ = false;
+  int in_flight_ = 0;  // dequeued but not finished (admission accounting)
+  uint64_t next_query_id_ = 1;
+  Stats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace uuq
+
+#endif  // UUQ_SERVING_QUERY_SERVICE_H_

@@ -1,0 +1,85 @@
+#include "common/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace uuq {
+namespace {
+
+TEST(CancelToken, DefaultTokenNeverFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.Fired());
+  EXPECT_EQ(token.reason(), StatusCode::kOk);
+  EXPECT_TRUE(token.ToStatus("op").ok());
+  EXPECT_TRUE(std::isinf(token.SecondsRemaining()));
+}
+
+TEST(CancelToken, RequestCancelFiresAllTokens) {
+  CancelSource source;
+  CancelToken a = source.token();
+  CancelToken b = a;  // copies observe the same state
+  EXPECT_FALSE(a.Fired());
+  source.RequestCancel();
+  EXPECT_TRUE(a.Fired());
+  EXPECT_TRUE(b.Fired());
+  EXPECT_EQ(a.reason(), StatusCode::kCancelled);
+  Status s = b.ToStatus("query q1");
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_NE(s.message().find("query q1"), std::string::npos);
+}
+
+TEST(CancelToken, ExpiredDeadlineLatchesDeadlineExceeded) {
+  CancelSource source;
+  source.SetDeadlineAfter(std::chrono::nanoseconds(0));
+  CancelToken token = source.token();
+  EXPECT_TRUE(token.Fired());
+  EXPECT_EQ(token.reason(), StatusCode::kDeadlineExceeded);
+  // Latched: cancelling afterwards does not rewrite the reason.
+  source.RequestCancel();
+  EXPECT_EQ(token.reason(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(token.ToStatus("op").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(token.SecondsRemaining(), 0.0);
+}
+
+TEST(CancelToken, CancelBeatsUnexpiredDeadline) {
+  CancelSource source;
+  source.SetDeadlineAfter(std::chrono::hours(24));
+  source.RequestCancel();
+  EXPECT_TRUE(source.token().Fired());
+  EXPECT_EQ(source.token().reason(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, FutureDeadlineDoesNotFireAndReportsBudget) {
+  CancelSource source;
+  source.SetDeadlineAfter(std::chrono::hours(1));
+  CancelToken token = source.token();
+  EXPECT_FALSE(token.Fired());
+  const double remaining = token.SecondsRemaining();
+  EXPECT_GT(remaining, 3000.0);
+  EXPECT_LE(remaining, 3600.0);
+}
+
+TEST(CancelToken, ConcurrentPollersAgreeOnReason) {
+  CancelSource source;
+  CancelToken token = source.token();
+  std::vector<std::thread> pollers;
+  std::atomic<int> fired{0};
+  for (int t = 0; t < 4; ++t) {
+    pollers.emplace_back([token, &fired] {
+      while (!token.Fired()) std::this_thread::yield();
+      fired.fetch_add(1);
+    });
+  }
+  source.RequestCancel();
+  for (auto& p : pollers) p.join();
+  EXPECT_EQ(fired.load(), 4);
+  EXPECT_EQ(token.reason(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace uuq

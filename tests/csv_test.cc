@@ -156,6 +156,88 @@ TEST(ReadObservationsCsv, NonNumericValueRejected) {
       ReadObservationsCsv("source,entity,value\nw1,x,many\n").ok());
 }
 
+// --- Ingest hardening: malformed input comes back as descriptive
+// kParseError naming the 1-based source line, never a crash. ------------
+
+TEST(ParseCsv, ReportsRowStartLines) {
+  std::vector<size_t> lines;
+  // Row 1 starts line 1; row 2's quoted field spans lines 2-3, so row 3
+  // starts on line 4.
+  auto rows = ParseCsv("a,b\n\"two\nlines\",x\n1,2\n", &lines);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], 1u);
+  EXPECT_EQ(lines[1], 2u);
+  EXPECT_EQ(lines[2], 4u);
+}
+
+TEST(ParseCsv, UnterminatedQuoteNamesItsStartLine) {
+  const Status status = ParseCsv("a\nok\n\"trunca").status();
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("truncated"), std::string::npos);
+}
+
+TEST(ParseCsv, StrayQuoteNamesItsLine) {
+  const Status status = ParseCsv("a,b\n1,2\nbad\"field\n").status();
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.message();
+}
+
+TEST(ReadTableCsv, RaggedRowErrorNamesLine) {
+  const Status status = ReadTableCsv("t", "a,b\n1,2\n3\n4,5\n").status();
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.message();
+}
+
+TEST(ReadObservationsCsv, TruncatedTrailingRowNamesLine) {
+  const Status status =
+      ReadObservationsCsv("source,entity,value\nw1,x,1\nw2,y").status();
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.message();
+}
+
+TEST(ReadObservationsCsv, NonNumericValueNamesLineAndField) {
+  const Status status =
+      ReadObservationsCsv("source,entity,value\nw1,x,1\nw2,y,many\n")
+          .status();
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("'many'"), std::string::npos);
+}
+
+TEST(ReadObservationsCsv, NonFiniteValuesRejected) {
+  for (const char* bad : {"inf", "-inf", "nan", "1e999"}) {
+    const Status status =
+        ReadObservationsCsv(std::string("source,entity,value\nw1,x,") + bad +
+                            "\n")
+            .status();
+    EXPECT_EQ(status.code(), StatusCode::kParseError) << bad;
+    EXPECT_NE(status.message().find("line 2"), std::string::npos) << bad;
+  }
+  // Finite extremes still load.
+  EXPECT_TRUE(
+      ReadObservationsCsv("source,entity,value\nw1,x,1e300\n").ok());
+}
+
+TEST(ReadObservationsCsv, EmptyKeysRejectedWithLine) {
+  const Status no_source =
+      ReadObservationsCsv("source,entity,value\n,x,1\n").status();
+  EXPECT_EQ(no_source.code(), StatusCode::kParseError);
+  EXPECT_NE(no_source.message().find("line 2"), std::string::npos);
+  EXPECT_NE(no_source.message().find("source"), std::string::npos);
+
+  const Status no_entity =
+      ReadObservationsCsv("source,entity,value\nw1,,1\n").status();
+  EXPECT_EQ(no_entity.code(), StatusCode::kParseError);
+  EXPECT_NE(no_entity.message().find("entity"), std::string::npos);
+}
+
 TEST(WriteObservationsCsv, RoundTrips) {
   const std::vector<Observation> stream{{"w1", "IBM, Inc", 1000.0, ""},
                                         {"w2", "Acme", 5.5, ""}};

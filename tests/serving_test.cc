@@ -1,0 +1,446 @@
+// Integration tests for the serving layer: admission control, cooperative
+// cancellation at every engine granularity, the degradation ladder, the
+// offline bit-identity contract, and the 100-schedule chaos sweep.
+#include "serving/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bootstrap.h"
+#include "core/bucket.h"
+#include "core/naive.h"
+
+namespace uuq {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+// Mirrors query_correction_test's healthy fixture: 8 even sources over 30
+// entities, enough structure for every estimator and a meaningful interval.
+std::shared_ptr<const IntegratedSample> HealthySample() {
+  auto sample = std::make_shared<IntegratedSample>();
+  for (int e = 0; e < 30; ++e) {
+    const int copies = 1 + (e % 4);
+    for (int k = 0; k < copies; ++k) {
+      sample->Add("w" + std::to_string((e + k) % 8), "e" + std::to_string(e),
+                  10.0 * (e + 1));
+    }
+  }
+  return sample;
+}
+
+constexpr char kSumSql[] = "SELECT SUM(value) FROM integrated";
+
+// Process-wide inert injector: tests with strict outcome assertions pin it
+// explicitly so the CI chaos entry's UUQ_FAULT_* env knobs (which arm
+// FaultInjector::FromEnv, the faults=nullptr default) cannot perturb them.
+// Tests OF the env hook use EnvDrivenFaults... below.
+FaultInjector* InertFaults() {
+  static FaultInjector inert;
+  return &inert;
+}
+
+ServingOptions FastOptions() {
+  ServingOptions options;
+  options.workers = 2;
+  options.full_replicates = 24;
+  options.reduced_replicates = 6;
+  options.faults = InertFaults();
+  // The fixture corrects in well under a millisecond, so generous ladder
+  // thresholds keep un-faulted tests deterministically at level 0.
+  options.default_deadline = std::chrono::seconds(30);
+  options.full_interval_budget = milliseconds(1);
+  options.reduced_interval_budget = std::chrono::microseconds(100);
+  return options;
+}
+
+// --- Engine-granularity cancellation (deterministic, no timing) ----------
+
+CancelToken FiredToken() {
+  CancelSource source;
+  source.RequestCancel();
+  return source.token();
+}
+
+TEST(EngineCancellation, BootstrapAbortsToDegenerateInterval) {
+  const auto sample = HealthySample();
+  const NaiveEstimator naive;
+  BootstrapOptions options;
+  options.replicates = 50;
+  options.cancel = FiredToken();
+  const BootstrapInterval interval =
+      BootstrapCorrectedSum(*sample, naive, options);
+  EXPECT_TRUE(interval.aborted);
+  EXPECT_EQ(interval.finite_replicates, 0);
+  EXPECT_EQ(interval.lo, interval.point);
+  EXPECT_EQ(interval.hi, interval.point);
+  EXPECT_TRUE(interval.replicates.empty());
+}
+
+TEST(EngineCancellation, BootstrapWithInertTokenIsBitIdentical) {
+  const auto sample = HealthySample();
+  const NaiveEstimator naive;
+  BootstrapOptions plain;
+  plain.replicates = 40;
+  BootstrapOptions with_token = plain;
+  CancelSource source;  // live source, never fired
+  source.SetDeadlineAfter(std::chrono::hours(1));
+  with_token.cancel = source.token();
+  const BootstrapInterval a = BootstrapCorrectedSum(*sample, naive, plain);
+  const BootstrapInterval b =
+      BootstrapCorrectedSum(*sample, naive, with_token);
+  EXPECT_FALSE(b.aborted);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+  EXPECT_EQ(a.median, b.median);
+  ASSERT_EQ(a.replicates.size(), b.replicates.size());
+  for (size_t i = 0; i < a.replicates.size(); ++i) {
+    EXPECT_EQ(a.replicates[i], b.replicates[i]);
+  }
+}
+
+TEST(EngineCancellation, DynamicPartitionerFinalizesUnsplit) {
+  const auto sample = HealthySample();
+  const SortedEntityIndex index(sample->entities());
+  const NaiveEstimator naive;
+  const DynamicPartitioner cancelled(/*pool=*/nullptr,
+                                     SplitScanMode::kBatched, FiredToken());
+  const std::vector<size_t> bounds = cancelled.Partition(index, naive);
+  // Fired before the first pop: the root bucket is finalized whole — a
+  // valid single-bucket partition.
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), index.size());
+}
+
+TEST(EngineCancellation, CorrectorFailsTypedOnPreCancelledToken) {
+  QueryCorrector::Options options;
+  options.cancel = FiredToken();
+  const QueryCorrector corrector(options);
+  auto answer = corrector.CorrectSql(*HealthySample(), kSumSql);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kCancelled);
+}
+
+TEST(EngineCancellation, CorrectorFailsTypedOnExpiredDeadline) {
+  CancelSource source;
+  source.SetDeadlineAfter(nanoseconds(0));
+  QueryCorrector::Options options;
+  options.cancel = source.token();
+  const QueryCorrector corrector(options);
+  auto answer = corrector.CorrectSql(*HealthySample(), kSumSql);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// --- Serving behaviour ----------------------------------------------------
+
+TEST(QueryService, ServesCorrectedAnswer) {
+  QueryService service(FastOptions());
+  service.RegisterSample("healthy", HealthySample());
+  const ServedResult result = service.Execute("healthy", kSumSql);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GT(result.answer.corrected, 0.0);
+  EXPECT_EQ(result.degraded, DegradeLevel::kNone);
+  EXPECT_TRUE(result.answer.bootstrap_valid);
+  EXPECT_GT(result.replicates_used, 0);
+  EXPECT_GE(result.queue_ms, 0.0);
+  EXPECT_GT(result.run_ms, 0.0);
+  const QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.admitted, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(QueryService, UnknownSampleIsNotFound) {
+  QueryService service(FastOptions());
+  const ServedResult result = service.Execute("nope", kSumSql);
+  EXPECT_EQ(result.status.code(), StatusCode::kNotFound);
+}
+
+TEST(QueryService, ParseErrorsSurfaceTyped) {
+  QueryService service(FastOptions());
+  service.RegisterSample("healthy", HealthySample());
+  const ServedResult result = service.Execute("healthy", "SELECT gibberish");
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_TRUE(result.status.code() == StatusCode::kParseError ||
+              result.status.code() == StatusCode::kInvalidArgument)
+      << result.status.ToString();
+}
+
+// Acceptance criterion 2: a non-degraded served result is BIT-IDENTICAL to
+// the offline QueryCorrector run with the same configuration.
+TEST(QueryService, NonDegradedResultMatchesOfflinePathBitForBit) {
+  const auto sample = HealthySample();
+  const ServingOptions options = FastOptions();
+
+  QueryService service(options);
+  service.RegisterSample("healthy", sample);
+  const ServedResult served = service.Execute("healthy", kSumSql);
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+  ASSERT_EQ(served.degraded, DegradeLevel::kNone);
+
+  QueryCorrector::Options offline = options.correction;
+  offline.attach_bootstrap = true;
+  offline.bootstrap.replicates = options.full_replicates;
+  auto reference = QueryCorrector(offline).CorrectSql(*sample, kSumSql);
+  ASSERT_TRUE(reference.ok());
+
+  const CorrectedAnswer& a = served.answer;
+  const CorrectedAnswer& b = reference.value();
+  EXPECT_EQ(a.observed, b.observed);
+  EXPECT_EQ(a.corrected, b.corrected);
+  EXPECT_EQ(a.estimate.n_hat, b.estimate.n_hat);
+  EXPECT_EQ(a.estimate.delta, b.estimate.delta);
+  ASSERT_TRUE(a.bootstrap_valid);
+  ASSERT_TRUE(b.bootstrap_valid);
+  EXPECT_EQ(a.bootstrap.lo, b.bootstrap.lo);
+  EXPECT_EQ(a.bootstrap.hi, b.bootstrap.hi);
+  EXPECT_EQ(a.bootstrap.median, b.bootstrap.median);
+  ASSERT_EQ(a.bootstrap.replicates.size(), b.bootstrap.replicates.size());
+  for (size_t i = 0; i < a.bootstrap.replicates.size(); ++i) {
+    EXPECT_EQ(a.bootstrap.replicates[i], b.bootstrap.replicates[i]);
+  }
+}
+
+// Acceptance criterion 1: an already-expired deadline comes back as
+// kDeadlineExceeded and the service keeps working afterwards (the pool was
+// drained, not poisoned).
+TEST(QueryService, ExpiredDeadlineIsDeadlineExceededAndServiceSurvives) {
+  QueryService service(FastOptions());
+  service.RegisterSample("healthy", HealthySample());
+  const ServedResult expired =
+      service.Execute("healthy", kSumSql, nanoseconds(1));
+  EXPECT_EQ(expired.status.code(), StatusCode::kDeadlineExceeded)
+      << expired.status.ToString();
+  // The same service immediately serves a healthy query: no leaked tasks,
+  // no wedged workers.
+  const ServedResult next = service.Execute("healthy", kSumSql);
+  EXPECT_TRUE(next.status.ok()) << next.status.ToString();
+  EXPECT_EQ(service.stats().failed, 1);
+}
+
+TEST(QueryService, DeadlineExpiringMidIntervalDegradesToPointOnly) {
+  // slow_replicate at p=1 stretches the interval to ~24 * 5ms >> the 60ms
+  // deadline, while the point estimate (sub-millisecond) finishes well
+  // inside it: the query must come back OK, point-only, with the interval
+  // dropped. Wide margins (120x) keep this robust on slow machines.
+  FaultInjector faults(1, [] {
+    std::array<FaultSpec, kNumFaultSites> specs{};
+    specs[static_cast<size_t>(FaultSite::kSlowReplicate)] = {
+        1.0, std::chrono::milliseconds(5)};
+    return specs;
+  }());
+  ServingOptions options = FastOptions();
+  options.faults = &faults;
+  options.full_interval_budget = std::chrono::microseconds(1);
+  QueryService service(options);
+  service.RegisterSample("healthy", HealthySample());
+  const ServedResult result =
+      service.Execute("healthy", kSumSql, milliseconds(60));
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.degraded, DegradeLevel::kPointOnly);
+  EXPECT_TRUE(result.answer.bootstrap_aborted);
+  EXPECT_FALSE(result.answer.bootstrap_valid);
+  EXPECT_GT(result.answer.corrected, 0.0);
+}
+
+TEST(QueryService, ShortBudgetAtDequeueStepsDownTheLadder) {
+  ServingOptions options = FastOptions();
+  // Budgets no real query can meet at level 0: full needs an hour.
+  options.full_interval_budget = std::chrono::hours(1);
+  options.reduced_interval_budget = std::chrono::microseconds(1);
+  QueryService service(options);
+  service.RegisterSample("healthy", HealthySample());
+  const ServedResult result =
+      service.Execute("healthy", kSumSql, std::chrono::seconds(10));
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.degraded, DegradeLevel::kReducedReplicates);
+  EXPECT_TRUE(result.answer.bootstrap_valid);
+  EXPECT_EQ(service.stats().degraded, 1);
+}
+
+TEST(QueryService, WantIntervalFalseIsPointOnlyWithoutDegradation) {
+  QueryService service(FastOptions());
+  service.RegisterSample("healthy", HealthySample());
+  const ServedResult result = service.Execute(
+      "healthy", kSumSql, nanoseconds(0), /*want_interval=*/false);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.degraded, DegradeLevel::kNone);
+  EXPECT_FALSE(result.answer.bootstrap_valid);
+  EXPECT_EQ(result.replicates_used, 0);
+  EXPECT_EQ(service.stats().degraded, 0);
+}
+
+TEST(QueryService, FullQueueShedsWithResourceExhausted) {
+  // One worker stalled on a slow query, queue capacity 1: the second
+  // submission is pending, the third must shed.
+  FaultInjector faults(2, [] {
+    std::array<FaultSpec, kNumFaultSites> specs{};
+    specs[static_cast<size_t>(FaultSite::kSlowReplicate)] = {
+        1.0, std::chrono::milliseconds(2)};
+    return specs;
+  }());
+  ServingOptions options = FastOptions();
+  options.workers = 1;
+  options.max_queue = 1;
+  options.faults = &faults;
+  options.full_interval_budget = std::chrono::microseconds(1);
+  QueryService service(options);
+  service.RegisterSample("healthy", HealthySample());
+
+  auto first = service.Submit("healthy", kSumSql, std::chrono::seconds(30));
+  ASSERT_TRUE(first.ok());
+  auto second = service.Submit("healthy", kSumSql, std::chrono::seconds(30));
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.stats().shed, 1);
+
+  const ServedResult result = first.value().Wait();
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+}
+
+TEST(QueryService, CancelledTicketComesBackCancelled) {
+  FaultInjector faults(3, [] {
+    std::array<FaultSpec, kNumFaultSites> specs{};
+    specs[static_cast<size_t>(FaultSite::kSlowReplicate)] = {
+        1.0, std::chrono::milliseconds(2)};
+    return specs;
+  }());
+  ServingOptions options = FastOptions();
+  options.faults = &faults;
+  options.full_interval_budget = std::chrono::microseconds(1);
+  QueryService service(options);
+  service.RegisterSample("healthy", HealthySample());
+  auto ticket = service.Submit("healthy", kSumSql, std::chrono::seconds(30));
+  ASSERT_TRUE(ticket.ok());
+  ticket.value().Cancel();
+  const ServedResult result = ticket.value().Wait();
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled)
+      << result.status.ToString();
+}
+
+TEST(QueryService, ShutdownResolvesQueuedQueriesAsCancelled) {
+  FaultInjector faults(4, [] {
+    std::array<FaultSpec, kNumFaultSites> specs{};
+    specs[static_cast<size_t>(FaultSite::kSlowReplicate)] = {
+        1.0, std::chrono::milliseconds(2)};
+    return specs;
+  }());
+  ServingOptions options = FastOptions();
+  options.workers = 1;
+  options.max_queue = 8;
+  options.faults = &faults;
+  options.full_interval_budget = std::chrono::microseconds(1);
+  auto service = std::make_unique<QueryService>(options);
+  service->RegisterSample("healthy", HealthySample());
+  std::vector<QueryService::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    auto ticket =
+        service->Submit("healthy", kSumSql, std::chrono::seconds(30));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  service->Shutdown();
+  int cancelled = 0;
+  for (auto& ticket : tickets) {
+    const ServedResult result = ticket.Wait();  // must not hang
+    if (result.status.code() == StatusCode::kCancelled) ++cancelled;
+  }
+  // The worker may have finished some before Shutdown; everything still
+  // queued must resolve kCancelled, and nothing may be left pending.
+  EXPECT_GE(cancelled, 1);
+  const ServedResult after = service->Execute("healthy", kSumSql);
+  EXPECT_EQ(after.status.code(), StatusCode::kFailedPrecondition);
+}
+
+// The CI chaos entry arms faults process-wide via UUQ_FAULT_SEED /
+// UUQ_FAULT_SPEC; a faults=nullptr service picks them up through
+// FaultInjector::FromEnv(). Whatever that schedule does — inert locally,
+// aggressive in the chaos job — every outcome must be kOk or a typed
+// failure.
+TEST(QueryService, EnvDrivenFaultsOnlyEverYieldTypedStatuses) {
+  ServingOptions options = FastOptions();
+  options.faults = nullptr;  // → FromEnv()
+  QueryService service(options);
+  service.RegisterSample("healthy", HealthySample());
+  for (int q = 0; q < 16; ++q) {
+    const ServedResult result =
+        service.Execute("healthy", kSumSql, std::chrono::seconds(30));
+    switch (result.status.code()) {
+      case StatusCode::kOk:
+      case StatusCode::kUnavailable:
+      case StatusCode::kResourceExhausted:
+      case StatusCode::kDeadlineExceeded:
+        break;
+      default:
+        ADD_FAILURE() << "untyped status: " << result.status.ToString();
+    }
+  }
+}
+
+// Acceptance criterion 3: across 100 seeded fault schedules every injected
+// fault class surfaces as its typed Status — never a crash, never an
+// unexpected code, and level-0 successes still match the offline answer.
+TEST(QueryService, ChaosSweep100SeedsOnlyTypedFailures) {
+  const auto sample = HealthySample();
+  const ServingOptions base = FastOptions();
+  QueryCorrector::Options offline = base.correction;
+  offline.attach_bootstrap = true;
+  offline.bootstrap.replicates = base.full_replicates;
+  const auto reference = QueryCorrector(offline).CorrectSql(*sample, kSumSql);
+  ASSERT_TRUE(reference.ok());
+
+  int failures = 0;
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    auto faults = FaultInjector::Parse(
+        seed,
+        "source_load=0.25,arena_alloc=0.25,slow_replicate=0.2:100us,"
+        "queue_stall=0.2:100us");
+    ASSERT_TRUE(faults.ok());
+    ServingOptions options = base;
+    options.workers = 2;
+    options.faults = &faults.value();
+    QueryService service(options);
+    service.RegisterSample("healthy", sample);
+    std::vector<QueryService::Ticket> tickets;
+    for (int q = 0; q < 4; ++q) {
+      auto ticket =
+          service.Submit("healthy", kSumSql, std::chrono::seconds(30));
+      ASSERT_TRUE(ticket.ok());
+      tickets.push_back(ticket.value());
+    }
+    for (auto& ticket : tickets) {
+      const ServedResult result = ticket.Wait();
+      switch (result.status.code()) {
+        case StatusCode::kOk:
+          if (result.degraded == DegradeLevel::kNone) {
+            // Faults may slow a query but can never corrupt it.
+            EXPECT_EQ(result.answer.corrected, reference.value().corrected)
+                << "seed " << seed;
+          }
+          break;
+        case StatusCode::kUnavailable:       // injected source_load
+        case StatusCode::kResourceExhausted: // injected arena_alloc
+        case StatusCode::kDeadlineExceeded:  // stalls ate the budget
+          ++failures;
+          break;
+        default:
+          ADD_FAILURE() << "seed " << seed << ": unexpected status "
+                        << result.status.ToString();
+      }
+    }
+  }
+  // With p=0.25 per failure site per query, injected failures are certain
+  // across 400 queries.
+  EXPECT_GT(failures, 0);
+}
+
+}  // namespace
+}  // namespace uuq

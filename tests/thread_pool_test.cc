@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace uuq {
@@ -153,6 +154,91 @@ TEST(ThreadPool, ManySmallLoopsBackToBack) {
     pool.ParallelFor(0, 5, [&](int64_t) { count.fetch_add(1); });
     ASSERT_EQ(count.load(), 5);
   }
+}
+
+// --- Serving-motivated stress: many submitter threads sharing one pool
+// (the QueryService worker pattern) and exception propagation when loops
+// nest and inline on pool workers. ---------------------------------------
+
+TEST(ThreadPoolStress, ConcurrentSubmittersShareOnePool) {
+  ThreadPool pool(4);
+  static constexpr int kSubmitters = 8;
+  static constexpr int kRounds = 50;
+  static constexpr int kItems = 64;
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &total] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<int> local{0};
+        pool.ParallelFor(0, kItems, [&](int64_t) { local.fetch_add(1); });
+        ASSERT_EQ(local.load(), kItems);
+        total.fetch_add(local.load());
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(),
+            static_cast<int64_t>(kSubmitters) * kRounds * kItems);
+}
+
+TEST(ThreadPoolStress, ExceptionInNestedInlinedLoopReachesOuterCaller) {
+  // An inner ParallelFor issued from a pool worker runs inline; its
+  // exception must cross both loop boundaries to the original caller and
+  // leave the pool reusable.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    bool caught = false;
+    try {
+      pool.ParallelFor(0, 8, [&](int64_t outer) {
+        pool.ParallelFor(0, 8, [&](int64_t inner) {
+          if (outer == 5 && inner == 3) {
+            throw std::runtime_error("nested boom");
+          }
+        });
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "nested boom");
+    }
+    EXPECT_TRUE(caught);
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 32, [&](int64_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 32);
+  }
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmittersSurviveExceptions) {
+  // Half the submitters throw every round; the other half must keep
+  // completing correctly — one caller's failure can never poison another's
+  // loop or wedge a worker.
+  ThreadPool pool(4);
+  constexpr int kRounds = 30;
+  std::atomic<int64_t> clean_total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 6; ++s) {
+    submitters.emplace_back([&pool, &clean_total, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        if (s % 2 == 0) {
+          std::atomic<int> local{0};
+          pool.ParallelFor(0, 16, [&](int64_t) { local.fetch_add(1); });
+          ASSERT_EQ(local.load(), 16);
+          clean_total.fetch_add(1);
+        } else {
+          EXPECT_THROW(pool.ParallelFor(0, 16,
+                                        [](int64_t i) {
+                                          if (i == 7) {
+                                            throw std::logic_error("x");
+                                          }
+                                        }),
+                       std::logic_error);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(clean_total.load(), 3 * kRounds);
 }
 
 }  // namespace

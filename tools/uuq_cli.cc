@@ -15,9 +15,20 @@
 //   --bootstrap[=N]                         percentile CI over N replicates
 //   --fusion=average|first|last|majority    value-fusion policy
 //   --demo                                  run on a built-in demo stream
+//
+// Server mode:
+//   uuq_cli --serve <observations.csv>|--demo [--workers=N] [--queue=N]
+//           [--deadline-ms=N]
+// reads one SQL query per stdin line and serves it through the
+// deadline-aware QueryService (admission control, cooperative cancellation,
+// graceful degradation — serving/query_service.h). Failures print as typed
+// statuses; EOF or "quit" shuts down and prints the serving counters. The
+// UUQ_FAULT_SEED / UUQ_FAULT_SPEC env knobs inject deterministic faults.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -26,6 +37,7 @@
 #include "core/query_correction.h"
 #include "db/csv.h"
 #include "db/sql_parser.h"
+#include "serving/query_service.h"
 #include "simulation/scenarios.h"
 
 namespace {
@@ -40,13 +52,111 @@ void PrintUsage() {
       stderr,
       "usage: uuq_cli <observations.csv>|--demo \"<SQL>\" "
       "[--estimator=auto|bucket|mc|naive|freq] [--bootstrap[=N]] "
-      "[--fusion=average|first|last|majority]\n");
+      "[--fusion=average|first|last|majority]\n"
+      "       uuq_cli --serve <observations.csv>|--demo [--workers=N] "
+      "[--queue=N] [--deadline-ms=N]\n");
+}
+
+uuq::Result<std::vector<uuq::Observation>> LoadStream(
+    const std::string& input) {
+  using namespace uuq;
+  if (input == "--demo") {
+    const Scenario scenario = scenarios::UsTechEmployment();
+    std::printf("demo stream: %zu crowd answers about US tech companies "
+                "(hidden ground-truth SUM = %.0f)\n\n",
+                scenario.stream.size(), scenario.ground_truth_sum);
+    return scenario.stream;
+  }
+  std::ifstream file(input);
+  if (!file) return Status::NotFound("cannot open '" + input + "'");
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ReadObservationsCsv(buffer.str());
+}
+
+// --serve: one SQL query per stdin line through the QueryService.
+int RunServeMode(int argc, char** argv) {
+  using namespace uuq;
+  if (argc < 3) {
+    PrintUsage();
+    return 1;
+  }
+  ServingOptions options;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workers=", 0) == 0) {
+      options.workers = std::atoi(arg.c_str() + 10);
+      if (options.workers <= 0) return Fail("bad --workers count");
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      options.max_queue = std::atoi(arg.c_str() + 8);
+      if (options.max_queue <= 0) return Fail("bad --queue size");
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      const int ms = std::atoi(arg.c_str() + 14);
+      if (ms <= 0) return Fail("bad --deadline-ms value");
+      options.default_deadline = std::chrono::milliseconds(ms);
+    } else {
+      PrintUsage();
+      return Fail("unknown --serve option '" + arg + "'");
+    }
+  }
+
+  auto stream = LoadStream(argv[2]);
+  if (!stream.ok()) return Fail(stream.status().ToString());
+  auto sample = std::make_shared<IntegratedSample>();
+  for (const Observation& obs : stream.value()) sample->Add(obs);
+  std::printf("serving %lld observations -> %lld entities as sample "
+              "'main' (%d workers, queue %d, default deadline %lld ms)\n",
+              static_cast<long long>(sample->n()),
+              static_cast<long long>(sample->c()), options.workers,
+              options.max_queue,
+              static_cast<long long>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(
+                      options.default_deadline)
+                      .count()));
+
+  QueryService service(options);
+  service.RegisterSample("main", sample);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+    const ServedResult result = service.Execute("main", line);
+    if (!result.status.ok()) {
+      std::printf("[query %llu] %s\n",
+                  static_cast<unsigned long long>(result.query_id),
+                  result.status.ToString().c_str());
+      continue;
+    }
+    std::string degraded_note;
+    if (result.degraded != DegradeLevel::kNone) {
+      degraded_note =
+          std::string("DEGRADED to ") + DegradeLevelName(result.degraded) +
+          "\n";
+    }
+    std::printf("[query %llu] %s%s  (queue %.1f ms, run %.1f ms)\n",
+                static_cast<unsigned long long>(result.query_id),
+                degraded_note.c_str(), result.answer.ToString().c_str(),
+                result.queue_ms, result.run_ms);
+  }
+  service.Shutdown();
+  const QueryService::Stats stats = service.stats();
+  std::printf("served: %lld admitted, %lld completed, %lld degraded, "
+              "%lld failed, %lld shed\n",
+              static_cast<long long>(stats.admitted),
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.degraded),
+              static_cast<long long>(stats.failed),
+              static_cast<long long>(stats.shed));
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace uuq;
+  if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
+    return RunServeMode(argc, argv);
+  }
   if (argc < 3) {
     PrintUsage();
     return 1;
@@ -86,22 +196,9 @@ int main(int argc, char** argv) {
   }
 
   // Load the observation stream.
-  std::vector<Observation> stream;
-  if (input == "--demo") {
-    const Scenario scenario = scenarios::UsTechEmployment();
-    stream = scenario.stream;
-    std::printf("demo stream: %zu crowd answers about US tech companies "
-                "(hidden ground-truth SUM = %.0f)\n\n",
-                stream.size(), scenario.ground_truth_sum);
-  } else {
-    std::ifstream file(input);
-    if (!file) return Fail("cannot open '" + input + "'");
-    std::stringstream buffer;
-    buffer << file.rdbuf();
-    auto parsed = ReadObservationsCsv(buffer.str());
-    if (!parsed.ok()) return Fail(parsed.status().ToString());
-    stream = std::move(parsed).value();
-  }
+  auto loaded = LoadStream(input);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const std::vector<Observation> stream = std::move(loaded).value();
 
   IntegratedSample sample(fusion);
   for (const Observation& obs : stream) sample.Add(obs);
