@@ -1,22 +1,34 @@
 // Serving-layer throughput/latency harness: drives the QueryService with
 // open-loop concurrent load (all queries submitted up front from competing
 // submitter threads, no coordination with completions) and reports
-// corrected-queries/s plus p50/p99 end-to-end latency, with and without
-// injected faults. Rows land in bench_out.json for the cross-PR perf
-// trajectory:
-//   estimator="serving", config="pr=6,workers=W,faults=off,metric=p50",
-//   ns_per_op=<latency>  — plus a metric=throughput row where ns_per_op is
-//   wall-clock ns per completed query.
+// corrected-queries/s plus p50/p99 end-to-end latency — cached vs uncached
+// sample artifacts, with and without injected faults. Rows land in
+// bench_out.json for the cross-PR perf trajectory:
+//   estimator="serving",
+//   config="pr=7,workers=W,cache=on,faults=off,metric=throughput",
+//   ns_per_op=<wall-clock ns per completed query> — plus metric=p50/p99
+//   rows where ns_per_op is the latency percentile. The cache=on throughput
+//   row's `speedup` field is (uncached ns/op) / (cached ns/op).
+//
+// Correctness before speed: a pre-timing verify pass (skippable with
+// UUQ_BENCH_VERIFY=0, debugging only — CI always runs it) executes the same
+// query sequentially on a cache-enabled and a cache-disabled service and
+// requires every answer field to be bit-identical. A wrong-answer cache
+// speedup exits 1, it does not ship.
 //
 // Expected shape: p50 close to a single query's corrector latency while
-// the queue stays shallow; p99 dominated by queueing; the faulted run
-// (slow replicates + queue stalls) degrades latency but never correctness
-// — every result is either OK or a typed failure status, and the run
-// aborts if anything else surfaces.
+// the queue stays shallow; p99 dominated by queueing; the cached run
+// strictly faster (it skips the per-query flatten/sort/stats/advise); the
+// faulted run (slow replicates + queue stalls) degrades latency but never
+// correctness — every result is either OK or a typed failure status, and
+// the run aborts if anything else surfaces.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +37,7 @@
 #include "serving/fault_injector.h"
 #include "serving/query_service.h"
 #include "simulation/scenarios.h"
+#include "stats/descriptive.h"
 
 namespace uuq {
 namespace {
@@ -37,24 +50,29 @@ struct LoadResult {
   double p99_ms = 0.0;
   int completed = 0;
   int failed = 0;
+
+  double ns_per_query() const {
+    return completed > 0 ? wall_s * 1e9 / completed : 0.0;
+  }
 };
 
-double Percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const size_t idx = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
-
-LoadResult RunLoad(const std::shared_ptr<const IntegratedSample>& sample,
-                   int workers, int queries, FaultInjector* faults) {
+ServingOptions BenchOptions(int workers, int queries, bool cache,
+                            FaultInjector* faults) {
   ServingOptions options;
   options.workers = workers;
+  options.cache_artifacts = cache;
   options.max_queue = queries + 1;  // admission never sheds in this bench
   options.default_deadline = std::chrono::seconds(60);
   options.full_interval_budget = std::chrono::milliseconds(1);
   options.full_replicates = 24;
   options.faults = faults;
-  QueryService service(options);
+  return options;
+}
+
+LoadResult RunLoad(const std::shared_ptr<const IntegratedSample>& sample,
+                   int workers, int queries, bool cache,
+                   FaultInjector* faults) {
+  QueryService service(BenchOptions(workers, queries, cache, faults));
   service.RegisterSample("bench", sample);
 
   const auto start = std::chrono::steady_clock::now();
@@ -105,9 +123,83 @@ LoadResult RunLoad(const std::shared_ptr<const IntegratedSample>& sample,
                    std::chrono::steady_clock::now() - start)
                    .count();
   std::sort(latencies_ms.begin(), latencies_ms.end());
-  out.p50_ms = Percentile(latencies_ms, 0.50);
-  out.p99_ms = Percentile(latencies_ms, 0.99);
+  // stats/descriptive.h nearest-rank percentile over the sorted latencies.
+  out.p50_ms = latencies_ms.empty() ? 0.0 : SortedPercentile(latencies_ms, 0.50);
+  out.p99_ms = latencies_ms.empty() ? 0.0 : SortedPercentile(latencies_ms, 0.99);
   return out;
+}
+
+void CheckBitIdentical(double cached, double uncached, const char* label) {
+  if (cached != uncached &&
+      !(std::isnan(cached) && std::isnan(uncached))) {
+    std::fprintf(stderr,
+                 "FATAL: verify cached-vs-uncached: %s differs "
+                 "(cached %.17g vs uncached %.17g)\n",
+                 label, cached, uncached);
+    std::exit(1);
+  }
+}
+
+/// The pre-timing correctness pass (header comment): the same queries run
+/// sequentially on a cache-enabled and a cache-disabled service must yield
+/// bit-identical answers — point, bound, and bootstrap interval alike.
+void VerifyCachedAgainstUncached(
+    const std::shared_ptr<const IntegratedSample>& sample) {
+  const char* queries[] = {
+      "SELECT SUM(value) FROM integrated",
+      "SELECT COUNT(*) FROM integrated",
+      "SELECT AVG(value) FROM integrated",
+      "SELECT MAX(value) FROM integrated",
+  };
+  QueryService cached(BenchOptions(/*workers=*/1, /*queries=*/8,
+                                   /*cache=*/true, nullptr));
+  QueryService uncached(BenchOptions(/*workers=*/1, /*queries=*/8,
+                                     /*cache=*/false, nullptr));
+  if (!cached.cache_enabled()) {
+    std::printf("verify pass SKIPPED (cache disabled via UUQ_SERVE_CACHE)\n");
+    return;
+  }
+  cached.RegisterSample("bench", sample);
+  uncached.RegisterSample("bench", sample);
+  for (const char* sql : queries) {
+    const ServedResult a = cached.Execute("bench", sql);
+    const ServedResult b = uncached.Execute("bench", sql);
+    if (!a.status.ok() || !b.status.ok() ||
+        a.degraded != DegradeLevel::kNone ||
+        b.degraded != DegradeLevel::kNone) {
+      std::fprintf(stderr,
+                   "FATAL: verify pass could not get two level-0 answers "
+                   "for %s (%s vs %s)\n",
+                   sql, a.status.ToString().c_str(),
+                   b.status.ToString().c_str());
+      std::exit(1);
+    }
+    CheckBitIdentical(a.answer.observed, b.answer.observed, sql);
+    CheckBitIdentical(a.answer.corrected, b.answer.corrected, sql);
+    CheckBitIdentical(a.answer.estimate.delta, b.answer.estimate.delta, sql);
+    CheckBitIdentical(a.answer.estimate.n_hat, b.answer.estimate.n_hat, sql);
+    if (a.answer.bound_valid != b.answer.bound_valid) {
+      std::fprintf(stderr, "FATAL: verify: bound_valid differs for %s\n", sql);
+      std::exit(1);
+    }
+    if (a.answer.bootstrap_valid != b.answer.bootstrap_valid ||
+        a.replicates_used != b.replicates_used) {
+      std::fprintf(stderr, "FATAL: verify: interval shape differs for %s\n",
+                   sql);
+      std::exit(1);
+    }
+    if (a.answer.bootstrap_valid) {
+      CheckBitIdentical(a.answer.bootstrap.point, b.answer.bootstrap.point,
+                        sql);
+      CheckBitIdentical(a.answer.bootstrap.lo, b.answer.bootstrap.lo, sql);
+      CheckBitIdentical(a.answer.bootstrap.hi, b.answer.bootstrap.hi, sql);
+      CheckBitIdentical(a.answer.bootstrap.median, b.answer.bootstrap.median,
+                        sql);
+    }
+  }
+  std::printf(
+      "verify pass OK: cached == uncached answers, bit-identical across "
+      "SUM/COUNT/AVG/MAX (points, bounds, intervals)\n");
 }
 
 }  // namespace
@@ -118,37 +210,59 @@ int main() {
   using bench::BenchRow;
 
   bench::PrintHeader(
-      "Serving throughput/latency under open-loop concurrent load",
-      "p50 near single-query latency, p99 queue-dominated; faulted run "
-      "slower but every failure typed");
+      "Serving throughput/latency under open-loop concurrent load, cached "
+      "vs uncached sample artifacts",
+      "cached run faster at identical answers (verify pass pins "
+      "bit-identity); p50 near single-query latency, p99 queue-dominated; "
+      "faulted run slower but every failure typed");
 
   const Scenario scenario = scenarios::UsTechEmployment();
   auto sample = std::make_shared<IntegratedSample>();
   for (const Observation& obs : scenario.stream) sample->Add(obs);
 
+  const char* verify_env = std::getenv("UUQ_BENCH_VERIFY");
+  if (verify_env == nullptr || std::strcmp(verify_env, "0") != 0) {
+    VerifyCachedAgainstUncached(sample);
+  } else {
+    std::printf("verify pass SKIPPED (UUQ_BENCH_VERIFY=0)\n");
+  }
+
   const int queries = bench::RepsFromEnv(1) * 64;
-  const int workers =
-      std::max(2, static_cast<int>(std::thread::hardware_concurrency()) / 2);
+  // The acceptance scenario is a small serving box: two workers splitting
+  // the engine budget. More workers only dilute the per-query slice.
+  const int workers = 2;
 
   std::vector<BenchRow> rows;
-  const auto report = [&](const char* faults_tag, const LoadResult& r) {
+  const auto report = [&](const char* cache_tag, const char* faults_tag,
+                          const LoadResult& r, double speedup) {
     const double qps = r.completed / std::max(1e-9, r.wall_s);
     std::printf(
-        "workers=%d queries=%d faults=%s: %.1f corrected-queries/s, "
+        "workers=%d queries=%d cache=%s faults=%s: %.1f corrected-queries/s, "
         "p50 %.2f ms, p99 %.2f ms (%d ok, %d typed failures)\n",
-        workers, queries, faults_tag, qps, r.p50_ms, r.p99_ms, r.completed,
-        r.failed);
-    const std::string base = "pr=6,workers=" + std::to_string(workers) +
+        workers, queries, cache_tag, faults_tag, qps, r.p50_ms, r.p99_ms,
+        r.completed, r.failed);
+    const std::string base = "pr=7,workers=" + std::to_string(workers) +
                              ",queries=" + std::to_string(queries) +
-                             ",faults=" + faults_tag;
-    rows.push_back({"serving", base + ",metric=throughput",
-                    r.completed > 0 ? r.wall_s * 1e9 / r.completed : 0.0,
-                    1.0});
+                             ",cache=" + cache_tag + ",faults=" + faults_tag;
+    rows.push_back({"serving", base + ",metric=throughput", r.ns_per_query(),
+                    speedup});
     rows.push_back({"serving", base + ",metric=p50", r.p50_ms * 1e6, 1.0});
     rows.push_back({"serving", base + ",metric=p99", r.p99_ms * 1e6, 1.0});
   };
 
-  report("off", RunLoad(sample, workers, queries, nullptr));
+  const LoadResult uncached =
+      RunLoad(sample, workers, queries, /*cache=*/false, nullptr);
+  report("off", "off", uncached, 1.0);
+
+  const LoadResult cached =
+      RunLoad(sample, workers, queries, /*cache=*/true, nullptr);
+  const double cache_speedup =
+      cached.ns_per_query() > 0.0 && uncached.ns_per_query() > 0.0
+          ? uncached.ns_per_query() / cached.ns_per_query()
+          : 1.0;
+  report("on", "off", cached, cache_speedup);
+  std::printf("artifact-cache speedup at %d workers: %.2fx\n", workers,
+              cache_speedup);
 
   auto faults = FaultInjector::Parse(
       0xC4A05, "slow_replicate=0.05:2ms,queue_stall=0.1:1ms,source_load=0.02");
@@ -156,7 +270,9 @@ int main() {
     std::fprintf(stderr, "FATAL: %s\n", faults.status().ToString().c_str());
     return 1;
   }
-  report("on", RunLoad(sample, workers, queries, &faults.value()));
+  report("on", "on",
+         RunLoad(sample, workers, queries, /*cache=*/true, &faults.value()),
+         1.0);
 
   if (!bench::AppendBenchJson(bench::BenchJsonPath(), rows)) return 1;
   std::printf("\nwrote %zu rows to %s\n", rows.size(),

@@ -1,0 +1,27 @@
+#include "common/scratch_metrics.h"
+
+#include <atomic>
+
+namespace uuq {
+namespace scratch {
+namespace {
+
+std::atomic<int64_t> g_resident_bytes{0};
+std::atomic<uint64_t> g_trim_epoch{0};
+
+}  // namespace
+
+void AddResidentBytes(int64_t delta) {
+  g_resident_bytes.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t ResidentBytes() {
+  return g_resident_bytes.load(std::memory_order_relaxed);
+}
+
+void RequestTrim() { g_trim_epoch.fetch_add(1, std::memory_order_relaxed); }
+
+uint64_t TrimEpoch() { return g_trim_epoch.load(std::memory_order_relaxed); }
+
+}  // namespace scratch
+}  // namespace uuq

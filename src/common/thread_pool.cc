@@ -16,6 +16,32 @@ namespace {
 // deadlocking on the pool's own (busy) workers.
 thread_local const ThreadPool* current_pool = nullptr;
 
+// Engine-occupancy gauge (thread_pool.h): how many threads are currently
+// executing ParallelFor work, and the high-water since the last reset.
+// `occupancy_depth` keeps nested participation (a worker task running a
+// nested inline ParallelFor) from double-counting its thread.
+std::atomic<int64_t> g_occupancy{0};
+std::atomic<int64_t> g_max_occupancy{0};
+thread_local int occupancy_depth = 0;
+
+// RAII participation marker around every stretch of ParallelFor execution
+// (a Drain() participant or an inline serial loop).
+struct OccupancyScope {
+  OccupancyScope() {
+    if (occupancy_depth++ != 0) return;
+    const int64_t now = g_occupancy.fetch_add(1, std::memory_order_relaxed) + 1;
+    int64_t max = g_max_occupancy.load(std::memory_order_relaxed);
+    while (now > max && !g_max_occupancy.compare_exchange_weak(
+                            max, now, std::memory_order_relaxed)) {
+    }
+  }
+  ~OccupancyScope() {
+    if (--occupancy_depth == 0) {
+      g_occupancy.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+};
+
 }  // namespace
 
 // Shared between the caller and its helper tasks. Helper tasks hold a
@@ -78,6 +104,7 @@ void ThreadPool::Drain(ForState* state) {
     std::lock_guard<std::mutex> lock(state->mu);
     ++state->active;
   }
+  const OccupancyScope occupancy;
   std::exception_ptr exception;
   for (;;) {
     const int64_t i = state->next.fetch_add(1);
@@ -114,6 +141,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   // of this pool's own workers (whose siblings may all be blocked in the
   // outer ParallelFor — queueing would deadlock).
   if (WouldRunInline(n)) {
+    const OccupancyScope occupancy;
     for (int64_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -156,6 +184,19 @@ int ThreadPool::DefaultNumThreads() {
 ThreadPool* ThreadPool::Default() {
   static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
   return pool;
+}
+
+int64_t ThreadPool::CurrentOccupancy() {
+  return g_occupancy.load(std::memory_order_relaxed);
+}
+
+int64_t ThreadPool::MaxOccupancy() {
+  return g_max_occupancy.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::ResetMaxOccupancy() {
+  g_max_occupancy.store(g_occupancy.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
 }
 
 }  // namespace uuq

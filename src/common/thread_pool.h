@@ -24,6 +24,27 @@
 // The process-wide default pool is sized by the UUQ_THREADS environment
 // variable when set (UUQ_THREADS=1 forces serial execution everywhere), else
 // by std::thread::hardware_concurrency().
+//
+// POOL SHARING ACROSS CONCURRENT QUERIES (the serving layer's scheme).
+// Engines written against this pool assume they own ALL of it — a
+// ParallelFor fans out to every worker plus the caller. When W serving
+// workers each drive engines on the shared Default() pool, total live
+// parallelism is W callers + (num_threads − 1) workers, i.e. the box is
+// oversubscribed by almost a factor of two (and worse once W grows). The
+// serving layer therefore multiplexes by BOUNDED PER-QUERY SLICES instead:
+// it clamps its worker count to DefaultNumThreads() and gives each worker a
+// PRIVATE slice pool, sizing the slices so they sum to exactly
+// DefaultNumThreads() (each serving worker is its slice's caller-
+// participant, so a slice of size k contributes exactly k live threads).
+// Whatever the configured worker count, total live engine parallelism never
+// exceeds DefaultNumThreads(). Slice sizing only changes scheduling, never
+// results: every engine is bit-identical at any thread count.
+//
+// The occupancy gauge below (CurrentOccupancy / MaxOccupancy) instruments
+// that invariant: it counts, process-wide, the threads currently executing
+// ParallelFor work — pool workers and calling threads, inline calls
+// included, nested calls counted once — so a test can drive concurrent load
+// and assert the high-water mark stays within budget.
 #ifndef UUQ_COMMON_THREAD_POOL_H_
 #define UUQ_COMMON_THREAD_POOL_H_
 
@@ -91,6 +112,16 @@ class ThreadPool {
   /// (minimum 1). Read on every call so tests can vary the environment; the
   /// Default() pool samples it once at first use.
   static int DefaultNumThreads();
+
+  /// Process-wide engine-occupancy gauge (see header comment): the number
+  /// of threads currently executing ParallelFor work across ALL pools —
+  /// callers and pool workers alike, the inline serial path included, each
+  /// thread counted once however deeply its calls nest. Relaxed atomics:
+  /// exact under quiescence, a faithful high-water under load.
+  static int64_t CurrentOccupancy();
+  /// High-water mark of CurrentOccupancy() since the last reset.
+  static int64_t MaxOccupancy();
+  static void ResetMaxOccupancy();
 
  private:
   struct ForState;

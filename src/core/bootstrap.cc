@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <optional>
 
 #include "common/macros.h"
 #include "common/thread_pool.h"
@@ -79,6 +80,15 @@ BootstrapInterval BootstrapAggregate(
     const std::function<double(const ReplicateSample&)>& columnar,
     const std::function<double(const IntegratedSample&)>& materialized,
     const BootstrapOptions& options) {
+  return BootstrapAggregate(sample, /*view=*/nullptr, point, columnar,
+                            materialized, options);
+}
+
+BootstrapInterval BootstrapAggregate(
+    const IntegratedSample& sample, const SampleView* pre_view, double point,
+    const std::function<double(const ReplicateSample&)>& columnar,
+    const std::function<double(const IntegratedSample&)>& materialized,
+    const BootstrapOptions& options) {
   UUQ_CHECK_MSG(options.replicates > 0, "need at least one replicate");
   UUQ_CHECK_MSG(options.confidence > 0.0 && options.confidence < 1.0,
                 "confidence must be in (0,1)");
@@ -86,8 +96,13 @@ BootstrapInterval BootstrapAggregate(
       ResolveColumnar(options.evaluation, columnar != nullptr,
                       sample.policy(), materialized != nullptr);
 
-  // Flattened once; every replicate is index arithmetic from here on.
-  const SampleView view(sample);
+  // Flattened once per sample: a caller-supplied view (the serving cache's
+  // per-registered-sample artifact) is reused as-is; otherwise flatten here
+  // — the uncached fallback. The view is a pure function of the sample, so
+  // both paths drive the exact same replicate arithmetic.
+  std::optional<SampleView> local_view;
+  if (pre_view == nullptr) local_view.emplace(sample);
+  const SampleView& view = pre_view != nullptr ? *pre_view : *local_view;
 
   // One pre-derived Rng stream per replicate (derived in replicate order)
   // and one result slot per replicate: the values — and therefore the
@@ -166,8 +181,9 @@ BootstrapInterval BootstrapAggregate(
 
 BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
                                         const SumEstimator& estimator,
-                                        const BootstrapOptions& options) {
-  const double point = estimator.EstimateImpact(sample).corrected_sum;
+                                        const BootstrapOptions& options,
+                                        const SamplePrecomp* pre) {
+  const double point = estimator.EstimateImpact(sample, pre).corrected_sum;
   std::function<double(const ReplicateSample&)> columnar;
   if (estimator.SupportsReplicates()) {
     columnar = [&estimator](const ReplicateSample& rep) {
@@ -175,7 +191,7 @@ BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
     };
   }
   return BootstrapAggregate(
-      sample, point, columnar,
+      sample, pre != nullptr ? pre->view : nullptr, point, columnar,
       [&estimator](const IntegratedSample& resampled) {
         return estimator.EstimateImpact(resampled).corrected_sum;
       },
@@ -185,9 +201,10 @@ BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
 JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
                                         const SumEstimator& estimator,
                                         double z, ThreadPool* pool,
-                                        ReplicateEvaluation evaluation) {
+                                        ReplicateEvaluation evaluation,
+                                        const SamplePrecomp* pre) {
   JackknifeInterval interval;
-  interval.point = estimator.EstimateImpact(sample).corrected_sum;
+  interval.point = estimator.EstimateImpact(sample, pre).corrected_sum;
   interval.sources = static_cast<int>(sample.num_sources());
   interval.lo = interval.hi = interval.point;
   // num_sources() <= 1 is structurally degenerate: with one source the only
@@ -201,7 +218,12 @@ JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
   const bool use_columnar =
       ResolveColumnar(evaluation, estimator.SupportsReplicates(),
                       sample.policy(), /*has_materialized=*/true);
-  const SampleView view(sample);
+  // Reuse a cached flatten when the caller precomputed one (bit-identical;
+  // see BootstrapAggregate above).
+  std::optional<SampleView> local_view;
+  const bool have_pre_view = pre != nullptr && pre->view != nullptr;
+  if (!have_pre_view) local_view.emplace(sample);
+  const SampleView& view = have_pre_view ? *pre->view : *local_view;
 
   // Leave-one-out estimates are independent, so they run concurrently; the
   // computation is RNG-free and each slot is written once, keeping the

@@ -126,7 +126,8 @@ struct BootstrapInterval {
 /// interval use JackknifeCorrectedSum below.
 BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
                                         const SumEstimator& estimator,
-                                        const BootstrapOptions& options = {});
+                                        const BootstrapOptions& options = {},
+                                        const SamplePrecomp* pre = nullptr);
 
 /// Generic percentile bootstrap over source-resampled replicates: the
 /// engine behind BootstrapCorrectedSum and QueryCorrector's COUNT/AVG/
@@ -138,6 +139,18 @@ BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
 /// copied into the interval.
 BootstrapInterval BootstrapAggregate(
     const IntegratedSample& sample, double point,
+    const std::function<double(const ReplicateSample&)>& columnar,
+    const std::function<double(const IntegratedSample&)>& materialized,
+    const BootstrapOptions& options = {});
+
+/// Same, reusing an ALREADY-FLATTENED view of `sample` (`view` must have
+/// been constructed from this exact sample and outlive the call; nullptr
+/// falls back to flattening locally — the uncached path above). SampleView
+/// construction is a pure function of the sample, so the two overloads are
+/// bit-identical; skipping the per-call flatten is the point of the serving
+/// layer's sample-artifact cache (serving/sample_cache.h).
+BootstrapInterval BootstrapAggregate(
+    const IntegratedSample& sample, const SampleView* view, double point,
     const std::function<double(const ReplicateSample&)>& columnar,
     const std::function<double(const IntegratedSample&)>& materialized,
     const BootstrapOptions& options = {});
@@ -166,10 +179,14 @@ struct JackknifeInterval {
   int finite_replicates = 0;
 };
 
+/// `pre` (optional) supplies precomputed artifacts of `sample` — the
+/// flattened view and whole-sample stats — which the jackknife consumes
+/// instead of recomputing (bit-identical; see SamplePrecomp).
 JackknifeInterval JackknifeCorrectedSum(
     const IntegratedSample& sample, const SumEstimator& estimator,
     double z = 1.96, ThreadPool* pool = nullptr,
-    ReplicateEvaluation evaluation = ReplicateEvaluation::kAuto);
+    ReplicateEvaluation evaluation = ReplicateEvaluation::kAuto,
+    const SamplePrecomp* pre = nullptr);
 
 }  // namespace uuq
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "common/scratch_metrics.h"
 #include "common/thread_pool.h"
 #include "core/naive.h"
 #include "integration/sample_view.h"
@@ -85,8 +86,93 @@ size_t SortedEntityIndex::UpperBoundOfValueAt(size_t i) const {
   return j;
 }
 
+void SortedEntityIndex::Release() {
+  std::vector<EntityPoint>().swap(points_);
+  std::vector<SampleStats>().swap(prefix_);
+}
+
+namespace {
+
+template <typename T>
+int64_t VectorBytes(const std::vector<T>& v) {
+  return static_cast<int64_t>(v.capacity() * sizeof(T));
+}
+
+template <typename T>
+void ReleaseVector(std::vector<T>* v) {
+  std::vector<T>().swap(*v);
+}
+
+}  // namespace
+
+IndexScratch::~IndexScratch() {
+  if (reported_bytes_ != 0) scratch::AddResidentBytes(-reported_bytes_);
+}
+
+int64_t IndexScratch::ApproxBytes() const {
+  int64_t bytes = index_.ApproxBytes();
+  bytes += VectorBytes(scatter_mult_) + VectorBytes(scatter_value_);
+  bytes += VectorBytes(partition_.cuts) + VectorBytes(partition_.left_half) +
+           VectorBytes(partition_.right_half) +
+           VectorBytes(partition_.candidates) + VectorBytes(partition_.todo) +
+           VectorBytes(partition_.done) + VectorBytes(partition_.memo_cuts) +
+           VectorBytes(partition_.memo_delta) + VectorBytes(partition_.lane_n) +
+           VectorBytes(partition_.lane_c) + VectorBytes(partition_.lane_f1) +
+           VectorBytes(partition_.lane_mm1) +
+           VectorBytes(partition_.lane_value_sum) +
+           VectorBytes(partition_.lane_singleton_sum) +
+           VectorBytes(partition_.lane_needed) +
+           VectorBytes(partition_.lane_delta) +
+           VectorBytes(partition_.lane_map);
+  bytes += VectorBytes(bounds_) + VectorBytes(buckets_);
+  return bytes;
+}
+
+void IndexScratch::Trim() {
+  index_.Release();
+  ReleaseVector(&scatter_mult_);
+  ReleaseVector(&scatter_value_);
+  ReleaseVector(&partition_.cuts);
+  ReleaseVector(&partition_.left_half);
+  ReleaseVector(&partition_.right_half);
+  ReleaseVector(&partition_.candidates);
+  ReleaseVector(&partition_.todo);
+  ReleaseVector(&partition_.done);
+  ReleaseVector(&partition_.memo_cuts);
+  ReleaseVector(&partition_.memo_delta);
+  ReleaseVector(&partition_.lane_n);
+  ReleaseVector(&partition_.lane_c);
+  ReleaseVector(&partition_.lane_f1);
+  ReleaseVector(&partition_.lane_mm1);
+  ReleaseVector(&partition_.lane_value_sum);
+  ReleaseVector(&partition_.lane_singleton_sum);
+  ReleaseVector(&partition_.lane_needed);
+  ReleaseVector(&partition_.lane_delta);
+  ReleaseVector(&partition_.lane_map);
+  partition_.root_cut_hint = 0;
+  ReleaseVector(&bounds_);
+  ReleaseVector(&buckets_);
+  SyncResidentBytes();
+}
+
+void IndexScratch::SyncResidentBytes() {
+  const int64_t now = ApproxBytes();
+  if (now != reported_bytes_) {
+    scratch::AddResidentBytes(now - reported_bytes_);
+    reported_bytes_ = now;
+  }
+}
+
 const SortedEntityIndex& IndexScratch::RebuildIndex(
     const ReplicateSample& rep) {
+  // Cooperative trim (scratch_metrics.h): one relaxed load per replicate;
+  // the release only runs on the owning thread, right before a rebuild —
+  // the one moment dropping the buffers cannot change any result.
+  const uint64_t epoch = scratch::TrimEpoch();
+  if (epoch != trim_epoch_seen_) {
+    trim_epoch_seen_ = epoch;
+    Trim();
+  }
   index_.Clear();
   const SampleView* view = rep.view;
   const bool incremental =
@@ -95,6 +181,7 @@ const SortedEntityIndex& IndexScratch::RebuildIndex(
   if (!incremental) {
     for (const EntityPoint& point : rep.entities) index_.Append(point);
     index_.Finalize(/*nearly_sorted=*/false);
+    SyncResidentBytes();
     return index_;
   }
 
@@ -124,6 +211,7 @@ const SortedEntityIndex& IndexScratch::RebuildIndex(
     mult[idx] = 0;  // restore the resting invariant as we go
   }
   index_.Finalize(/*nearly_sorted=*/true);
+  SyncResidentBytes();
   return index_;
 }
 
@@ -862,6 +950,17 @@ Estimate BucketSumEstimator::EstimateImpact(
     const IntegratedSample& sample) const {
   return CombineBuckets(name_, ComputeBuckets(sample),
                         SampleStats::FromSample(sample));
+}
+
+Estimate BucketSumEstimator::EstimateImpact(const IntegratedSample& sample,
+                                            const SamplePrecomp* pre) const {
+  if (pre == nullptr || pre->index == nullptr) return EstimateImpact(sample);
+  // pre->index is SortedEntityIndex(sample.entities()) built ahead of time
+  // and pre->stats the FromSample fold — the exact expressions the uncached
+  // overload evaluates, so this path is bit-identical by construction.
+  const SampleStats whole =
+      pre->stats != nullptr ? *pre->stats : SampleStats::FromSample(sample);
+  return CombineBuckets(name_, ComputeBuckets(*pre->index), whole);
 }
 
 Estimate BucketSumEstimator::EstimateReplicate(

@@ -114,6 +114,15 @@ class SortedEntityIndex {
   /// smallest legal split point strictly after position i).
   size_t UpperBoundOfValueAt(size_t i) const;
 
+  /// Releases ALL internal capacity: the index returns to a freshly
+  /// constructed empty shell (the scratch trim hook, scratch_metrics.h).
+  void Release();
+  /// Approximate resident capacity of the internal arrays, in bytes.
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(points_.capacity() * sizeof(EntityPoint) +
+                                prefix_.capacity() * sizeof(SampleStats));
+  }
+
  private:
   std::vector<EntityPoint> points_;  // sorted ascending by (value, mult)
   // prefix_[k] = stats over points_[0..k)
@@ -319,9 +328,17 @@ class DynamicPartitioner final : public BucketPartitioner {
 /// of any size from any SampleView, interleaved in any order — every
 /// rebuild starts from the resting state, so results never depend on what
 /// the scratch evaluated before.
+/// Instances register with the process-wide resident-scratch gauge and honor
+/// the cooperative trim epoch (common/scratch_metrics.h): RebuildIndex — the
+/// sole entry point of the replicate hot path — checks the epoch once per
+/// call (one relaxed load) and, when a trim was requested since this scratch
+/// last looked, releases every pooled buffer before rebuilding. A trimmed
+/// scratch is indistinguishable from a fresh one, so results are unaffected;
+/// only the warm-up allocations recur.
 class IndexScratch {
  public:
   IndexScratch() = default;
+  ~IndexScratch();
   IndexScratch(const IndexScratch&) = delete;
   IndexScratch& operator=(const IndexScratch&) = delete;
 
@@ -331,14 +348,25 @@ class IndexScratch {
   /// sorted. Both paths produce the identical canonical index.
   const SortedEntityIndex& RebuildIndex(const ReplicateSample& rep);
 
+  /// Approximate resident capacity across every pooled buffer, in bytes.
+  int64_t ApproxBytes() const;
+  /// Releases every pooled buffer (back to a freshly-constructed scratch).
+  void Trim();
+
  private:
   friend class BucketSumEstimator;
+
+  /// Reconciles the resident-bytes gauge with the current capacity.
+  void SyncResidentBytes();
+
   SortedEntityIndex index_;
   std::vector<int64_t> scatter_mult_;  // per original entity; all-zero at rest
   std::vector<double> scatter_value_;
   PartitionScratch partition_;
   std::vector<size_t> bounds_;
   std::vector<ValueBucket> buckets_;
+  uint64_t trim_epoch_seen_ = 0;  // last scratch::TrimEpoch() observed
+  int64_t reported_bytes_ = 0;    // our contribution to the global gauge
 };
 
 /// The composed bucket estimator (Eq. 11): Δ = Σ_b Δ(b).
@@ -352,6 +380,10 @@ class BucketSumEstimator final : public SumEstimator {
 
   std::string name() const override;
   Estimate EstimateImpact(const IntegratedSample& sample) const override;
+  /// Same, reusing a prebuilt sorted index and/or whole-sample stats from a
+  /// SamplePrecomp (bit-identical: both are pure functions of the sample).
+  Estimate EstimateImpact(const IntegratedSample& sample,
+                          const SamplePrecomp* pre) const override;
 
   /// Columnar replicate path (bit-identical to EstimateImpact on the
   /// materialized replicate — the whole-sample stats fold runs in

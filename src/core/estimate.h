@@ -21,6 +21,9 @@
 
 namespace uuq {
 
+class SortedEntityIndex;  // core/bucket.h
+struct Advice;            // core/advisor.h
+
 /// Sufficient statistics of a sample (or of a value-range slice of one).
 struct SampleStats {
   int64_t n = 0;          ///< observations, duplicates included
@@ -93,6 +96,27 @@ inline double NormalizedAbsDelta(double delta) {
   return std::fabs(delta);
 }
 
+/// Non-owning bundle of QUERY-INDEPENDENT artifacts derived from one
+/// IntegratedSample: its flattened columnar view, the value-sorted entity
+/// index, the whole-sample sufficient statistics, and the advisor's verdict.
+/// Every member is a pure deterministic function of the sample, so consuming
+/// a precomp instead of recomputing is always bit-identical — that is the
+/// contract that lets the serving layer build these once per registered
+/// sample (serving/sample_cache.h) and share them across queries. All
+/// pointers are optional (nullptr = recompute) and borrowed: whoever passes
+/// a precomp guarantees the artifacts outlive the call and belong to the
+/// SAME sample the call receives.
+struct SamplePrecomp {
+  const SampleView* view = nullptr;
+  const SortedEntityIndex* index = nullptr;  ///< over sample.entities()
+  const SampleStats* stats = nullptr;        ///< SampleStats::FromSample
+  /// EstimatorAdvisor::Advise output. Advice depends on the advisor's
+  /// options too, so the producer must have run the SAME advisor
+  /// configuration the consumer would (the serving layer builds artifacts
+  /// with its service-wide correction options, which every query reuses).
+  const Advice* advice = nullptr;
+};
+
 /// What an estimator returns. delta is the paper's Δ̂; the corrected answer
 /// is φK + Δ̂ (Eq. 2).
 struct Estimate {
@@ -113,6 +137,16 @@ class SumEstimator {
   virtual ~SumEstimator() = default;
   virtual std::string name() const = 0;
   virtual Estimate EstimateImpact(const IntegratedSample& sample) const = 0;
+
+  /// Same estimate, optionally consuming precomputed artifacts. Overrides
+  /// MUST be bit-identical to EstimateImpact(sample) — a precomp only skips
+  /// recomputation of things that are pure functions of the sample. The
+  /// base default ignores `pre` entirely (always correct).
+  virtual Estimate EstimateImpact(const IntegratedSample& sample,
+                                  const SamplePrecomp* pre) const {
+    (void)pre;
+    return EstimateImpact(sample);
+  }
 
   /// Columnar replicate evaluation — the bootstrap/jackknife hot path. An
   /// estimator that returns true from SupportsReplicates() must make
@@ -174,6 +208,11 @@ class StatsSumEstimator : public SumEstimator {
 
   Estimate EstimateImpact(const IntegratedSample& sample) const override {
     return FromStats(SampleStats::FromSample(sample));
+  }
+  Estimate EstimateImpact(const IntegratedSample& sample,
+                          const SamplePrecomp* pre) const override {
+    if (pre != nullptr && pre->stats != nullptr) return FromStats(*pre->stats);
+    return EstimateImpact(sample);
   }
 
   bool SupportsReplicates() const override { return true; }

@@ -72,12 +72,13 @@ std::unique_ptr<SumEstimator> MakeSumEstimator(
   const auto monte_carlo = [&options] {
     MonteCarloOptions mc = options.advisor.mc_options;
     if (options.cancel.can_fire()) mc.cancel = options.cancel;
+    if (mc.pool == nullptr) mc.pool = options.pool;
     return std::make_unique<MonteCarloEstimator>(mc);
   };
   const auto bucket = [&options] {
     return std::make_unique<BucketSumEstimator>(
         std::make_shared<DynamicPartitioner>(
-            /*pool=*/nullptr, SplitScanMode::kBatched, options.cancel),
+            options.pool, SplitScanMode::kBatched, options.cancel),
         std::make_shared<NaiveEstimator>());
   };
   switch (options.estimator) {
@@ -100,7 +101,7 @@ std::unique_ptr<SumEstimator> MakeSumEstimator(
 
 Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
     const IntegratedSample& sample, AggregateKind aggregate,
-    std::string query_text) const {
+    std::string query_text, const SamplePrecomp* pre) const {
   // A token that fired before any work (queue time ate the whole budget)
   // fails fast with the typed status — no engine spins up at all.
   if (options_.cancel.Fired()) {
@@ -111,9 +112,19 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
   answer.aggregate = aggregate;
   answer.query_text = std::move(query_text);
 
-  const EstimatorAdvisor advisor(options_.advisor);
-  answer.advice = advisor.Advise(sample);
-  const SampleStats stats = SampleStats::FromSample(sample);
+  // Precomputed advice/stats are the exact outputs of the expressions below
+  // on the same sample (SamplePrecomp's contract), so consuming them is
+  // bit-identical — the per-query advisor pass and stats fold are what the
+  // sample cache exists to skip.
+  if (pre != nullptr && pre->advice != nullptr) {
+    answer.advice = *pre->advice;
+  } else {
+    const EstimatorAdvisor advisor(options_.advisor);
+    answer.advice = advisor.Advise(sample);
+  }
+  const SampleStats stats = pre != nullptr && pre->stats != nullptr
+                                ? *pre->stats
+                                : SampleStats::FromSample(sample);
 
   // Degenerate species estimates (coverage <= 0 sends Chao92's N̂ — and
   // with it Δ̂ and the corrected answer — to +inf, or to NaN once an inf
@@ -146,8 +157,12 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
     if (options_.attach_bootstrap && !sample.empty()) {
       BootstrapOptions bootstrap_options = options_.bootstrap;
       if (options_.cancel.can_fire()) bootstrap_options.cancel = options_.cancel;
-      answer.bootstrap = BootstrapAggregate(sample, answer.corrected, columnar,
-                                            materialized, bootstrap_options);
+      if (bootstrap_options.pool == nullptr) {
+        bootstrap_options.pool = options_.pool;
+      }
+      answer.bootstrap = BootstrapAggregate(
+          sample, pre != nullptr ? pre->view : nullptr, answer.corrected,
+          columnar, materialized, bootstrap_options);
       if (answer.bootstrap.aborted) {
         // Deadline expiry degrades (a late caller still wants the exact
         // point estimate); explicit cancellation means nobody is waiting
@@ -167,7 +182,7 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
   switch (aggregate) {
     case AggregateKind::kSum: {
       auto estimator = MakeSumEstimator(options_, answer.advice.choice);
-      answer.estimate = estimator->EstimateImpact(sample);
+      answer.estimate = estimator->EstimateImpact(sample, pre);
       answer.observed = stats.value_sum;
       answer.corrected = answer.estimate.corrected_sum;
       answer.bound = ComputeSumUpperBound(stats, options_.bound);
@@ -195,6 +210,7 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
           options_.estimator != CorrectionEstimator::kBucket;
       MonteCarloOptions mc_options = options_.advisor.mc_options;
       if (options_.cancel.can_fire()) mc_options.cancel = options_.cancel;
+      if (mc_options.pool == nullptr) mc_options.pool = options_.pool;
       const CountEstimator count(
           use_mc ? CountMethod::kMonteCarlo : CountMethod::kChao92,
           mc_options);
@@ -211,7 +227,12 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
           });
     }
     case AggregateKind::kAvg: {
-      const AvgEstimator avg;
+      // Pool threading only (the inert default cancel token preserves the
+      // point-estimate semantics AVG always had); slice scheduling never
+      // changes partition results.
+      const AvgEstimator avg(std::make_shared<BucketSumEstimator>(
+          std::make_shared<DynamicPartitioner>(options_.pool),
+          std::make_shared<NaiveEstimator>()));
       answer.estimate = avg.EstimateAvg(sample);
       answer.observed = stats.ValueMean();
       answer.corrected = answer.estimate.corrected_sum;
@@ -226,7 +247,11 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
     }
     case AggregateKind::kMin:
     case AggregateKind::kMax: {
-      const MinMaxEstimator minmax(options_.minmax_claim_threshold);
+      const MinMaxEstimator minmax(
+          std::make_shared<BucketSumEstimator>(
+              std::make_shared<DynamicPartitioner>(options_.pool),
+              std::make_shared<NaiveEstimator>()),
+          options_.minmax_claim_threshold);
       const bool want_max = aggregate == AggregateKind::kMax;
       answer.extreme = want_max ? minmax.EstimateMax(sample)
                                 : minmax.EstimateMin(sample);
@@ -252,13 +277,14 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
 }
 
 Result<CorrectedAnswer> QueryCorrector::Correct(
-    const IntegratedSample& sample, AggregateKind aggregate) const {
+    const IntegratedSample& sample, AggregateKind aggregate,
+    const SamplePrecomp* pre) const {
   AggregateQuery query;
   query.aggregate = aggregate;
   query.attribute = "value";
   query.table_name = "integrated";
   query.predicate = MakeTrue();
-  return CorrectFiltered(sample, aggregate, query.ToString());
+  return CorrectFiltered(sample, aggregate, query.ToString(), pre);
 }
 
 namespace {
@@ -298,7 +324,8 @@ Result<IntegratedSample> ApplyPredicate(const IntegratedSample& sample,
 }  // namespace
 
 Result<CorrectedAnswer> QueryCorrector::CorrectSql(
-    const IntegratedSample& sample, const std::string& sql) const {
+    const IntegratedSample& sample, const std::string& sql,
+    const SamplePrecomp* pre) const {
   auto parsed = ParseQuery(sql);
   if (!parsed.ok()) return parsed.status();
   const AggregateQuery& query = parsed.value();
@@ -317,12 +344,17 @@ Result<CorrectedAnswer> QueryCorrector::CorrectSql(
   const std::string pred_text =
       query.predicate != nullptr ? query.predicate->ToString() : "TRUE";
   if (pred_text == "TRUE") {
-    return CorrectFiltered(sample, query.aggregate, query.ToString());
+    // The precomp (if any) describes exactly this unfiltered sample, so the
+    // cached artifacts apply — the serving fast path.
+    return CorrectFiltered(sample, query.aggregate, query.ToString(), pre);
   }
 
+  // A real predicate produces a fresh filtered sample the precomp does not
+  // describe; run uncached (SamplePrecomp's same-sample contract).
   auto filtered = ApplyPredicate(sample, query, view_schema);
   if (!filtered.ok()) return filtered.status();
-  return CorrectFiltered(filtered.value(), query.aggregate, query.ToString());
+  return CorrectFiltered(filtered.value(), query.aggregate, query.ToString(),
+                         /*pre=*/nullptr);
 }
 
 std::string QueryCorrector::GroupedCorrectedAnswer::ToString() const {
@@ -375,7 +407,7 @@ Result<QueryCorrector::GroupedCorrectedAnswer> QueryCorrector::CorrectGroupedSql
   for (const std::string& category : categories) {
     const IntegratedSample group = base.Filter(
         [&category](const EntityStat& e) { return e.category == category; });
-    auto answer = CorrectFiltered(group, query.aggregate, "");
+    auto answer = CorrectFiltered(group, query.aggregate, "", /*pre=*/nullptr);
     if (!answer.ok()) return answer.status();
     out.groups.emplace_back(category, std::move(answer).value());
   }

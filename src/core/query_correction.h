@@ -76,6 +76,15 @@ class QueryCorrector {
     /// — B replicate re-estimations per query.
     bool attach_bootstrap = false;
     BootstrapOptions bootstrap;
+    /// Pool for every parallel engine the correction drives: the dynamic
+    /// split scan, the MC grid, and the bootstrap replicate loop. nullptr
+    /// means ThreadPool::Default() (the standalone behaviour); the serving
+    /// layer hands each worker its private slice pool here so concurrent
+    /// queries share the box instead of oversubscribing it (thread_pool.h,
+    /// POOL SHARING). Pure scheduling — results are bit-identical for any
+    /// pool. Engine options that carry their own pool (bootstrap.pool,
+    /// advisor.mc_options.pool) win when explicitly set.
+    ThreadPool* pool = nullptr;
     /// Cooperative cancellation for the whole correction. The token is
     /// threaded into every long-running engine the query touches: the
     /// dynamic split scan (per bucket), the MC grid (per point), and the
@@ -93,16 +102,25 @@ class QueryCorrector {
   QueryCorrector() : QueryCorrector(Options{}) {}
   explicit QueryCorrector(Options options) : options_(std::move(options)) {}
 
-  /// Corrects a bare aggregate (no predicate) over the sample.
+  /// Corrects a bare aggregate (no predicate) over the sample. `pre`
+  /// (optional) supplies precomputed artifacts of THIS sample — flattened
+  /// view, sorted index, whole-sample stats, advisor verdict — which the
+  /// correction consumes instead of recomputing. Bit-identical either way
+  /// (every artifact is a pure function of the sample); the serving layer's
+  /// sample cache is the intended producer (serving/sample_cache.h).
   Result<CorrectedAnswer> Correct(const IntegratedSample& sample,
-                                  AggregateKind aggregate) const;
+                                  AggregateKind aggregate,
+                                  const SamplePrecomp* pre = nullptr) const;
 
   /// Parses SQL of the paper's query shape; the table name is recorded but
   /// not resolved (the sample IS the table). WHERE predicates may reference
   /// the integrated view's columns: entity, value, observations, category.
-  /// Grouped queries must go through CorrectGroupedSql.
+  /// Grouped queries must go through CorrectGroupedSql. `pre` describes the
+  /// UNFILTERED sample, so it only accelerates predicate-free queries — a
+  /// WHERE clause produces a fresh filtered sample and runs uncached.
   Result<CorrectedAnswer> CorrectSql(const IntegratedSample& sample,
-                                     const std::string& sql) const;
+                                     const std::string& sql,
+                                     const SamplePrecomp* pre = nullptr) const;
 
   /// Grouped correction: `... GROUP BY category` runs the full correction
   /// machinery once per category sub-sample — species estimation happens
@@ -121,7 +139,8 @@ class QueryCorrector {
  private:
   Result<CorrectedAnswer> CorrectFiltered(const IntegratedSample& sample,
                                           AggregateKind aggregate,
-                                          std::string query_text) const;
+                                          std::string query_text,
+                                          const SamplePrecomp* pre) const;
 
   Options options_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/scratch_metrics.h"
 #include "integration/source.h"
 
 namespace uuq {
@@ -170,11 +171,65 @@ IntegratedSample IntegratedSample::Filter(
   return out;
 }
 
+int64_t IntegratedSample::ApproxBytes() const {
+  int64_t bytes =
+      static_cast<int64_t>(entities_.capacity() * sizeof(EntityStat));
+  bytes += static_cast<int64_t>(reports_.capacity() *
+                                sizeof(std::vector<double>));
+  for (const auto& r : reports_) {
+    bytes += static_cast<int64_t>(r.capacity() * sizeof(double));
+  }
+  bytes += static_cast<int64_t>(log_.capacity() * sizeof(RawObservation));
+  bytes += static_cast<int64_t>(source_names_.capacity() *
+                                sizeof(std::string));
+  // Node-based containers: one node per entry, element + two-pointer
+  // overhead as a flat estimate (string heap storage excluded).
+  bytes += static_cast<int64_t>(
+      index_.size() * (sizeof(std::string) + sizeof(size_t) + 16));
+  bytes += static_cast<int64_t>(multiplicity_histogram_.size() *
+                                (2 * sizeof(int64_t) + 16));
+  bytes += static_cast<int64_t>(
+      source_sizes_.size() *
+      (sizeof(std::string) + sizeof(int64_t) + 16));
+  bytes += static_cast<int64_t>(
+      source_index_.size() *
+      (sizeof(std::string) + sizeof(int32_t) + 16));
+  return bytes;
+}
+
 SampleArena::Lease::~Lease() {
   if (arena_ != nullptr) arena_->Release(sample_);
 }
 
+SampleArena::~SampleArena() {
+  if (reported_bytes_ != 0) scratch::AddResidentBytes(-reported_bytes_);
+}
+
+void SampleArena::SyncResidentBytes() {
+  int64_t now = 0;
+  for (const auto& sample : free_) now += sample->ApproxBytes();
+  for (const auto& sample : leased_) now += sample->ApproxBytes();
+  if (now != reported_bytes_) {
+    scratch::AddResidentBytes(now - reported_bytes_);
+    reported_bytes_ = now;
+  }
+}
+
+void SampleArena::Trim() {
+  free_.clear();
+  SyncResidentBytes();
+}
+
 SampleArena::Lease SampleArena::Acquire(FusionPolicy policy) {
+  // Cooperative trim (scratch_metrics.h): one relaxed load per acquire; a
+  // requested trim drops the idle shells before recycling, so the pool's
+  // high-water from an earlier (larger) sample is released on the owning
+  // thread's next replicate.
+  const uint64_t epoch = scratch::TrimEpoch();
+  if (epoch != trim_epoch_seen_) {
+    trim_epoch_seen_ = epoch;
+    Trim();
+  }
   std::unique_ptr<IntegratedSample> sample;
   if (!free_.empty()) {
     sample = std::move(free_.back());
@@ -185,6 +240,7 @@ SampleArena::Lease SampleArena::Acquire(FusionPolicy policy) {
   }
   IntegratedSample* raw = sample.get();
   leased_.push_back(std::move(sample));
+  SyncResidentBytes();
   return Lease(this, raw);
 }
 

@@ -149,6 +149,12 @@ class IntegratedSample {
 
   FusionPolicy policy() const { return policy_; }
 
+  /// Approximate resident heap capacity of the sample's containers, in
+  /// bytes (vector capacities exactly; node-based containers estimated per
+  /// entry, string heap storage excluded). Used by SampleArena's
+  /// resident-scratch accounting (common/scratch_metrics.h).
+  int64_t ApproxBytes() const;
+
  private:
   double Fuse(const std::vector<double>& reports) const;
 
@@ -209,20 +215,35 @@ class SampleArena {
   };
 
   SampleArena() = default;
+  ~SampleArena();
   SampleArena(const SampleArena&) = delete;
   SampleArena& operator=(const SampleArena&) = delete;
 
   /// A Reset(policy) sample, recycled when the pool has one (LIFO, so the
   /// warmest buffers are reused first), freshly allocated otherwise.
+  /// Honors the cooperative trim epoch (common/scratch_metrics.h): when a
+  /// trim was requested since this arena last looked, the pooled idle
+  /// shells are destroyed first — outstanding leases are never touched, so
+  /// a trim landing mid-replicate only affects future recycling.
   Lease Acquire(FusionPolicy policy);
 
   /// Pooled (idle) samples — observability for tests.
   size_t pooled() const { return free_.size(); }
 
+  /// Destroys every pooled idle shell now (the trim hook; leased samples
+  /// stay valid and return to an empty pool later).
+  void Trim();
+
  private:
   void Release(IntegratedSample* sample);
+  /// Reconciles the process-wide resident-scratch gauge with this arena's
+  /// current approximate footprint.
+  void SyncResidentBytes();
+
   std::vector<std::unique_ptr<IntegratedSample>> free_;
   std::vector<std::unique_ptr<IntegratedSample>> leased_;
+  uint64_t trim_epoch_seen_ = 0;  // last scratch::TrimEpoch() observed
+  int64_t reported_bytes_ = 0;    // our contribution to the global gauge
 };
 
 }  // namespace uuq

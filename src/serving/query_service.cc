@@ -1,9 +1,11 @@
 #include "serving/query_service.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/scratch_metrics.h"
 
 namespace uuq {
 
@@ -28,6 +30,11 @@ struct QueryService::Ticket::State {
   // Immutable after admission.
   uint64_t id = 0;
   std::shared_ptr<const IntegratedSample> sample;
+  /// Artifact snapshot pinned AT ADMISSION (null when the cache is off).
+  /// RegisterSample replacing the sample mid-flight cannot invalidate it:
+  /// this query finishes — bit-identically — on the snapshot it started
+  /// with, and the snapshot is freed when the last pin drops.
+  std::shared_ptr<const SampleArtifacts> artifacts;
   std::string sql;
   bool want_interval = true;
   std::chrono::steady_clock::time_point admitted{};
@@ -40,7 +47,16 @@ struct QueryService::Ticket::State {
 };
 
 ServedResult QueryService::Ticket::Wait() {
-  UUQ_CHECK_MSG(state_ != nullptr, "Wait() on a default-constructed Ticket");
+  // A default-constructed Ticket has no query behind it. The original
+  // UUQ_CHECK here turned a recoverable caller mistake (waiting on a ticket
+  // that was never assigned from Submit) into a process abort; a typed
+  // failure matches the service's never-exceptional contract.
+  if (state_ == nullptr) {
+    ServedResult result;
+    result.status = Status::FailedPrecondition(
+        "Wait() on a default-constructed Ticket (no submitted query)");
+    return result;
+  }
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->done_cv.wait(lock, [this] { return state_->done; });
   return state_->result;
@@ -54,14 +70,44 @@ uint64_t QueryService::Ticket::id() const {
   return state_ != nullptr ? state_->id : 0;
 }
 
+namespace {
+
+/// UUQ_SERVE_CACHE=0 disables artifact caching regardless of options — the
+/// operational escape hatch (any other value, or unset, leaves it on).
+bool ServeCacheEnvEnabled() {
+  const char* env = std::getenv("UUQ_SERVE_CACHE");
+  return env == nullptr || env[0] != '0' || env[1] != '\0';
+}
+
+}  // namespace
+
 QueryService::QueryService(ServingOptions options)
     : options_(std::move(options)),
       faults_(options_.faults != nullptr ? options_.faults
                                          : FaultInjector::FromEnv()) {
-  const int workers = std::max(1, options_.workers);
+  if (options_.cache_artifacts && ServeCacheEnvEnabled()) {
+    cache_ = std::make_unique<SampleCache>(options_.correction.advisor);
+  }
+
+  // Pool multiplexing (thread_pool.h, POOL SHARING): clamp the worker count
+  // to the engine budget and give every worker a private slice pool, sizing
+  // the slices so they sum to exactly engine_threads. Each worker is its
+  // slice's caller-participant, so a slice of k contributes exactly k live
+  // engine threads — total live parallelism never exceeds the budget,
+  // whatever `workers` was configured to.
+  const int engine_threads = std::max(
+      1, options_.engine_threads > 0 ? options_.engine_threads
+                                     : ThreadPool::DefaultNumThreads());
+  const int workers = std::min(std::max(1, options_.workers), engine_threads);
+  const int base = engine_threads / workers;
+  const int extra = engine_threads % workers;
+  slice_pools_.reserve(static_cast<size_t>(workers));
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    slice_pools_.push_back(
+        std::make_unique<ThreadPool>(base + (i < extra ? 1 : 0)));
+    ThreadPool* slice = slice_pools_.back().get();
+    workers_.emplace_back([this, slice] { WorkerLoop(slice); });
   }
 }
 
@@ -70,8 +116,28 @@ QueryService::~QueryService() { Shutdown(); }
 void QueryService::RegisterSample(
     const std::string& name, std::shared_ptr<const IntegratedSample> sample) {
   UUQ_CHECK(sample != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
-  samples_[name] = std::move(sample);
+  // Artifact construction (flatten + sort + stats + advice) runs OUTSIDE
+  // the service lock — registering a huge sample never stalls admissions or
+  // workers. Only the map swaps below happen under mu_, atomically pairing
+  // the sample with its artifacts for every future admission.
+  std::shared_ptr<const SampleArtifacts> artifacts;
+  if (cache_ != nullptr) {
+    artifacts = std::make_shared<const SampleArtifacts>(
+        sample, options_.correction.advisor);
+  }
+  bool request_trim = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = samples_.find(name);
+    // Replacement by a smaller sample: the engines' thread_local scratches
+    // and arenas still hold the old sample's high-water; ask them to
+    // release it at next use (cooperative — see scratch_metrics.h).
+    request_trim = it != samples_.end() &&
+                   it->second->entities().size() > sample->entities().size();
+    samples_[name] = std::move(sample);
+    if (cache_ != nullptr) cache_->Install(name, std::move(artifacts));
+  }
+  if (request_trim) scratch::RequestTrim();
 }
 
 Result<QueryService::Ticket> QueryService::Submit(
@@ -101,6 +167,14 @@ Result<QueryService::Ticket> QueryService::Submit(
     }
     state->id = next_query_id_++;
     state->sample = it->second;
+    if (cache_ != nullptr) {
+      // Pin the artifact snapshot now, under the same lock that installed
+      // it with the sample: the pair can never be observed mismatched, and
+      // a replacement after this point affects only future admissions.
+      state->artifacts = cache_->Get(sample_name);
+      UUQ_DCHECK(state->artifacts == nullptr ||
+                 state->artifacts->sample.get() == state->sample.get());
+    }
     state->admitted = std::chrono::steady_clock::now();
     state->cancel.SetDeadlineAfter(deadline_budget.count() > 0
                                        ? deadline_budget
@@ -129,7 +203,11 @@ ServedResult QueryService::Execute(const std::string& sample_name,
 
 QueryService::Stats QueryService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.resident_scratch_bytes = scratch::ResidentBytes();
+  out.cached_samples =
+      cache_ != nullptr ? static_cast<int64_t>(cache_->size()) : 0;
+  return out;
 }
 
 void QueryService::Shutdown() {
@@ -170,7 +248,7 @@ void QueryService::Finish(const std::shared_ptr<Ticket::State>& state,
   state->done_cv.notify_all();
 }
 
-void QueryService::WorkerLoop() {
+void QueryService::WorkerLoop(ThreadPool* slice) {
   for (;;) {
     std::shared_ptr<Ticket::State> state;
     {
@@ -187,7 +265,7 @@ void QueryService::WorkerLoop() {
     // degradation / deadline misses — exactly the production failure mode.
     faults_->MaybeStall(FaultSite::kQueueStall);
 
-    ServedResult result = RunQuery(state);
+    ServedResult result = RunQuery(state, slice);
     result.query_id = state->id;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -204,7 +282,7 @@ void QueryService::WorkerLoop() {
 }
 
 ServedResult QueryService::RunQuery(
-    const std::shared_ptr<Ticket::State>& state) {
+    const std::shared_ptr<Ticket::State>& state, ThreadPool* slice) {
   ServedResult result;
   const auto started = std::chrono::steady_clock::now();
   result.queue_ms =
@@ -249,6 +327,12 @@ ServedResult QueryService::RunQuery(
 
   QueryCorrector::Options correction = options_.correction;
   correction.cancel = token;
+  // Every engine this query drives — split scans, MC grid, bootstrap loop —
+  // runs on this worker's private slice pool, never the process default:
+  // that is what keeps concurrent queries inside the engine_threads budget.
+  // An explicitly configured correction pool (options_.correction.pool)
+  // wins — the caller opted out of slicing.
+  if (correction.pool == nullptr) correction.pool = slice;
   correction.attach_bootstrap = level != DegradeLevel::kPointOnly;
   correction.bootstrap.replicates = level == DegradeLevel::kReducedReplicates
                                         ? options_.reduced_replicates
@@ -260,8 +344,40 @@ ServedResult QueryService::RunQuery(
     };
   }
 
+  // Answer memo (sample_cache.h): the whole computation this query is about
+  // to run is a deterministic function of (snapshot, sql, replicates,
+  // interval flag) — the seeds are in the shared options — so a prior
+  // identical query's completed answer IS this query's answer, bit for bit.
+  std::string memo_key;
+  if (state->artifacts != nullptr) {
+    memo_key = SampleArtifacts::AnswerKey(state->sql,
+                                          correction.bootstrap.replicates,
+                                          correction.attach_bootstrap);
+    CorrectedAnswer memoized;
+    if (state->artifacts->LookupAnswer(memo_key, &memoized)) {
+      result.answer = std::move(memoized);
+      result.degraded = by_choice ? DegradeLevel::kNone : level;
+      if (result.answer.bootstrap_valid) {
+        result.replicates_used = correction.bootstrap.replicates;
+      }
+      result.run_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+      return result;
+    }
+  }
+
+  // Cached artifacts (pinned at admission) let the correction skip the
+  // per-query flatten / sort / stats / advice; the SamplePrecomp contract
+  // keeps the answer bit-identical to the uncached path.
+  SamplePrecomp pre;
+  const SamplePrecomp* pre_ptr = nullptr;
+  if (state->artifacts != nullptr) {
+    pre = state->artifacts->precomp();
+    pre_ptr = &pre;
+  }
   const QueryCorrector corrector(correction);
-  auto answer = corrector.CorrectSql(*state->sample, state->sql);
+  auto answer = corrector.CorrectSql(*state->sample, state->sql, pre_ptr);
   result.run_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - started)
                       .count();
@@ -275,6 +391,11 @@ ServedResult QueryService::RunQuery(
     // The deadline expired inside the interval loop: the point estimate is
     // exact, the interval is gone — the on-the-fly point-only rung.
     result.degraded = DegradeLevel::kPointOnly;
+  } else if (!memo_key.empty()) {
+    // Complete answer (interval not abandoned): safe to memoize. Injected
+    // replicate stalls only sleep, they never change values, so even a
+    // faulted run's completed answer is the canonical one.
+    state->artifacts->MemoizeAnswer(memo_key, result.answer);
   }
   if (result.answer.bootstrap_valid) {
     result.replicates_used = correction.bootstrap.replicates;

@@ -55,8 +55,10 @@
 
 #include "common/cancel.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/query_correction.h"
 #include "serving/fault_injector.h"
+#include "serving/sample_cache.h"
 
 namespace uuq {
 
@@ -70,9 +72,26 @@ enum class DegradeLevel : int {
 const char* DegradeLevelName(DegradeLevel level);
 
 struct ServingOptions {
-  /// Serving worker threads (each runs one query at a time; the engines
-  /// underneath parallelize on `correction`'s pools as usual).
+  /// Serving worker threads (each runs one query at a time). The service
+  /// CLAMPS this to `engine_threads`: each worker drives its engines on a
+  /// PRIVATE ThreadPool slice and the slices sum to exactly engine_threads
+  /// (thread_pool.h, POOL SHARING), so total live engine parallelism never
+  /// exceeds the engine budget no matter how many workers are configured —
+  /// a worker beyond that count could never hold a hardware thread anyway,
+  /// it would only oversubscribe the box and inflate p99.
   int workers = 2;
+  /// Total engine parallelism budget shared by all workers; 0 means
+  /// ThreadPool::DefaultNumThreads() (the UUQ_THREADS contract). Slice
+  /// sizing is pure scheduling — every engine is bit-identical at any
+  /// thread count — so this knob never changes results.
+  int engine_threads = 0;
+  /// Build + reuse per-registered-sample artifacts (sample_cache.h): the
+  /// flattened SampleView, sorted entity index, whole-sample stats, and
+  /// advisor verdict are computed once at RegisterSample and shared by
+  /// every query on that sample. Cached results are bit-identical to the
+  /// uncached path. The UUQ_SERVE_CACHE=0 environment escape hatch
+  /// overrides this to off at service construction.
+  bool cache_artifacts = true;
   /// Admitted-but-not-finished requests beyond which Submit() sheds.
   int max_queue = 64;
   /// Deadline budget for requests that do not bring their own.
@@ -115,6 +134,14 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Registers (or replaces) a named sample; queries reference it by name.
+  /// With the artifact cache on, the sample's artifacts are built HERE
+  /// (once), and replacement atomically evicts the old entry: queries
+  /// already in flight keep the snapshot they pinned at admission (and
+  /// finish bit-identical on it), new admissions see only the new sample.
+  /// Replacing a sample with a meaningfully smaller one also requests a
+  /// cooperative engine-scratch trim (common/scratch_metrics.h), so a
+  /// long-lived server does not pin the largest-ever sample's scratch
+  /// high-water forever.
   void RegisterSample(const std::string& name,
                       std::shared_ptr<const IntegratedSample> sample);
 
@@ -122,9 +149,12 @@ class QueryService {
   class Ticket {
    public:
     Ticket() = default;
-    /// Blocks until the query finishes (idempotent).
+    /// Blocks until the query finishes (idempotent). On a
+    /// default-constructed Ticket (no query behind it) this returns a
+    /// ServedResult with kFailedPrecondition instead of crashing.
     ServedResult Wait();
     /// Requests cooperative cancellation (kCancelled unless already done).
+    /// No-op on a default-constructed Ticket.
     void Cancel();
     uint64_t id() const;
 
@@ -151,28 +181,43 @@ class QueryService {
                            std::chrono::nanoseconds(0),
                        bool want_interval = true);
 
-  /// Monotonic counters since construction.
+  /// Monotonic counters since construction (plus two point-in-time gauges).
   struct Stats {
     int64_t admitted = 0;
     int64_t shed = 0;        ///< rejected at Submit (queue full)
     int64_t completed = 0;   ///< finished with kOk
     int64_t degraded = 0;    ///< finished kOk below level 0
     int64_t failed = 0;      ///< finished with any non-OK status
+    /// Gauge: approximate bytes currently held by engine scratch
+    /// process-wide (thread_local IndexScratch + SampleArena pools; see
+    /// common/scratch_metrics.h). Falls after a smaller-sample replacement
+    /// once the workers' next queries trigger the cooperative trim.
+    int64_t resident_scratch_bytes = 0;
+    /// Gauge: entries currently in the sample-artifact cache (0 when the
+    /// cache is disabled).
+    int64_t cached_samples = 0;
   };
   Stats stats() const;
+
+  /// True when the artifact cache is active (options + UUQ_SERVE_CACHE).
+  bool cache_enabled() const { return cache_ != nullptr; }
 
   /// Drains: pending queries finish with kCancelled, workers join.
   /// Idempotent; Submit afterwards returns kFailedPrecondition.
   void Shutdown();
 
  private:
-  void WorkerLoop();
-  ServedResult RunQuery(const std::shared_ptr<Ticket::State>& state);
+  void WorkerLoop(ThreadPool* slice);
+  ServedResult RunQuery(const std::shared_ptr<Ticket::State>& state,
+                        ThreadPool* slice);
   static void Finish(const std::shared_ptr<Ticket::State>& state,
                      ServedResult result);
 
   const ServingOptions options_;
   FaultInjector* faults_;  // never null after construction
+  /// Non-null when artifact caching is active. Owned; entries are shared
+  /// snapshots pinned by in-flight queries (sample_cache.h).
+  std::unique_ptr<SampleCache> cache_;
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;
@@ -183,6 +228,11 @@ class QueryService {
   uint64_t next_query_id_ = 1;
   Stats stats_;
 
+  /// One private engine-pool slice per worker, sized so the slices sum to
+  /// engine_threads (header comment on ServingOptions::workers). Declared
+  /// before workers_ and destroyed after them — workers always outlive the
+  /// pools they drive.
+  std::vector<std::unique_ptr<ThreadPool>> slice_pools_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,84 @@
+#include "serving/sample_cache.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace uuq {
+namespace {
+
+std::shared_ptr<const IntegratedSample> CheckedSample(
+    std::shared_ptr<const IntegratedSample> sample) {
+  UUQ_CHECK(sample != nullptr);
+  return sample;
+}
+
+}  // namespace
+
+SampleArtifacts::SampleArtifacts(
+    std::shared_ptr<const IntegratedSample> sample_in,
+    const EstimatorAdvisor::Options& advisor)
+    : sample(CheckedSample(std::move(sample_in))),
+      view(*sample),
+      index(sample->entities()),
+      stats(SampleStats::FromSample(*sample)),
+      advice(EstimatorAdvisor(advisor).Advise(*sample)) {}
+
+std::string SampleArtifacts::AnswerKey(const std::string& sql, int replicates,
+                                       bool attach_interval) {
+  if (!attach_interval) replicates = 0;
+  return sql + "|B=" + std::to_string(replicates) +
+         (attach_interval ? "|interval" : "|point");
+}
+
+bool SampleArtifacts::LookupAnswer(const std::string& key,
+                                   CorrectedAnswer* out) const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  const auto it = memo_.find(key);
+  if (it == memo_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void SampleArtifacts::MemoizeAnswer(const std::string& key,
+                                    const CorrectedAnswer& answer) const {
+  UUQ_DCHECK(!answer.bootstrap_aborted);
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  if (memo_.size() >= kAnswerMemoCapacity) return;
+  memo_.emplace(key, answer);  // first writer wins (identical by contract)
+}
+
+std::shared_ptr<const SampleArtifacts> SampleCache::Put(
+    const std::string& name, std::shared_ptr<const IntegratedSample> sample) {
+  auto artifacts =
+      std::make_shared<const SampleArtifacts>(std::move(sample),
+                                              advisor_options_);
+  Install(name, artifacts);
+  return artifacts;
+}
+
+void SampleCache::Install(const std::string& name,
+                          std::shared_ptr<const SampleArtifacts> artifacts) {
+  UUQ_CHECK(artifacts != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[name] = std::move(artifacts);
+}
+
+std::shared_ptr<const SampleArtifacts> SampleCache::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() ? it->second : nullptr;
+}
+
+void SampleCache::Erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(name);
+}
+
+size_t SampleCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace uuq

@@ -65,6 +65,15 @@ double Quantile(std::vector<double> xs, double q) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+double SortedPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t idx = static_cast<size_t>(pos + 0.5);  // nearest rank, ties up
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
 double MeanRelativeError(const std::vector<double>& estimates,
                          double reference) {
   if (estimates.empty() || reference == 0.0) return 0.0;

@@ -29,6 +29,16 @@ double Median(std::vector<double> xs);
 /// Linear-interpolated quantile, q in [0, 1]. NaN for empty input.
 double Quantile(std::vector<double> xs, double q);
 
+/// Nearest-rank percentile of an ALREADY-SORTED (ascending) vector, q in
+/// [0, 1]. No copy, no interpolation: returns the element at rank
+/// round(q·(n−1)) — i.e. the observed value whose rank is closest to the
+/// requested quantile position, ties rounding up (0.5 → the higher rank).
+/// So q=0 is the min, q=1 the max, and q=0.5 on an even-length input is the
+/// UPPER of the two middle values (unlike Quantile, which interpolates).
+/// Preferred for latency tails, where an actually-observed value is more
+/// honest than an interpolated one. NaN for empty input.
+double SortedPercentile(const std::vector<double>& sorted, double q);
+
 /// Mean absolute relative error of estimates vs a reference value.
 double MeanRelativeError(const std::vector<double>& estimates,
                          double reference);

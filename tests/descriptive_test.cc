@@ -71,6 +71,31 @@ TEST(Quantile, ClampsOutOfRangeQ) {
 
 TEST(Quantile, EmptyIsNan) { EXPECT_TRUE(std::isnan(Quantile({}, 0.5))); }
 
+TEST(SortedPercentile, NearestRankTiesUp) {
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  // pos = q*(n-1); nearest rank, exact halves round UP (returns an
+  // actually-observed value, never an interpolation).
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 0.125), 20.0);  // pos 0.5 → idx 1
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 0.1), 10.0);    // pos 0.4 → idx 0
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 0.99), 50.0);
+}
+
+TEST(SortedPercentile, TwoElementsAndClamps) {
+  const std::vector<double> xs{1, 2};
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 0.5), 2.0);  // pos 0.5 ties up
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 0.49), 1.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile({7.0}, 0.99), 7.0);
+}
+
+TEST(SortedPercentile, EmptyIsNan) {
+  EXPECT_TRUE(std::isnan(SortedPercentile({}, 0.5)));
+}
+
 TEST(MeanRelativeError, KnownValue) {
   // estimates {90, 110} vs 100: errors 0.1 and 0.1 -> mean 0.1.
   EXPECT_NEAR(MeanRelativeError({90, 110}, 100.0), 0.1, 1e-12);

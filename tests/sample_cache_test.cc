@@ -1,0 +1,171 @@
+// Unit tests for the cross-query sample-artifact cache: artifact
+// construction matches the from-scratch equivalents bit for bit, snapshot
+// replacement semantics (evict for new lookups, pinned snapshots survive),
+// and the capacity-capped answer memo.
+#include "serving/sample_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/advisor.h"
+#include "core/bucket.h"
+
+namespace uuq {
+namespace {
+
+std::shared_ptr<const IntegratedSample> SmallSample(double scale) {
+  auto sample = std::make_shared<IntegratedSample>();
+  for (int e = 0; e < 24; ++e) {
+    const int copies = 1 + (e % 3);
+    for (int k = 0; k < copies; ++k) {
+      sample->Add("w" + std::to_string((e + k) % 6), "e" + std::to_string(e),
+                  scale * (e + 1));
+    }
+  }
+  return sample;
+}
+
+TEST(SampleArtifacts, MatchFromScratchConstruction) {
+  const auto sample = SmallSample(10.0);
+  const EstimatorAdvisor::Options advisor_options;
+  const SampleArtifacts artifacts(sample, advisor_options);
+
+  // View: same flattening as a fresh SampleView.
+  const SampleView fresh_view(*sample);
+  EXPECT_EQ(artifacts.view.num_sources(), fresh_view.num_sources());
+  EXPECT_EQ(artifacts.view.num_entities(), fresh_view.num_entities());
+  EXPECT_EQ(artifacts.view.num_observations(), fresh_view.num_observations());
+  ASSERT_EQ(artifacts.view.entity_rank_order().size(),
+            fresh_view.entity_rank_order().size());
+  for (size_t i = 0; i < fresh_view.entity_rank_order().size(); ++i) {
+    EXPECT_EQ(artifacts.view.entity_rank_order()[i],
+              fresh_view.entity_rank_order()[i]);
+  }
+
+  // Index: same canonical sorted content as a fresh SortedEntityIndex.
+  const SortedEntityIndex fresh_index(sample->entities());
+  ASSERT_EQ(artifacts.index.size(), fresh_index.size());
+  for (size_t i = 0; i < fresh_index.size(); ++i) {
+    EXPECT_EQ(artifacts.index.entities()[i].value,
+              fresh_index.entities()[i].value);
+    EXPECT_EQ(artifacts.index.entities()[i].multiplicity,
+              fresh_index.entities()[i].multiplicity);
+  }
+
+  // Stats + advice: same folds and the same verdict.
+  const SampleStats fresh_stats = SampleStats::FromSample(*sample);
+  EXPECT_EQ(artifacts.stats.n, fresh_stats.n);
+  EXPECT_EQ(artifacts.stats.f1, fresh_stats.f1);
+  EXPECT_EQ(artifacts.stats.value_sum, fresh_stats.value_sum);
+  const Advice fresh_advice =
+      EstimatorAdvisor(advisor_options).Advise(*sample);
+  EXPECT_EQ(artifacts.advice.choice, fresh_advice.choice);
+  EXPECT_EQ(artifacts.advice.coverage, fresh_advice.coverage);
+
+  // precomp() wires exactly this bundle's artifacts.
+  const SamplePrecomp pre = artifacts.precomp();
+  EXPECT_EQ(pre.view, &artifacts.view);
+  EXPECT_EQ(pre.index, &artifacts.index);
+  EXPECT_EQ(pre.stats, &artifacts.stats);
+  EXPECT_EQ(pre.advice, &artifacts.advice);
+}
+
+TEST(SampleCache, PutGetEraseAndReplacementKeepsPinnedSnapshot) {
+  SampleCache cache{EstimatorAdvisor::Options{}};
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get("s"), nullptr);
+
+  const auto first = cache.Put("s", SmallSample(10.0));
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get("s"), first);
+
+  // Replacement: new lookups see the new snapshot; the old one stays fully
+  // usable for whoever pinned it (refcount is the mechanism).
+  const auto second = cache.Put("s", SmallSample(3.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get("s"), second);
+  EXPECT_NE(first, second);
+  EXPECT_GT(first->stats.value_sum, second->stats.value_sum);
+
+  cache.Erase("s");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get("s"), nullptr);
+  // first/second still alive here — destruction order is refcounted.
+}
+
+TEST(SampleCache, InstallPublishesPrebuiltSnapshot) {
+  SampleCache cache{EstimatorAdvisor::Options{}};
+  auto artifacts = std::make_shared<const SampleArtifacts>(
+      SmallSample(2.0), EstimatorAdvisor::Options{});
+  cache.Install("s", artifacts);
+  EXPECT_EQ(cache.Get("s"), artifacts);
+}
+
+TEST(SampleArtifactsMemo, KeyNormalizesPointOnlyReplicates) {
+  // Point-only answers do not depend on the replicate count.
+  EXPECT_EQ(SampleArtifacts::AnswerKey("SELECT 1", 24, false),
+            SampleArtifacts::AnswerKey("SELECT 1", 6, false));
+  EXPECT_NE(SampleArtifacts::AnswerKey("SELECT 1", 24, true),
+            SampleArtifacts::AnswerKey("SELECT 1", 6, true));
+  EXPECT_NE(SampleArtifacts::AnswerKey("SELECT 1", 24, true),
+            SampleArtifacts::AnswerKey("SELECT 1", 24, false));
+  EXPECT_NE(SampleArtifacts::AnswerKey("SELECT 1", 24, true),
+            SampleArtifacts::AnswerKey("SELECT 2", 24, true));
+}
+
+TEST(SampleArtifactsMemo, LookupAfterMemoizeRoundTrips) {
+  const SampleArtifacts artifacts(SmallSample(1.0),
+                                  EstimatorAdvisor::Options{});
+  const std::string key = SampleArtifacts::AnswerKey("SELECT 1", 24, true);
+  CorrectedAnswer out;
+  EXPECT_FALSE(artifacts.LookupAnswer(key, &out));
+
+  CorrectedAnswer answer;
+  answer.observed = 123.5;
+  answer.corrected = 456.25;
+  answer.bootstrap_valid = true;
+  answer.bootstrap.lo = 400.0;
+  answer.bootstrap.hi = 500.0;
+  artifacts.MemoizeAnswer(key, answer);
+
+  ASSERT_TRUE(artifacts.LookupAnswer(key, &out));
+  EXPECT_EQ(out.observed, 123.5);
+  EXPECT_EQ(out.corrected, 456.25);
+  EXPECT_TRUE(out.bootstrap_valid);
+  EXPECT_EQ(out.bootstrap.lo, 400.0);
+  EXPECT_EQ(out.bootstrap.hi, 500.0);
+  EXPECT_FALSE(artifacts.LookupAnswer(
+      SampleArtifacts::AnswerKey("SELECT 1", 6, true), &out));
+}
+
+TEST(SampleArtifactsMemo, CapacityCapDropsNewKeysNotOldOnes) {
+  const SampleArtifacts artifacts(SmallSample(1.0),
+                                  EstimatorAdvisor::Options{});
+  CorrectedAnswer answer;
+  // Fill to capacity (64) plus change; the overflow keys must be dropped
+  // while every pre-cap key stays resident.
+  for (int i = 0; i < 80; ++i) {
+    answer.observed = static_cast<double>(i);
+    artifacts.MemoizeAnswer(
+        SampleArtifacts::AnswerKey("Q" + std::to_string(i), 24, true),
+        answer);
+  }
+  CorrectedAnswer out;
+  int resident = 0;
+  for (int i = 0; i < 80; ++i) {
+    if (artifacts.LookupAnswer(
+            SampleArtifacts::AnswerKey("Q" + std::to_string(i), 24, true),
+            &out)) {
+      ++resident;
+      EXPECT_EQ(out.observed, static_cast<double>(i));
+      EXPECT_LT(i, 64);  // only pre-cap keys survive
+    }
+  }
+  EXPECT_EQ(resident, 64);
+}
+
+}  // namespace
+}  // namespace uuq

@@ -385,6 +385,200 @@ TEST(QueryService, EnvDrivenFaultsOnlyEverYieldTypedStatuses) {
   }
 }
 
+// --- PR 7: null tickets, artifact cache, replacement, trim, occupancy -----
+
+// Regression: Wait()/Cancel() on a default-constructed Ticket used to
+// dereference a null state_. Contract now: typed failure / no-op.
+TEST(QueryServiceTicket, DefaultConstructedWaitAndCancelAreSafe) {
+  QueryService::Ticket ticket;
+  ticket.Cancel();  // must not crash
+  const ServedResult result = ticket.Wait();
+  EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition)
+      << result.status.ToString();
+  EXPECT_EQ(ticket.id(), 0u);
+  ticket.Cancel();  // still a no-op after Wait
+}
+
+void ExpectBitIdenticalAnswers(const CorrectedAnswer& a,
+                               const CorrectedAnswer& b) {
+  EXPECT_EQ(a.observed, b.observed);
+  EXPECT_EQ(a.corrected, b.corrected);
+  EXPECT_EQ(a.estimate.n_hat, b.estimate.n_hat);
+  EXPECT_EQ(a.estimate.delta, b.estimate.delta);
+  ASSERT_EQ(a.bootstrap_valid, b.bootstrap_valid);
+  if (a.bootstrap_valid) {
+    EXPECT_EQ(a.bootstrap.lo, b.bootstrap.lo);
+    EXPECT_EQ(a.bootstrap.hi, b.bootstrap.hi);
+    EXPECT_EQ(a.bootstrap.median, b.bootstrap.median);
+    ASSERT_EQ(a.bootstrap.replicates.size(), b.bootstrap.replicates.size());
+    for (size_t i = 0; i < a.bootstrap.replicates.size(); ++i) {
+      EXPECT_EQ(a.bootstrap.replicates[i], b.bootstrap.replicates[i]);
+    }
+  }
+}
+
+// The tentpole's bit-identity contract, across every aggregate: a
+// cache-enabled service (first query computes on the precomputed artifacts,
+// repeat queries hit the answer memo) must match a cache-disabled service
+// byte for byte.
+TEST(QueryService, CachedAnswersMatchUncachedBitForBit) {
+  const auto sample = HealthySample();
+  ServingOptions uncached_options = FastOptions();
+  uncached_options.cache_artifacts = false;
+  QueryService cached(FastOptions());
+  QueryService uncached(uncached_options);
+  ASSERT_FALSE(uncached.cache_enabled());
+  cached.RegisterSample("healthy", sample);
+  uncached.RegisterSample("healthy", sample);
+  if (!cached.cache_enabled()) {
+    GTEST_SKIP() << "UUQ_SERVE_CACHE=0 set in this environment";
+  }
+  EXPECT_EQ(cached.stats().cached_samples, 1);
+  EXPECT_EQ(uncached.stats().cached_samples, 0);
+
+  const char* queries[] = {
+      "SELECT SUM(value) FROM integrated",
+      "SELECT COUNT(*) FROM integrated",
+      "SELECT AVG(value) FROM integrated",
+      "SELECT MIN(value) FROM integrated",
+  };
+  for (const char* sql : queries) {
+    const ServedResult reference = uncached.Execute("healthy", sql);
+    const ServedResult first = cached.Execute("healthy", sql);
+    const ServedResult repeat = cached.Execute("healthy", sql);  // memo hit
+    ASSERT_TRUE(reference.status.ok()) << sql;
+    ASSERT_TRUE(first.status.ok()) << sql;
+    ASSERT_TRUE(repeat.status.ok()) << sql;
+    ASSERT_EQ(reference.degraded, DegradeLevel::kNone) << sql;
+    ASSERT_EQ(first.degraded, DegradeLevel::kNone) << sql;
+    ASSERT_EQ(repeat.degraded, DegradeLevel::kNone) << sql;
+    ExpectBitIdenticalAnswers(first.answer, reference.answer);
+    ExpectBitIdenticalAnswers(repeat.answer, reference.answer);
+    EXPECT_EQ(repeat.replicates_used, reference.replicates_used) << sql;
+  }
+}
+
+// Satellite: RegisterSample replacement under load. In-flight queries
+// admitted before the replacement finish bit-identical on the OLD snapshot;
+// queries admitted after use the new sample; the old cache entry is evicted
+// (cached_samples stays 1). ASan (CI matrix) pins the no-use-after-free
+// half: the old snapshot dies when its last pinned query finishes.
+TEST(QueryService, ReplacementUnderLoadKeepsOldSnapshotForInFlight) {
+  const auto old_sample = HealthySample();
+  auto new_sample = std::make_shared<IntegratedSample>();
+  for (int e = 0; e < 20; ++e) {
+    new_sample->Add("w" + std::to_string(e % 5), "n" + std::to_string(e),
+                    7.0 * (e + 1));
+  }
+
+  // Four distinct aggregates so every in-flight query computes for real
+  // (distinct memo keys), slowed enough that the replacement lands while
+  // they run.
+  const char* queries[] = {
+      "SELECT SUM(value) FROM integrated",
+      "SELECT COUNT(*) FROM integrated",
+      "SELECT AVG(value) FROM integrated",
+      "SELECT MIN(value) FROM integrated",
+  };
+  const ServingOptions base = FastOptions();
+  QueryCorrector::Options offline = base.correction;
+  offline.attach_bootstrap = true;
+  offline.bootstrap.replicates = base.full_replicates;
+  const QueryCorrector reference(offline);
+
+  FaultInjector slow(7, [] {
+    std::array<FaultSpec, kNumFaultSites> specs{};
+    specs[static_cast<size_t>(FaultSite::kSlowReplicate)] = {
+        1.0, std::chrono::microseconds(500)};
+    return specs;
+  }());
+  ServingOptions options = base;
+  options.faults = &slow;
+  QueryService service(options);
+  service.RegisterSample("s", old_sample);
+
+  std::vector<QueryService::Ticket> in_flight;
+  for (const char* sql : queries) {
+    auto ticket = service.Submit("s", sql, std::chrono::seconds(30));
+    ASSERT_TRUE(ticket.ok());
+    in_flight.push_back(ticket.value());
+  }
+  service.RegisterSample("s", new_sample);  // replace while they run
+  EXPECT_EQ(service.stats().cached_samples,
+            service.cache_enabled() ? 1 : 0);
+
+  for (size_t i = 0; i < in_flight.size(); ++i) {
+    const ServedResult served = in_flight[i].Wait();
+    ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+    ASSERT_EQ(served.degraded, DegradeLevel::kNone);
+    auto expect = reference.CorrectSql(*old_sample, queries[i]);
+    ASSERT_TRUE(expect.ok());
+    ExpectBitIdenticalAnswers(served.answer, expect.value());
+  }
+  for (const char* sql : queries) {
+    const ServedResult served =
+        service.Execute("s", sql, std::chrono::seconds(30));
+    ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+    ASSERT_EQ(served.degraded, DegradeLevel::kNone);
+    auto expect = reference.CorrectSql(*new_sample, sql);
+    ASSERT_TRUE(expect.ok());
+    ExpectBitIdenticalAnswers(served.answer, expect.value());
+  }
+}
+
+// Satellite: a long-lived server must not pin the largest-ever sample's
+// engine scratch forever. Replacing a large sample with a small one
+// requests a cooperative trim; the next queries execute it on the engine
+// threads, and the resident-bytes gauge falls.
+TEST(QueryService, ReplacingLargeSampleWithSmallReleasesScratch) {
+  auto big = std::make_shared<IntegratedSample>();
+  for (int e = 0; e < 4000; ++e) {
+    big->Add("w" + std::to_string(e % 6), "b" + std::to_string(e),
+             1.0 + (e % 97));
+  }
+  ServingOptions options = FastOptions();
+  options.workers = 1;
+  options.engine_threads = 1;  // one engine thread → trim is deterministic
+  options.cache_artifacts = false;  // every query exercises scratch
+  QueryService service(options);
+
+  service.RegisterSample("s", big);
+  ASSERT_TRUE(service.Execute("s", kSumSql).status.ok());
+  const int64_t after_big = service.stats().resident_scratch_bytes;
+  EXPECT_GT(after_big, 0);
+
+  service.RegisterSample("s", HealthySample());  // smaller → trim request
+  ASSERT_TRUE(service.Execute("s", kSumSql).status.ok());
+  const int64_t after_small = service.stats().resident_scratch_bytes;
+  EXPECT_LT(after_small, after_big);
+  EXPECT_GE(after_small, 0);
+}
+
+// Acceptance criterion: total live engine threads never exceed the engine
+// budget, no matter how many workers are configured. workers=8 against a
+// budget of 2 must clamp to 2 one-thread (inline) slices.
+TEST(QueryService, EngineOccupancyNeverExceedsBudget) {
+  ServingOptions options = FastOptions();
+  options.workers = 8;
+  options.engine_threads = 2;
+  options.cache_artifacts = false;  // memo hits would skip the engines
+  QueryService service(options);
+  service.RegisterSample("healthy", HealthySample());
+
+  ThreadPool::ResetMaxOccupancy();
+  std::vector<QueryService::Ticket> tickets;
+  for (int q = 0; q < 12; ++q) {
+    auto ticket = service.Submit("healthy", kSumSql, std::chrono::seconds(30));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  for (auto& ticket : tickets) {
+    EXPECT_TRUE(ticket.Wait().status.ok());
+  }
+  EXPECT_LE(ThreadPool::MaxOccupancy(), 2);
+  EXPECT_GT(ThreadPool::MaxOccupancy(), 0);
+}
+
 // Acceptance criterion 3: across 100 seeded fault schedules every injected
 // fault class surfaces as its typed Status — never a crash, never an
 // unexpected code, and level-0 successes still match the offline answer.
