@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "core/avg.h"
+#include "core/correction_telemetry.h"
 #include "core/bucket.h"
 #include "core/count.h"
 #include "core/frequency.h"
@@ -176,6 +177,10 @@ Result<CorrectedAnswer> QueryCorrector::CorrectFiltered(
         answer.bootstrap_valid = true;
       }
     }
+    // Every produced answer — clamped or not — feeds the process-wide
+    // clamp/coverage counters the accuracy trajectory reads; typed-status
+    // failures above return without counting.
+    internal::RecordCorrection(answer);
     return answer;
   };
 

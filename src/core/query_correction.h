@@ -38,6 +38,9 @@ struct CorrectedAnswer {
   /// — see chao92.cc): nothing constrains the unknown-unknowns impact at
   /// this sample size, so `corrected` falls back to `observed` instead of
   /// reporting inf/NaN. The raw degenerate output stays in `estimate`.
+  /// Every produced answer also feeds the process-wide clamp/coverage
+  /// counters (core/correction_telemetry.h), so clamp frequency is a
+  /// measured output — the accuracy matrix gates it in CI.
   bool unconstrained = false;
   Estimate estimate;       ///< the underlying estimator output
   Advice advice;           ///< §6.5 estimator advice + coverage warning

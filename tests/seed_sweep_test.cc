@@ -1,0 +1,69 @@
+// Pins the documented seed-sweep claim on the calibrated UsTechEmployment
+// workload (simulation/scenarios.h): "Across 20 seeds, 17 reproduce the
+// paper's estimator ordering; the default picks a representative one."
+//
+// "Reproduces the paper's ordering" here is the Figure 2/4 shape made
+// precise: at the full 500-answer stream,
+//   * naive > freq > bucket   (the §6.1.1 overestimation ordering),
+//   * bucket is strictly closest to the ground truth of the three, and
+//   * bucket lands within 10% of truth (the "within a few percent"
+//     narrative of Figure 4).
+// Exactly seeds {7, 13, 20} fail — 7 and 20 break the ordering (freq lands
+// too close to bucket), 13 leaves bucket 11.9% under truth — and the
+// documented default seed (14) is one of the 17. A calibration change to
+// the population or crowd generator that silently shifts which seeds
+// reproduce the paper shape fails here, next to the header that makes the
+// claim.
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/bucket.h"
+#include "core/frequency.h"
+#include "core/naive.h"
+#include "integration/sample.h"
+#include "simulation/scenarios.h"
+
+namespace uuq {
+namespace {
+
+bool ReproducesPaperOrdering(uint64_t seed) {
+  const Scenario scenario = scenarios::UsTechEmployment(seed);
+  IntegratedSample sample;
+  for (const Observation& obs : scenario.stream) sample.Add(obs);
+
+  const double truth = scenario.ground_truth_sum;
+  const double naive = NaiveEstimator().EstimateImpact(sample).corrected_sum;
+  const double freq =
+      FrequencyEstimator().EstimateImpact(sample).corrected_sum;
+  const double bucket =
+      BucketSumEstimator().EstimateImpact(sample).corrected_sum;
+
+  const bool ordered = naive > freq && freq > bucket;
+  const bool bucket_closest =
+      std::fabs(bucket - truth) < std::fabs(freq - truth) &&
+      std::fabs(bucket - truth) < std::fabs(naive - truth);
+  const bool bucket_close = std::fabs(bucket / truth - 1.0) < 0.10;
+  return ordered && bucket_closest && bucket_close;
+}
+
+TEST(SeedSweep, SeventeenOfTwentySeedsReproduceThePaperOrdering) {
+  std::set<uint64_t> failing;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    if (!ReproducesPaperOrdering(seed)) failing.insert(seed);
+  }
+  EXPECT_EQ(failing, (std::set<uint64_t>{7, 13, 20}))
+      << "the 17/20 claim in simulation/scenarios.h no longer holds — "
+         "update the header AND this test together with the calibration "
+         "change that moved it";
+}
+
+TEST(SeedSweep, DocumentedDefaultSeedIsRepresentative) {
+  // scenarios.h promises the default (seed 14) is one of the 17.
+  EXPECT_TRUE(ReproducesPaperOrdering(14));
+}
+
+}  // namespace
+}  // namespace uuq

@@ -1,0 +1,139 @@
+// Boundary contract of the streaker decision rule (integration/diagnostics.h)
+// — the single definition the advisor's materialized and columnar replicate
+// paths share:
+//
+//   StreakerSuspected = (num_sources >= 2 && max_share > max_share_th)
+//                       || gini > gini_th
+//
+// Both inequalities are STRICT, and the max_share branch needs a second
+// source (one source trivially holds 100% of its own sample). The exact
+// edges matter because the accuracy matrix gates the advisor's behaviour:
+// an off-by-one that flips `>` to `>=` would silently reroute whole cells
+// from bucket to Monte-Carlo. Plus a fuzz check that the decision is a pure
+// function of the source-size MULTISET — invariant under any permutation of
+// the report stream.
+#include "integration/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "integration/sample.h"
+
+namespace uuq {
+namespace {
+
+constexpr double kMaxShareTh = 0.5;
+constexpr double kGiniTh = 0.6;
+
+// ---------------------------------------------------------------------------
+// Exact threshold edges.
+// ---------------------------------------------------------------------------
+
+TEST(StreakerBoundary, MaxShareEdgeIsStrict) {
+  // Exactly AT the threshold: not a streaker.
+  EXPECT_FALSE(StreakerSuspected(2, kMaxShareTh, 0.0, kMaxShareTh, kGiniTh));
+  // The smallest representable step above: streaker.
+  const double above = std::nextafter(kMaxShareTh, 1.0);
+  EXPECT_TRUE(StreakerSuspected(2, above, 0.0, kMaxShareTh, kGiniTh));
+  // And just below: not.
+  const double below = std::nextafter(kMaxShareTh, 0.0);
+  EXPECT_FALSE(StreakerSuspected(2, below, 0.0, kMaxShareTh, kGiniTh));
+}
+
+TEST(StreakerBoundary, GiniEdgeIsStrict) {
+  EXPECT_FALSE(StreakerSuspected(5, 0.2, kGiniTh, kMaxShareTh, kGiniTh));
+  EXPECT_TRUE(StreakerSuspected(5, 0.2, std::nextafter(kGiniTh, 1.0),
+                                kMaxShareTh, kGiniTh));
+  EXPECT_FALSE(StreakerSuspected(5, 0.2, std::nextafter(kGiniTh, 0.0),
+                                 kMaxShareTh, kGiniTh));
+}
+
+TEST(StreakerBoundary, SingleSourceMaxShareBranchIsInert) {
+  // One source always has max_share == 1.0; that alone must not flag it.
+  EXPECT_FALSE(StreakerSuspected(1, 1.0, 0.0, kMaxShareTh, kGiniTh));
+  // Two sources with the same share do.
+  EXPECT_TRUE(StreakerSuspected(2, 1.0, 0.0, kMaxShareTh, kGiniTh));
+  // The gini branch still applies at one source (it cannot fire for a
+  // real single-source sample, whose gini is 0 — but the rule itself has
+  // no source-count guard there).
+  EXPECT_TRUE(StreakerSuspected(1, 1.0, 0.7, kMaxShareTh, kGiniTh));
+}
+
+TEST(StreakerBoundary, NumSourcesEdge) {
+  EXPECT_FALSE(StreakerSuspected(0, 0.0, 0.0, kMaxShareTh, kGiniTh));
+  EXPECT_FALSE(StreakerSuspected(1, 0.9, 0.0, kMaxShareTh, kGiniTh));
+  EXPECT_TRUE(StreakerSuspected(2, 0.9, 0.0, kMaxShareTh, kGiniTh));
+}
+
+TEST(StreakerBoundary, AnalyzeSourceSizesHitsTheSameEdges) {
+  // 3 of 6 observations: max_share exactly 0.5 — not suspected.
+  {
+    const auto report = AnalyzeSourceSizes({3, 2, 1});
+    EXPECT_EQ(report.num_sources, 3);
+    EXPECT_DOUBLE_EQ(report.max_share, 0.5);
+    EXPECT_FALSE(report.streaker_suspected);
+    EXPECT_EQ(report.dominant_index, 0);
+  }
+  // 4 of 7: just above one half — suspected.
+  {
+    const auto report = AnalyzeSourceSizes({4, 2, 1});
+    EXPECT_GT(report.max_share, 0.5);
+    EXPECT_TRUE(report.streaker_suspected);
+  }
+  // A lone full dump is not a streaker.
+  {
+    const auto report = AnalyzeSourceSizes({100});
+    EXPECT_DOUBLE_EQ(report.max_share, 1.0);
+    EXPECT_FALSE(report.streaker_suspected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Permutation invariance: the decision reads only per-source totals, so any
+// reordering of the report stream — interleavings, streaker first or last —
+// must produce the identical report.
+// ---------------------------------------------------------------------------
+
+TEST(StreakerBoundary, DecisionIsPermutationInvariantOverTheReportStream) {
+  Rng rng(0x57AB1Eull);
+  for (int round = 0; round < 20; ++round) {
+    // A random multi-source stream: 3..8 sources with uneven quotas over a
+    // shared entity space (duplicates across sources included).
+    const int num_sources = static_cast<int>(rng.NextInt(3, 8));
+    std::vector<Observation> stream;
+    for (int s = 0; s < num_sources; ++s) {
+      const int quota = static_cast<int>(rng.NextInt(1, 40));
+      for (int k = 0; k < quota; ++k) {
+        Observation obs;
+        obs.source_id = "worker-" + std::to_string(s);
+        obs.entity_key = "item-" + std::to_string(rng.NextInt(0, 60));
+        obs.value = static_cast<double>(rng.NextInt(1, 1000));
+        stream.push_back(obs);
+      }
+    }
+
+    IntegratedSample original;
+    for (const Observation& obs : stream) original.Add(obs);
+    const auto reference = AnalyzeSourceImbalance(original);
+
+    for (int shuffle = 0; shuffle < 5; ++shuffle) {
+      rng.Shuffle(&stream);
+      IntegratedSample permuted;
+      for (const Observation& obs : stream) permuted.Add(obs);
+      const auto report = AnalyzeSourceImbalance(permuted);
+      EXPECT_EQ(report.streaker_suspected, reference.streaker_suspected);
+      EXPECT_EQ(report.num_sources, reference.num_sources);
+      EXPECT_EQ(report.max_share, reference.max_share);  // bit-identical
+      EXPECT_EQ(report.gini, reference.gini);
+      EXPECT_EQ(report.dominant_source, reference.dominant_source);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uuq
