@@ -13,13 +13,15 @@ Status CancelToken::ToStatus(const std::string& what) const {
 }
 
 double CancelToken::SecondsRemaining() const {
-  if (state_ == nullptr || !state_->has_deadline) {
+  if (state_ == nullptr) return std::numeric_limits<double>::infinity();
+  const int64_t deadline = state_->deadline_ns.load(std::memory_order_relaxed);
+  if (deadline == internal::CancelShared::kNoDeadline) {
     return std::numeric_limits<double>::infinity();
   }
   if (state_->reason.load(std::memory_order_relaxed) != 0) return 0.0;
-  const auto now = std::chrono::steady_clock::now();
-  if (now >= state_->deadline) return 0.0;
-  return std::chrono::duration<double>(state_->deadline - now).count();
+  const int64_t now = internal::CancelShared::NowNs();
+  if (now >= deadline) return 0.0;
+  return static_cast<double>(deadline - now) * 1e-9;
 }
 
 }  // namespace uuq

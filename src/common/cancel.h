@@ -32,6 +32,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "common/status.h"
@@ -40,10 +42,32 @@ namespace uuq {
 
 namespace internal {
 struct CancelShared {
+  /// Sentinel for "no deadline armed".
+  static constexpr int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+
   // 0 = live, else the terminal StatusCode (kCancelled / kDeadlineExceeded).
+  // Relaxed everywhere: the latch is monotone (0 → terminal, via CAS whose
+  // RMW atomicity alone guarantees exactly one winner), it carries no
+  // payload other threads must observe, and engines only use it to SKIP
+  // work — so no acquire/release edge is load-bearing. Every observer
+  // agrees on the final reason because the CAS can only succeed once.
   std::atomic<int> reason{0};
-  bool has_deadline = false;
-  std::chrono::steady_clock::time_point deadline{};
+
+  /// Deadline as steady_clock nanoseconds-since-epoch (kNoDeadline when
+  /// unarmed). Atomic so SetDeadline can race with Fired()/
+  /// SecondsRemaining() pollers on other threads without a data race — the
+  /// pre-annotation layout (a plain bool + time_point pair) relied on a
+  /// documented arm-before-poll convention that nothing enforced. Relaxed:
+  /// a poller sees either kNoDeadline or one complete armed value (no
+  /// tearing), and the terminal reason is still decided solely by the
+  /// `reason` CAS.
+  std::atomic<int64_t> deadline_ns{kNoDeadline};
+
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
 };
 }  // namespace internal
 
@@ -59,8 +83,13 @@ class CancelToken {
   bool Fired() const {
     if (state_ == nullptr) return false;
     if (state_->reason.load(std::memory_order_relaxed) != 0) return true;
-    if (state_->has_deadline &&
-        std::chrono::steady_clock::now() >= state_->deadline) {
+    const int64_t deadline =
+        state_->deadline_ns.load(std::memory_order_relaxed);
+    if (deadline != internal::CancelShared::kNoDeadline &&
+        internal::CancelShared::NowNs() >= deadline) {
+      // Racing an explicit RequestCancel: whichever CAS lands first decides
+      // the terminal reason; the loser's store is dropped, so the state
+      // never reverts and every observer agrees (CancelShared comment).
       int expected = 0;
       state_->reason.compare_exchange_strong(
           expected, static_cast<int>(StatusCode::kDeadlineExceeded),
@@ -102,12 +131,17 @@ class CancelSource {
  public:
   CancelSource() : state_(std::make_shared<internal::CancelShared>()) {}
 
-  /// Sets/overwrites the deadline. Must be called before tokens are polled
-  /// from other threads (the serving layer arms it at admission, before the
-  /// query runs).
+  /// Sets/overwrites the deadline. Safe to call while tokens are being
+  /// polled from other threads (the deadline is a single atomic — a
+  /// concurrent poller sees either the old value or the new one, never a
+  /// torn mix); the serving layer arms it at admission, before the query
+  /// runs.
   void SetDeadline(std::chrono::steady_clock::time_point deadline) {
-    state_->has_deadline = true;
-    state_->deadline = deadline;
+    state_->deadline_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
   }
   void SetDeadlineAfter(std::chrono::nanoseconds budget) {
     SetDeadline(std::chrono::steady_clock::now() + budget);

@@ -54,11 +54,24 @@
 // doubles division throughput over baseline SSE2). Every clone executes the
 // identical IEEE operations per lane, so results never depend on which
 // clone the resolver picks. No-op where the toolchain/arch lacks
-// target_clones + ifunc support.
+// target_clones + ifunc support, and under ThreadSanitizer: target_clones
+// dispatches through an IRELATIVE ifunc resolver that the dynamic linker
+// runs before the TSan runtime has initialized, which segfaults any binary
+// linking a cloned kernel before main. Dropping the clones under TSan
+// costs only AVX2 division throughput — every clone is bit-identical.
+#if defined(__SANITIZE_THREAD__)
+#define UUQ_VECTOR_CLONES
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define UUQ_VECTOR_CLONES
+#endif
+#endif
+#if !defined(UUQ_VECTOR_CLONES)
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
 #define UUQ_VECTOR_CLONES __attribute__((target_clones("default", "avx2")))
 #else
 #define UUQ_VECTOR_CLONES
+#endif
 #endif
 
 #endif  // UUQ_COMMON_MACROS_H_

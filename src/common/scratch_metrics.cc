@@ -6,6 +6,10 @@ namespace uuq {
 namespace scratch {
 namespace {
 
+// Relaxed-contract gauges (header): the byte gauge is observability only,
+// and the trim epoch is a monotone "please trim at next use" hint each
+// scratch compares against ON ITS OWNING THREAD — neither orders any other
+// memory, so no site below may need more than std::memory_order_relaxed.
 std::atomic<int64_t> g_resident_bytes{0};
 std::atomic<uint64_t> g_trim_epoch{0};
 

@@ -1,0 +1,68 @@
+// Clang thread-safety-analysis annotations (no-ops on other compilers).
+//
+// These macros let -Wthread-safety prove, at COMPILE time, the locking
+// contracts that the bit-identity suites can only check at run time: every
+// UUQ_GUARDED_BY member access must happen with its mutex held, every
+// UUQ_REQUIRES function must be entered with the lock, and an acquire
+// without a matching release is a build error. The CI `clang-safety` lane
+// compiles the whole tree with clang and -Werror=thread-safety, so an
+// unguarded access to annotated state cannot merge (README, "Static
+// analysis").
+//
+// The analysis only understands capabilities it can see attributes on, and
+// libstdc++'s std::mutex carries none — which is why uuq code takes locks
+// through the annotated wrappers in common/mutex.h, never raw std::mutex.
+//
+// Macro set and semantics (mirrors the standard clang/Abseil vocabulary,
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//
+//   UUQ_GUARDED_BY(mu)     data member readable/writable only with mu held
+//   UUQ_PT_GUARDED_BY(mu)  pointer member whose POINTEE is guarded by mu
+//   UUQ_REQUIRES(mu)       function must be called with mu already held
+//   UUQ_ACQUIRE(...)       function acquires the capability (not held on
+//                          entry, held on return)
+//   UUQ_RELEASE(...)       function releases the capability
+//   UUQ_EXCLUDES(mu)       function must NOT be called with mu held
+//                          (deadlock guard for self-locking public APIs)
+//   UUQ_CAPABILITY(name)   class is a capability (the mutex wrapper itself)
+//   UUQ_SCOPED_CAPABILITY  RAII class that acquires in its constructor and
+//                          releases in its destructor
+//   UUQ_ACQUIRED_BEFORE / UUQ_ACQUIRED_AFTER
+//                          documented lock-ordering edges
+//   UUQ_RETURN_CAPABILITY(mu)
+//                          accessor returning a reference to the capability
+//   UUQ_NO_THREAD_SAFETY_ANALYSIS
+//                          opt-out for a function whose safety argument the
+//                          analysis cannot express; every use must carry a
+//                          comment justifying WHY it is safe
+#ifndef UUQ_COMMON_THREAD_ANNOTATIONS_H_
+#define UUQ_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define UUQ_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define UUQ_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+#define UUQ_CAPABILITY(name) UUQ_THREAD_ANNOTATION_(capability(name))
+#define UUQ_SCOPED_CAPABILITY UUQ_THREAD_ANNOTATION_(scoped_lockable)
+#define UUQ_GUARDED_BY(x) UUQ_THREAD_ANNOTATION_(guarded_by(x))
+#define UUQ_PT_GUARDED_BY(x) UUQ_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define UUQ_REQUIRES(...) \
+  UUQ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define UUQ_ACQUIRE(...) \
+  UUQ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define UUQ_RELEASE(...) \
+  UUQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define UUQ_TRY_ACQUIRE(...) \
+  UUQ_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define UUQ_EXCLUDES(...) UUQ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define UUQ_ACQUIRED_BEFORE(...) \
+  UUQ_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define UUQ_ACQUIRED_AFTER(...) \
+  UUQ_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define UUQ_RETURN_CAPABILITY(x) UUQ_THREAD_ANNOTATION_(lock_returned(x))
+#define UUQ_NO_THREAD_SAFETY_ANALYSIS \
+  UUQ_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // UUQ_COMMON_THREAD_ANNOTATIONS_H_

@@ -14,6 +14,8 @@ namespace {
 // The pool whose worker loop the current thread belongs to, if any. Used to
 // run nested ParallelFor calls on the same pool inline instead of
 // deadlocking on the pool's own (busy) workers.
+// thread_local: per-thread pool identity by definition — each worker thread
+// marks itself; a shared variable could not distinguish callers.
 thread_local const ThreadPool* current_pool = nullptr;
 
 // Engine-occupancy gauge (thread_pool.h): how many threads are currently
@@ -22,6 +24,8 @@ thread_local const ThreadPool* current_pool = nullptr;
 // nested inline ParallelFor) from double-counting its thread.
 std::atomic<int64_t> g_occupancy{0};
 std::atomic<int64_t> g_max_occupancy{0};
+// thread_local: nesting depth is a property of the current thread's call
+// stack; it is read/written only by that thread (no atomicity needed).
 thread_local int occupancy_depth = 0;
 
 // RAII participation marker around every stretch of ParallelFor execution
@@ -58,12 +62,17 @@ struct ThreadPool::ForState {
   int64_t end = 0;
   std::function<void(int64_t)> fn;
 
-  std::atomic<int64_t> next{0};  // next unclaimed index
+  // Next unclaimed index. All operations are relaxed: the claim only needs
+  // RMW atomicity (each index handed to exactly one participant) — the
+  // RESULTS of fn(i) are published to the caller through `mu` below (the
+  // participant's `--active` under the lock happens-before the caller's
+  // `active == 0` observation), never through this counter.
+  std::atomic<int64_t> next{0};
 
-  std::mutex mu;
-  std::condition_variable all_done;
-  int active = 0;  // participants currently inside Drain
-  std::exception_ptr first_exception;
+  Mutex mu;
+  CondVar all_done;
+  int active UUQ_GUARDED_BY(mu) = 0;  // participants currently inside Drain
+  std::exception_ptr first_exception UUQ_GUARDED_BY(mu);
 };
 
 ThreadPool::ThreadPool(int num_threads)
@@ -76,10 +85,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -88,9 +97,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -101,13 +109,15 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Drain(ForState* state) {
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     ++state->active;
   }
   const OccupancyScope occupancy;
   std::exception_ptr exception;
   for (;;) {
-    const int64_t i = state->next.fetch_add(1);
+    // Relaxed claim: uniqueness comes from RMW atomicity; result publication
+    // comes from state->mu at the bottom (ForState comment).
+    const int64_t i = state->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state->end) break;
     try {
       state->fn(i);
@@ -115,17 +125,19 @@ void ThreadPool::Drain(ForState* state) {
       if (!exception) exception = std::current_exception();
       // Abandon the remaining range, as a serial loop would. Storing exactly
       // `end` keeps every later claim >= end even if next had overshot.
-      state->next.store(state->end);
+      // Relaxed: only stops FUTURE claims — a concurrently-claimed index may
+      // still run, exactly as it may under any ordering.
+      state->next.store(state->end, std::memory_order_relaxed);
     }
   }
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     if (exception && !state->first_exception) {
       state->first_exception = exception;
     }
     --state->active;
   }
-  state->all_done.notify_all();
+  state->all_done.NotifyAll();
 }
 
 bool ThreadPool::WouldRunInline(int64_t n) const {
@@ -154,20 +166,20 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   const int helpers =
       static_cast<int>(std::min<int64_t>(num_threads_ - 1, n - 1));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     UUQ_CHECK_MSG(!shutting_down_, "ParallelFor on a destroyed ThreadPool");
     for (int i = 0; i < helpers; ++i) {
       queue_.emplace_back([state] { Drain(state.get()); });
     }
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
 
   Drain(state.get());
 
   // All indices are claimed once the caller's Drain returns (it only exits
   // when next >= end); wait for those still running on registered helpers.
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->all_done.wait(lock, [&state] { return state->active == 0; });
+  MutexLock lock(&state->mu);
+  while (state->active != 0) state->all_done.Wait(lock);
   if (state->first_exception) std::rethrow_exception(state->first_exception);
 }
 

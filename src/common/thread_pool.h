@@ -48,14 +48,15 @@
 #ifndef UUQ_COMMON_THREAD_POOL_H_
 #define UUQ_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace uuq {
 
@@ -131,12 +132,14 @@ class ThreadPool {
   static void Drain(ForState* state);
 
   const int num_threads_;
+  /// Written only by the constructor and joined by the destructor; workers
+  /// never touch it, so it needs no guard.
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar work_available_;
+  std::deque<std::function<void()>> queue_ UUQ_GUARDED_BY(mu_);
+  bool shutting_down_ UUQ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace uuq

@@ -126,6 +126,10 @@ BootstrapInterval BootstrapAggregate(
       std::max(1, options.replicate_block), per_worker_cap);
   const int64_t num_blocks = (replicates + block - 1) / block;
   std::vector<double> values(static_cast<size_t>(replicates));
+  // Cooperative abort flag. Relaxed is sufficient: it only SKIPS remaining
+  // replicates (a delayed observation just runs one more, same as any
+  // interleaving), and the final read below happens after ParallelFor's
+  // join, which already orders every task's stores before it.
   std::atomic<bool> aborted{false};
   pool->ParallelFor(0, num_blocks, [&](int64_t blk) {
         const int64_t begin = blk * block;
@@ -144,8 +148,10 @@ BootstrapInterval BootstrapAggregate(
           if (options.replicate_probe) options.replicate_probe(b);
           Rng rng = streams[static_cast<size_t>(b)];
           if (use_columnar) {
-            // Worker-local buffers: resting-state scratch (sample_view.h)
-            // makes reuse across replicates, views, and pools safe.
+            // thread_local: worker-local replicate buffers — resting-state
+            // scratch (sample_view.h) makes reuse across replicates, views,
+            // and pools safe, and per-thread ownership keeps the warm path
+            // allocation-free without any locking.
             thread_local ReplicateScratch scratch;
             thread_local ReplicateSample rep;
             view.DrawBootstrapSources(&rng, &scratch.draws());
@@ -158,6 +164,8 @@ BootstrapInterval BootstrapAggregate(
           // growing a new IntegratedSample per replicate. The arena hands
           // nested evaluations their own sample, so a `materialized`
           // callback that itself bootstraps stays correct.
+          // thread_local: per-worker arena/draw pools — LIFO lease reuse is
+          // only race-free because no other thread ever touches them.
           thread_local SampleArena arena;
           thread_local std::vector<int32_t> draws;
           view.DrawBootstrapSources(&rng, &draws);
@@ -233,12 +241,16 @@ JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,
           static_cast<int64_t>(interval.sources), [&](int64_t i) {
             const int32_t excluded = static_cast<int32_t>(i);
             if (use_columnar) {
+              // thread_local: worker-local LOO buffers (same resting-state
+              // contract as the bootstrap path above).
               thread_local ReplicateScratch scratch;
               thread_local ReplicateSample rep;
               view.BuildLeaveOneOut(excluded, &scratch, &rep);
               return estimator.EstimateReplicate(rep).corrected_sum;
             }
             // Pooled leave-one-out materialization (see BootstrapAggregate).
+            // thread_local: per-worker arena — same LIFO-lease ownership
+            // argument as the bootstrap path above.
             thread_local SampleArena arena;
             const SampleArena::Lease lease = arena.Acquire(view.policy());
             view.MaterializeLeaveOneOutInto(excluded, lease.get());

@@ -906,6 +906,9 @@ std::vector<ValueBucket> BucketSumEstimator::ComputeBuckets(
 
 std::vector<ValueBucket> BucketSumEstimator::ComputeBuckets(
     const ReplicateSample& rep) const {
+  // thread_local: default warm scratch for callers that bring none — one
+  // per worker thread keeps the replicate path allocation-free without
+  // sharing mutable index state across threads.
   static thread_local IndexScratch scratch;
   return ComputeBuckets(scratch.RebuildIndex(rep));
 }
@@ -965,6 +968,8 @@ Estimate BucketSumEstimator::EstimateImpact(const IntegratedSample& sample,
 
 Estimate BucketSumEstimator::EstimateReplicate(
     const ReplicateSample& rep) const {
+  // thread_local: default warm scratch (same ownership argument as
+  // ComputeBuckets above).
   static thread_local IndexScratch scratch;
   return EstimateReplicate(rep, &scratch);
 }

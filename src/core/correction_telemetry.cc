@@ -7,6 +7,11 @@
 namespace uuq {
 namespace {
 
+// Relaxed-contract counters: pure monotone telemetry — nothing reads them
+// to make a control decision, so fetch_add/load stay memory_order_relaxed
+// (seq_cst here would put an mfence on every correction for no benefit).
+// Tests that assert exact deltas quiesce the engines first, which the
+// ParallelFor/worker joins order for free.
 struct Counters {
   std::atomic<int64_t> corrections{0};
   std::atomic<int64_t> unconstrained_clamps{0};

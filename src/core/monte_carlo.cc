@@ -204,6 +204,8 @@ double MonteCarloEstimator::NhatFromColumns(
           zs[static_cast<size_t>(i)] = std::numeric_limits<double>::infinity();
           return;
         }
+        // thread_local: per-worker simulation buffers — the MC inner loop's
+        // allocation-free contract depends on warm per-thread reuse.
         thread_local SimulationScratch scratch;
         const GridPoint& point = points[static_cast<size_t>(i)];
         Rng rng = streams[static_cast<size_t>(i)];

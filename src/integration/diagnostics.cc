@@ -13,8 +13,9 @@ SourceImbalanceReport AnalyzeSourceSizes(const std::vector<int64_t>& sizes,
   SourceImbalanceReport report;
   report.num_sources = static_cast<int64_t>(sizes.size());
 
-  // Worker-local buffer: this runs once per bootstrap replicate under the
-  // robust estimator, so the derivation must not allocate after warm-up.
+  // thread_local: worker-local buffer — this runs once per bootstrap
+  // replicate under the robust estimator, so the derivation must not
+  // allocate after warm-up, and per-thread ownership needs no locking.
   thread_local std::vector<double> contributions;
   contributions.clear();
   contributions.reserve(sizes.size());

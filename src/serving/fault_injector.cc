@@ -137,6 +137,9 @@ FaultInjector* FaultInjector::FromEnv() {
 bool FaultInjector::ShouldFire(FaultSite site) {
   const size_t s = static_cast<size_t>(site);
   if (specs_[s].probability <= 0.0) return false;
+  // Relaxed claim: schedule determinism needs only that each probe gets a
+  // DISTINCT counter value (RMW atomicity); the header's contract is per
+  // SITE, independent of cross-site or cross-thread ordering.
   const int64_t probe = counters_[s].fetch_add(1, std::memory_order_relaxed);
   const bool fire = ProbeUniform(seed_, site, probe) < specs_[s].probability;
   if (fire) fired_[s].fetch_add(1, std::memory_order_relaxed);

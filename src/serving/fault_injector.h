@@ -60,7 +60,12 @@ class FaultInjector {
   FaultInjector() : FaultInjector(0, {}) {}
   FaultInjector(uint64_t seed, std::array<FaultSpec, kNumFaultSites> specs)
       : seed_(seed), specs_(specs) {
-    for (auto& counter : counters_) counter.store(0);
+    // Relaxed: construction publishes the injector to other threads through
+    // whatever hands them the pointer (Result copy, the FromEnv static init,
+    // a ThreadPool task queue) — never through these counters themselves.
+    for (auto& counter : counters_) {
+      counter.store(0, std::memory_order_relaxed);
+    }
   }
   /// Copyable so Parse can hand one back through Result; the atomics'
   /// snapshots carry over (a copy continues the original's probe schedule).

@@ -40,10 +40,10 @@ struct QueryService::Ticket::State {
   std::chrono::steady_clock::time_point admitted{};
   CancelSource cancel;
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  bool done = false;
-  ServedResult result;
+  Mutex mu;
+  CondVar done_cv;
+  bool done UUQ_GUARDED_BY(mu) = false;
+  ServedResult result UUQ_GUARDED_BY(mu);
 };
 
 ServedResult QueryService::Ticket::Wait() {
@@ -57,8 +57,8 @@ ServedResult QueryService::Ticket::Wait() {
         "Wait() on a default-constructed Ticket (no submitted query)");
     return result;
   }
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->done_cv.wait(lock, [this] { return state_->done; });
+  MutexLock lock(&state_->mu);
+  while (!state_->done) state_->done_cv.Wait(lock);
   return state_->result;
 }
 
@@ -127,7 +127,7 @@ void QueryService::RegisterSample(
   }
   bool request_trim = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = samples_.find(name);
     // Replacement by a smaller sample: the engines' thread_local scratches
     // and arenas still hold the old sample's high-water; ask them to
@@ -147,7 +147,7 @@ Result<QueryService::Ticket> QueryService::Submit(
   state->sql = sql;
   state->want_interval = want_interval;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutting_down_) {
       return Status::FailedPrecondition("QueryService is shut down");
     }
@@ -182,7 +182,7 @@ Result<QueryService::Ticket> QueryService::Submit(
     queue_.push_back(state);
     ++stats_.admitted;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
   Ticket ticket;
   ticket.state_ = std::move(state);
   return ticket;
@@ -202,7 +202,7 @@ ServedResult QueryService::Execute(const std::string& sample_name,
 }
 
 QueryService::Stats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Stats out = stats_;
   out.resident_scratch_bytes = scratch::ResidentBytes();
   out.cached_samples =
@@ -212,13 +212,18 @@ QueryService::Stats QueryService::stats() const {
 
 void QueryService::Shutdown() {
   std::deque<std::shared_ptr<Ticket::State>> orphaned;
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ && workers_.empty()) return;
+    MutexLock lock(&mu_);
     shutting_down_ = true;
     orphaned.swap(queue_);
+    // Claiming the worker handles under the lock makes Shutdown safe to
+    // race with itself (and with the destructor's call): exactly one caller
+    // ends up joining each thread — the old unguarded loop let two
+    // concurrent callers join the same std::thread, which is UB.
+    to_join.swap(workers_);
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   // Queued-but-never-started queries resolve with kCancelled — after
   // admission nothing is silently dropped. Queries a worker already picked
   // up run to completion (their tokens still fire on deadline), which is
@@ -229,32 +234,30 @@ void QueryService::Shutdown() {
     result.status = Status::Cancelled("service shut down before execution");
     result.query_id = state->id;
     Finish(state, std::move(result));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.failed;
   }
-  for (std::thread& worker : workers_) {
+  for (std::thread& worker : to_join) {
     if (worker.joinable()) worker.join();
   }
-  workers_.clear();
 }
 
 void QueryService::Finish(const std::shared_ptr<Ticket::State>& state,
                           ServedResult result) {
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     state->result = std::move(result);
     state->done = true;
   }
-  state->done_cv.notify_all();
+  state->done_cv.NotifyAll();
 }
 
 void QueryService::WorkerLoop(ThreadPool* slice) {
   for (;;) {
     std::shared_ptr<Ticket::State> state;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutting down and drained
       state = queue_.front();
       queue_.pop_front();
@@ -268,7 +271,7 @@ void QueryService::WorkerLoop(ThreadPool* slice) {
     ServedResult result = RunQuery(state, slice);
     result.query_id = state->id;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
       if (result.status.ok()) {
         ++stats_.completed;

@@ -43,18 +43,18 @@
 #define UUQ_SERVING_QUERY_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/query_correction.h"
 #include "serving/fault_injector.h"
@@ -143,7 +143,8 @@ class QueryService {
   /// long-lived server does not pin the largest-ever sample's scratch
   /// high-water forever.
   void RegisterSample(const std::string& name,
-                      std::shared_ptr<const IntegratedSample> sample);
+                      std::shared_ptr<const IntegratedSample> sample)
+      UUQ_EXCLUDES(mu_);
 
   /// Handle to one admitted query.
   class Ticket {
@@ -173,7 +174,7 @@ class QueryService {
   Result<Ticket> Submit(const std::string& sample_name, const std::string& sql,
                         std::chrono::nanoseconds deadline_budget =
                             std::chrono::nanoseconds(0),
-                        bool want_interval = true);
+                        bool want_interval = true) UUQ_EXCLUDES(mu_);
 
   /// Submit + Wait. Admission failures come back in ServedResult::status.
   ServedResult Execute(const std::string& sample_name, const std::string& sql,
@@ -197,14 +198,16 @@ class QueryService {
     /// cache is disabled).
     int64_t cached_samples = 0;
   };
-  Stats stats() const;
+  Stats stats() const UUQ_EXCLUDES(mu_);
 
   /// True when the artifact cache is active (options + UUQ_SERVE_CACHE).
   bool cache_enabled() const { return cache_ != nullptr; }
 
   /// Drains: pending queries finish with kCancelled, workers join.
-  /// Idempotent; Submit afterwards returns kFailedPrecondition.
-  void Shutdown();
+  /// Idempotent; Submit afterwards returns kFailedPrecondition. The FIRST
+  /// caller joins the workers; a concurrent second caller returns without
+  /// waiting for the drain (the destructor's call is the definitive join).
+  void Shutdown() UUQ_EXCLUDES(mu_);
 
  private:
   void WorkerLoop(ThreadPool* slice);
@@ -216,24 +219,30 @@ class QueryService {
   const ServingOptions options_;
   FaultInjector* faults_;  // never null after construction
   /// Non-null when artifact caching is active. Owned; entries are shared
-  /// snapshots pinned by in-flight queries (sample_cache.h).
+  /// snapshots pinned by in-flight queries (sample_cache.h). The pointer is
+  /// set once in the constructor and never changes; SampleCache locks
+  /// itself.
   std::unique_ptr<SampleCache> cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::deque<std::shared_ptr<Ticket::State>> queue_;
-  std::map<std::string, std::shared_ptr<const IntegratedSample>> samples_;
-  bool shutting_down_ = false;
-  int in_flight_ = 0;  // dequeued but not finished (admission accounting)
-  uint64_t next_query_id_ = 1;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar work_available_;
+  std::deque<std::shared_ptr<Ticket::State>> queue_ UUQ_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<const IntegratedSample>> samples_
+      UUQ_GUARDED_BY(mu_);
+  bool shutting_down_ UUQ_GUARDED_BY(mu_) = false;
+  /// Dequeued but not finished (admission accounting).
+  int in_flight_ UUQ_GUARDED_BY(mu_) = 0;
+  uint64_t next_query_id_ UUQ_GUARDED_BY(mu_) = 1;
+  Stats stats_ UUQ_GUARDED_BY(mu_);
 
   /// One private engine-pool slice per worker, sized so the slices sum to
   /// engine_threads (header comment on ServingOptions::workers). Declared
   /// before workers_ and destroyed after them — workers always outlive the
-  /// pools they drive.
+  /// pools they drive. Both vectors are filled by the constructor before
+  /// any concurrency and drained only by Shutdown under mu_; the worker
+  /// threads themselves never touch them (each holds a raw slice pointer).
   std::vector<std::unique_ptr<ThreadPool>> slice_pools_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_ UUQ_GUARDED_BY(mu_);
 };
 
 }  // namespace uuq

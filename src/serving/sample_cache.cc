@@ -33,7 +33,7 @@ std::string SampleArtifacts::AnswerKey(const std::string& sql, int replicates,
 
 bool SampleArtifacts::LookupAnswer(const std::string& key,
                                    CorrectedAnswer* out) const {
-  std::lock_guard<std::mutex> lock(memo_mu_);
+  MutexLock lock(&memo_mu_);
   const auto it = memo_.find(key);
   if (it == memo_.end()) return false;
   *out = it->second;
@@ -43,7 +43,7 @@ bool SampleArtifacts::LookupAnswer(const std::string& key,
 void SampleArtifacts::MemoizeAnswer(const std::string& key,
                                     const CorrectedAnswer& answer) const {
   UUQ_DCHECK(!answer.bootstrap_aborted);
-  std::lock_guard<std::mutex> lock(memo_mu_);
+  MutexLock lock(&memo_mu_);
   if (memo_.size() >= kAnswerMemoCapacity) return;
   memo_.emplace(key, answer);  // first writer wins (identical by contract)
 }
@@ -60,24 +60,24 @@ std::shared_ptr<const SampleArtifacts> SampleCache::Put(
 void SampleCache::Install(const std::string& name,
                           std::shared_ptr<const SampleArtifacts> artifacts) {
   UUQ_CHECK(artifacts != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_[name] = std::move(artifacts);
 }
 
 std::shared_ptr<const SampleArtifacts> SampleCache::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = entries_.find(name);
   return it != entries_.end() ? it->second : nullptr;
 }
 
 void SampleCache::Erase(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.erase(name);
 }
 
 size_t SampleCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 

@@ -39,9 +39,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/advisor.h"
 #include "core/bucket.h"
 #include "core/estimate.h"
@@ -104,18 +105,21 @@ struct SampleArtifacts {
                                bool attach_interval);
 
   /// Copies the memoized answer for `key` into `*out`; false on miss.
-  bool LookupAnswer(const std::string& key, CorrectedAnswer* out) const;
+  bool LookupAnswer(const std::string& key, CorrectedAnswer* out) const
+      UUQ_EXCLUDES(memo_mu_);
 
   /// Memoizes `answer` under `key` (first writer wins; silently dropped at
   /// capacity). Callers must only pass answers from COMPLETE computations —
   /// never one whose interval was abandoned mid-loop (bootstrap_aborted).
   void MemoizeAnswer(const std::string& key,
-                     const CorrectedAnswer& answer) const;
+                     const CorrectedAnswer& answer) const
+      UUQ_EXCLUDES(memo_mu_);
 
  private:
   static constexpr size_t kAnswerMemoCapacity = 64;
-  mutable std::mutex memo_mu_;
-  mutable std::map<std::string, CorrectedAnswer> memo_;
+  mutable Mutex memo_mu_;
+  mutable std::map<std::string, CorrectedAnswer> memo_
+      UUQ_GUARDED_BY(memo_mu_);
 };
 
 /// Name → artifact-snapshot registry. Thread-safe; the lock covers only the
@@ -135,7 +139,7 @@ class SampleCache {
   /// Returns the new snapshot.
   std::shared_ptr<const SampleArtifacts> Put(
       const std::string& name,
-      std::shared_ptr<const IntegratedSample> sample);
+      std::shared_ptr<const IntegratedSample> sample) UUQ_EXCLUDES(mu_);
 
   /// Installs an already-built snapshot under `name` (same replacement
   /// semantics as Put). Lets a caller build artifacts outside its own lock
@@ -143,21 +147,24 @@ class SampleCache {
   /// QueryService::RegisterSample uses this so the sample map and the cache
   /// entry always change atomically with respect to Submit.
   void Install(const std::string& name,
-               std::shared_ptr<const SampleArtifacts> artifacts);
+               std::shared_ptr<const SampleArtifacts> artifacts)
+      UUQ_EXCLUDES(mu_);
 
   /// The current snapshot for `name`, or nullptr when absent.
-  std::shared_ptr<const SampleArtifacts> Get(const std::string& name) const;
+  std::shared_ptr<const SampleArtifacts> Get(const std::string& name) const
+      UUQ_EXCLUDES(mu_);
 
   /// Drops the entry (pinned snapshots stay alive until released).
-  void Erase(const std::string& name);
+  void Erase(const std::string& name) UUQ_EXCLUDES(mu_);
 
   /// Registered entries — observability for tests and Stats.
-  size_t size() const;
+  size_t size() const UUQ_EXCLUDES(mu_);
 
  private:
   const EstimatorAdvisor::Options advisor_options_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const SampleArtifacts>> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<const SampleArtifacts>> entries_
+      UUQ_GUARDED_BY(mu_);
 };
 
 }  // namespace uuq

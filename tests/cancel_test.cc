@@ -81,5 +81,85 @@ TEST(CancelToken, ConcurrentPollersAgreeOnReason) {
   EXPECT_EQ(token.reason(), StatusCode::kCancelled);
 }
 
+// The race the latch exists for: an explicit RequestCancel landing in the
+// same instant the deadline expires. Two threads collide on the `reason`
+// CAS across many iterations with the deadline staggered around "now"
+// (already expired / expiring mid-race / slightly future); whichever store
+// wins, the terminal reason must be exactly one of kCancelled /
+// kDeadlineExceeded, must never revert, and both threads must read the same
+// value. Run under the TSan lane (`ctest -L concurrency`) this also proves
+// the CancelShared layout is data-race-free — the pre-annotation plain
+// bool+time_point deadline pair was not.
+TEST(CancelStress, CancelVsDeadlineRaceLatchesExactlyOneReason) {
+  constexpr int kIterations = 300;
+  for (int i = 0; i < kIterations; ++i) {
+    CancelSource source;
+    // Stagger the deadline around "now" so different iterations exercise
+    // already-expired, expiring-mid-race, and not-yet-expired interleavings
+    // without any sleeps.
+    source.SetDeadlineAfter(std::chrono::microseconds(i % 7));
+    CancelToken token = source.token();
+
+    std::atomic<int> seen_by_canceller{0};
+    std::atomic<int> seen_by_poller{0};
+    std::thread canceller([&source, token, &seen_by_canceller] {
+      source.RequestCancel();
+      while (!token.Fired()) {
+      }
+      seen_by_canceller.store(static_cast<int>(token.reason()),
+                              std::memory_order_relaxed);
+    });
+    std::thread poller([token, &seen_by_poller] {
+      while (!token.Fired()) {
+      }
+      seen_by_poller.store(static_cast<int>(token.reason()),
+                           std::memory_order_relaxed);
+    });
+    canceller.join();
+    poller.join();
+
+    const StatusCode reason = token.reason();
+    EXPECT_TRUE(reason == StatusCode::kCancelled ||
+                reason == StatusCode::kDeadlineExceeded)
+        << "iteration " << i << ": reason "
+        << static_cast<int>(reason);
+    // Both racers observed the same terminal value the owner reads now —
+    // the latch never reverts or splits.
+    EXPECT_EQ(seen_by_canceller.load(std::memory_order_relaxed),
+              static_cast<int>(reason))
+        << "iteration " << i;
+    EXPECT_EQ(seen_by_poller.load(std::memory_order_relaxed),
+              static_cast<int>(reason))
+        << "iteration " << i;
+    // A fired token never reports negative budget.
+    EXPECT_GE(token.SecondsRemaining(), 0.0) << "iteration " << i;
+    // Latch is stable: re-polling cannot change the reason.
+    EXPECT_TRUE(token.Fired());
+    EXPECT_EQ(token.reason(), reason) << "iteration " << i;
+  }
+}
+
+// SetDeadline racing live pollers: the atomic deadline word means a poller
+// reads either "unarmed" or a complete armed value, never a torn mix. The
+// poller spins on SecondsRemaining()/Fired() while the owner re-arms the
+// deadline repeatedly, then finally arms one in the past.
+TEST(CancelStress, RearmingDeadlineWhilePolledIsRaceFree) {
+  CancelSource source;
+  CancelToken token = source.token();
+  std::thread poller([token] {
+    while (!token.Fired()) {
+      ASSERT_GE(token.SecondsRemaining(), 0.0);
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    source.SetDeadlineAfter(std::chrono::seconds(1 + (i % 3)));
+  }
+  // Final arm is already expired, so the poller's next Fired() latches and
+  // the thread exits (the ctest timeout is the only backstop needed).
+  source.SetDeadlineAfter(std::chrono::nanoseconds(0));
+  poller.join();
+  EXPECT_EQ(token.reason(), StatusCode::kDeadlineExceeded);
+}
+
 }  // namespace
 }  // namespace uuq
