@@ -32,9 +32,11 @@
 // full interval (point/lo/hi/median, bootstrap AND jackknife) of the
 // production batched split scan against the scalar reference scan
 // (SplitScanMode::kScalar) and of the default replicate blocking against
-// block=1, all bit-for-bit. UUQ_BENCH_VERIFY=0 skips it (debugging only —
-// CI always runs it), so the ratio gate below can never pass on a
-// wrong-answer speedup.
+// block=1, all bit-for-bit; it also pins the adaptive replicate budget
+// against fixed budgets at both ends of its range (pilot early-stop ==
+// fixed-pilot, cap escalation == fixed-cap). UUQ_BENCH_VERIFY=0 skips it
+// (debugging only — CI always runs it), so the ratio gate below can never
+// pass on a wrong-answer speedup.
 //
 // Rows are APPENDED to bench_out.json so one CI artifact carries both this
 // harness and bench_parallel_speedup.
@@ -136,6 +138,49 @@ void VerifyBatchedAgainstScalar(const IntegratedSample& sample,
               "unblocked replicates (bit-identical intervals)\n");
 }
 
+/// Adaptive-vs-fixed leg of the verify pass: pin both ends of the
+/// pilot-then-refine range. An unreachable epsilon must escalate to the cap
+/// and reproduce the fixed-cap interval bit for bit; a trivially-met
+/// epsilon must stop at the pilot and reproduce the fixed-pilot interval.
+void VerifyAdaptiveAgainstFixed(const IntegratedSample& sample,
+                                const BucketSumEstimator& bucket,
+                                ThreadPool* serial) {
+  BootstrapOptions fixed;
+  fixed.replicates = 48;
+  fixed.pool = serial;
+  fixed.evaluation = ReplicateEvaluation::kColumnar;
+
+  BootstrapOptions adaptive = fixed;
+  adaptive.adaptive.enabled = true;
+  adaptive.adaptive.epsilon = 1e-9;  // unreachable: must escalate to the cap
+  adaptive.adaptive.max_replicates = 48;
+  const BootstrapInterval at_cap =
+      BootstrapCorrectedSum(sample, bucket, adaptive);
+  if (!at_cap.adaptive.precision_degraded ||
+      at_cap.adaptive.replicates_used != 48) {
+    throw Fatal{"verify adaptive cap: expected precision_degraded at 48 "
+                "replicates, got " +
+                std::to_string(at_cap.adaptive.replicates_used)};
+  }
+  CheckSameInterval(at_cap, BootstrapCorrectedSum(sample, bucket, fixed),
+                    "verify adaptive(cap)-vs-fixed-48");
+
+  adaptive.adaptive.epsilon = std::numeric_limits<double>::max();
+  const BootstrapInterval at_pilot =
+      BootstrapCorrectedSum(sample, bucket, adaptive);
+  fixed.replicates = adaptive.adaptive.pilot_replicates;
+  if (!at_pilot.adaptive.target_met ||
+      at_pilot.adaptive.replicates_used != fixed.replicates) {
+    throw Fatal{"verify adaptive pilot: expected early stop at the pilot "
+                "block, got " +
+                std::to_string(at_pilot.adaptive.replicates_used)};
+  }
+  CheckSameInterval(at_pilot, BootstrapCorrectedSum(sample, bucket, fixed),
+                    "verify adaptive(pilot)-vs-fixed-pilot");
+  std::printf("verify pass OK: adaptive budget == fixed budget at both the "
+              "pilot early-stop and the escalation cap\n");
+}
+
 }  // namespace
 }  // namespace uuq
 
@@ -172,6 +217,7 @@ int main() {
     const char* verify_env = std::getenv("UUQ_BENCH_VERIFY");
     if (verify_env == nullptr || std::strcmp(verify_env, "0") != 0) {
       VerifyBatchedAgainstScalar(sample, bucket, &serial);
+      VerifyAdaptiveAgainstFixed(sample, bucket, &serial);
     } else {
       std::printf("verify pass SKIPPED (UUQ_BENCH_VERIFY=0)\n");
     }
@@ -245,6 +291,51 @@ int main() {
     std::printf("%-34s %10.3f ms   %6.2fx batched-vs-scalar scan\n",
                 "bootstrap columnar (scalar scan)", sc_ns / 1e6,
                 scan_speedup);
+
+    // ---- adaptive replicate budget (pilot-then-refine) --------------------
+    // Easy-target workload: epsilon = the fixed-48 interval's full width,
+    // comfortably met by the pilot's spread estimate — the adaptive budget
+    // must answer with STRICTLY fewer replicates than the fixed B=48 spend
+    // while staying bit-identical to the fixed run of its settled size.
+    const BootstrapInterval fixed48 =
+        BootstrapCorrectedSum(sample, bucket, options);
+    BootstrapOptions adaptive_options = options;
+    adaptive_options.adaptive.enabled = true;
+    adaptive_options.adaptive.epsilon = fixed48.hi - fixed48.lo;
+    adaptive_options.adaptive.max_replicates = 48;
+    BootstrapInterval adaptive_ci;
+    const int64_t ad_ns = BestOfRepsNs(reps, [&] {
+      adaptive_ci = BootstrapCorrectedSum(sample, bucket, adaptive_options);
+    });
+    const int adaptive_used = adaptive_ci.adaptive.replicates_used;
+    if (!adaptive_ci.adaptive.target_met || adaptive_used >= 48) {
+      throw Fatal{"adaptive budget did not beat the fixed B=48 spend on the "
+                  "easy-target workload (used " +
+                  std::to_string(adaptive_used) + " replicates)"};
+    }
+    BootstrapOptions prefix_options = options;
+    prefix_options.replicates = adaptive_used;
+    CheckSameInterval(adaptive_ci,
+                      BootstrapCorrectedSum(sample, bucket, prefix_options),
+                      "adaptive-vs-fixed at the settled budget");
+    const double adaptive_speedup =
+        ad_ns > 0 ? static_cast<double>(col_ns) / static_cast<double>(ad_ns)
+                  : 1.0;
+    rows.push_back({"bootstrap[bucket]",
+                    "pr=10,mode=adaptive,eps=width48,cap=48,n=500,"
+                    "metric=replicates",
+                    static_cast<double>(adaptive_used),
+                    48.0 / static_cast<double>(adaptive_used)});
+    rows.push_back({"bootstrap[bucket]",
+                    "pr=10,mode=adaptive,eps=width48,cap=48,n=500,"
+                    "metric=time_to_eps",
+                    static_cast<double>(ad_ns), adaptive_speedup});
+    std::printf("%-34s %10.3f ms   %6.2fx vs fixed B=48 (%d replicates, "
+                "half-width %.1f <= eps %.1f)\n",
+                "bootstrap adaptive (easy target)", ad_ns / 1e6,
+                adaptive_speedup, adaptive_used,
+                adaptive_ci.adaptive.half_width,
+                adaptive_options.adaptive.epsilon);
 
     // ---- determinism across thread counts --------------------------------
     ThreadPool pair(2);

@@ -13,8 +13,17 @@
 // Correctness before speed: a pre-timing verify pass (skippable with
 // UUQ_BENCH_VERIFY=0, debugging only — CI always runs it) executes the same
 // query sequentially on a cache-enabled and a cache-disabled service and
-// requires every answer field to be bit-identical. A wrong-answer cache
-// speedup exits 1, it does not ship.
+// requires every answer field to be bit-identical, and pins the adaptive
+// replicate budget against fixed budgets at both ends of its range
+// (pilot early-stop == fixed-pilot service, cap escalation == fixed-cap
+// service, bit for bit). A wrong-answer speedup exits 1, it does not ship.
+//
+// The pr=10 adaptive comparison: the same open-loop load runs once with the
+// fixed B=48 interval budget and once with a precision target epsilon equal
+// to the fixed run's achieved interval width — equal delivered precision,
+// strictly fewer replicates (the pilot meets the target). Expected shape:
+// >=1.3x corrected-queries/s for the adaptive run (warn-only off-CI boxes,
+// hard under UUQ_BENCH_ENFORCE).
 //
 // Expected shape: p50 close to a single query's corrector latency while
 // the queue stays shallow; p99 dominated by queueing; the cached run
@@ -29,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,22 +67,25 @@ struct LoadResult {
 };
 
 ServingOptions BenchOptions(int workers, int queries, bool cache,
-                            FaultInjector* faults) {
+                            FaultInjector* faults,
+                            int full_replicates = 24) {
   ServingOptions options;
   options.workers = workers;
   options.cache_artifacts = cache;
   options.max_queue = queries + 1;  // admission never sheds in this bench
   options.default_deadline = std::chrono::seconds(60);
   options.full_interval_budget = std::chrono::milliseconds(1);
-  options.full_replicates = 24;
+  options.full_replicates = full_replicates;
   options.faults = faults;
   return options;
 }
 
 LoadResult RunLoad(const std::shared_ptr<const IntegratedSample>& sample,
                    int workers, int queries, bool cache,
-                   FaultInjector* faults) {
-  QueryService service(BenchOptions(workers, queries, cache, faults));
+                   FaultInjector* faults, int full_replicates = 24,
+                   double epsilon = 0.0) {
+  QueryService service(
+      BenchOptions(workers, queries, cache, faults, full_replicates));
   service.RegisterSample("bench", sample);
 
   const auto start = std::chrono::steady_clock::now();
@@ -86,7 +99,9 @@ LoadResult RunLoad(const std::shared_ptr<const IntegratedSample>& sample,
       const int share = queries / kSubmitters + (s == 0 ? queries % kSubmitters : 0);
       tickets[s].reserve(static_cast<size_t>(share));
       for (int q = 0; q < share; ++q) {
-        auto ticket = service.Submit("bench", kSql);
+        auto ticket =
+            service.Submit("bench", kSql, std::chrono::nanoseconds(0),
+                           /*want_interval=*/true, epsilon);
         if (ticket.ok()) tickets[s].push_back(ticket.value());
       }
     });
@@ -202,6 +217,77 @@ void VerifyCachedAgainstUncached(
       "SUM/COUNT/AVG/MAX (points, bounds, intervals)\n");
 }
 
+void CheckSameServedInterval(const ServedResult& adaptive,
+                             const ServedResult& fixed, const char* label) {
+  if (!adaptive.status.ok() || !fixed.status.ok() ||
+      !adaptive.answer.bootstrap_valid || !fixed.answer.bootstrap_valid ||
+      adaptive.replicates_used != fixed.replicates_used) {
+    std::fprintf(stderr,
+                 "FATAL: verify adaptive-vs-fixed: %s shape differs "
+                 "(%d vs %d replicates)\n",
+                 label, adaptive.replicates_used, fixed.replicates_used);
+    std::exit(1);
+  }
+  CheckBitIdentical(adaptive.answer.bootstrap.point,
+                    fixed.answer.bootstrap.point, label);
+  CheckBitIdentical(adaptive.answer.bootstrap.lo, fixed.answer.bootstrap.lo,
+                    label);
+  CheckBitIdentical(adaptive.answer.bootstrap.hi, fixed.answer.bootstrap.hi,
+                    label);
+  CheckBitIdentical(adaptive.answer.bootstrap.median,
+                    fixed.answer.bootstrap.median, label);
+}
+
+/// Adaptive-vs-fixed leg of the verify pass, end to end through the
+/// service: a trivially-met epsilon must stop at the pilot and serve the
+/// exact answer of a fixed-pilot-budget service; an unreachable epsilon
+/// must escalate to the cap, come back precision_degraded, and serve the
+/// exact answer of a fixed-cap-budget service.
+void VerifyAdaptiveAgainstFixed(
+    const std::shared_ptr<const IntegratedSample>& sample) {
+  ServingOptions base =
+      BenchOptions(/*workers=*/1, /*queries=*/8, /*cache=*/false, nullptr);
+  QueryService adaptive_service(base);
+  adaptive_service.RegisterSample("bench", sample);
+
+  QueryService pilot_service(BenchOptions(
+      1, 8, false, nullptr, /*full_replicates=*/base.adaptive_pilot_replicates));
+  pilot_service.RegisterSample("bench", sample);
+  const ServedResult at_pilot = adaptive_service.Execute(
+      "bench", kSql, std::chrono::nanoseconds(0), /*want_interval=*/true,
+      /*epsilon=*/std::numeric_limits<double>::max());
+  if (at_pilot.precision_degraded ||
+      at_pilot.replicates_used != base.adaptive_pilot_replicates) {
+    std::fprintf(stderr,
+                 "FATAL: verify adaptive pilot: expected early stop at %d "
+                 "replicates, used %d\n",
+                 base.adaptive_pilot_replicates, at_pilot.replicates_used);
+    std::exit(1);
+  }
+  CheckSameServedInterval(at_pilot, pilot_service.Execute("bench", kSql),
+                          "adaptive(pilot)-vs-fixed-pilot");
+
+  QueryService cap_service(BenchOptions(
+      1, 8, false, nullptr, /*full_replicates=*/base.adaptive_max_replicates));
+  cap_service.RegisterSample("bench", sample);
+  const ServedResult at_cap = adaptive_service.Execute(
+      "bench", kSql, std::chrono::nanoseconds(0), /*want_interval=*/true,
+      /*epsilon=*/1e-12);
+  if (!at_cap.precision_degraded ||
+      at_cap.replicates_used != base.adaptive_max_replicates) {
+    std::fprintf(stderr,
+                 "FATAL: verify adaptive cap: expected precision_degraded at "
+                 "%d replicates, used %d\n",
+                 base.adaptive_max_replicates, at_cap.replicates_used);
+    std::exit(1);
+  }
+  CheckSameServedInterval(at_cap, cap_service.Execute("bench", kSql),
+                          "adaptive(cap)-vs-fixed-cap");
+  std::printf(
+      "verify pass OK: adaptive budget == fixed budget end to end (pilot "
+      "early-stop and escalation cap, bit-identical served intervals)\n");
+}
+
 }  // namespace
 }  // namespace uuq
 
@@ -223,6 +309,7 @@ int main() {
   const char* verify_env = std::getenv("UUQ_BENCH_VERIFY");
   if (verify_env == nullptr || std::strcmp(verify_env, "0") != 0) {
     VerifyCachedAgainstUncached(sample);
+    VerifyAdaptiveAgainstFixed(sample);
   } else {
     std::printf("verify pass SKIPPED (UUQ_BENCH_VERIFY=0)\n");
   }
@@ -263,6 +350,79 @@ int main() {
   report("on", "off", cached, cache_speedup);
   std::printf("artifact-cache speedup at %d workers: %.2fx\n", workers,
               cache_speedup);
+
+  // ---- adaptive replicate budget at equal precision (pr=10) --------------
+  // Derive the precision target from what the fixed B=48 budget actually
+  // delivers on this sample, then serve the identical load both ways: the
+  // adaptive run answers within the same ±epsilon using only the pilot
+  // block, so equal precision costs strictly fewer replicates. Artifact
+  // caching is off for both runs so the only difference is replicate work
+  // (the answer memo would otherwise short-circuit the fixed run's repeats).
+  double easy_epsilon = 0.0;
+  int adaptive_replicates = 0;
+  {
+    QueryService probe(
+        BenchOptions(1, 8, /*cache=*/false, nullptr, /*full_replicates=*/48));
+    probe.RegisterSample("bench", sample);
+    const ServedResult fixed48 = probe.Execute("bench", kSql);
+    if (!fixed48.status.ok() || !fixed48.answer.bootstrap_valid) {
+      std::fprintf(stderr, "FATAL: could not probe the fixed-48 interval\n");
+      return 1;
+    }
+    easy_epsilon = fixed48.answer.bootstrap.hi - fixed48.answer.bootstrap.lo;
+    const ServedResult probe_adaptive =
+        probe.Execute("bench", kSql, std::chrono::nanoseconds(0),
+                      /*want_interval=*/true, easy_epsilon);
+    adaptive_replicates = probe_adaptive.replicates_used;
+    if (probe_adaptive.precision_degraded || adaptive_replicates >= 48) {
+      std::fprintf(stderr,
+                   "FATAL: adaptive budget did not beat the fixed B=48 spend "
+                   "at equal precision (used %d replicates)\n",
+                   adaptive_replicates);
+      return 1;
+    }
+  }
+  const LoadResult fixed48_load = RunLoad(sample, workers, queries,
+                                          /*cache=*/false, nullptr,
+                                          /*full_replicates=*/48);
+  const LoadResult adaptive_load =
+      RunLoad(sample, workers, queries, /*cache=*/false, nullptr,
+              /*full_replicates=*/48, easy_epsilon);
+  const double adaptive_speedup =
+      adaptive_load.ns_per_query() > 0.0 && fixed48_load.ns_per_query() > 0.0
+          ? fixed48_load.ns_per_query() / adaptive_load.ns_per_query()
+          : 1.0;
+  const std::string adaptive_base =
+      "pr=10,workers=" + std::to_string(workers) +
+      ",queries=" + std::to_string(queries) + ",cache=off,faults=off";
+  rows.push_back({"serving", adaptive_base + ",mode=fixed,B=48,"
+                                             "metric=throughput",
+                  fixed48_load.ns_per_query(), 1.0});
+  rows.push_back({"serving", adaptive_base + ",mode=adaptive,eps=width48,"
+                                             "metric=throughput",
+                  adaptive_load.ns_per_query(), adaptive_speedup});
+  rows.push_back({"serving", adaptive_base + ",mode=adaptive,eps=width48,"
+                                             "metric=replicates",
+                  static_cast<double>(adaptive_replicates),
+                  48.0 / static_cast<double>(adaptive_replicates)});
+  std::printf(
+      "adaptive-vs-fixed at equal precision (eps=%.1f): %.1f vs %.1f "
+      "corrected-queries/s (%.2fx, %d vs 48 replicates)\n",
+      easy_epsilon,
+      adaptive_load.completed / std::max(1e-9, adaptive_load.wall_s),
+      fixed48_load.completed / std::max(1e-9, fixed48_load.wall_s),
+      adaptive_speedup, adaptive_replicates);
+  if (adaptive_speedup < 1.3) {
+    const char* msg = "adaptive equal-precision speedup below the 1.3x "
+                      "acceptance target";
+    if (std::getenv("UUQ_BENCH_ENFORCE") != nullptr) {
+      std::fprintf(stderr, "FATAL: %s (%.2fx)\n", msg, adaptive_speedup);
+      return 1;
+    }
+    std::printf("WARNING: %s (%.2fx, not enforced without "
+                "UUQ_BENCH_ENFORCE)\n",
+                msg, adaptive_speedup);
+  }
 
   auto faults = FaultInjector::Parse(
       0xC4A05, "slow_replicate=0.05:2ms,queue_stall=0.1:1ms,source_load=0.02");

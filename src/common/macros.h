@@ -51,14 +51,19 @@
 
 // Multi-versions a division-bound lane kernel for wider vector units with
 // runtime dispatch (the batched split-scan kernels: 4-wide vdivpd roughly
-// doubles division throughput over baseline SSE2). Every clone executes the
+// doubles division throughput over baseline SSE2, and the avx512f clone
+// runs 8-wide on machines that have it — the large-B adaptive-budget
+// escalation path is where the extra width pays). Every clone executes the
 // identical IEEE operations per lane, so results never depend on which
-// clone the resolver picks. No-op where the toolchain/arch lacks
-// target_clones + ifunc support, and under ThreadSanitizer: target_clones
-// dispatches through an IRELATIVE ifunc resolver that the dynamic linker
-// runs before the TSan runtime has initialized, which segfaults any binary
-// linking a cloned kernel before main. Dropping the clones under TSan
-// costs only AVX2 division throughput — every clone is bit-identical.
+// clone the resolver picks; the kernel files are compiled with
+// -ffp-contract=off so the FMA-capable clones cannot contract a*b+c into
+// a differently-rounded fused op that the default clone lacks (see
+// CMakeLists.txt). No-op where the toolchain/arch lacks target_clones +
+// ifunc support, and under ThreadSanitizer: target_clones dispatches
+// through an IRELATIVE ifunc resolver that the dynamic linker runs before
+// the TSan runtime has initialized, which segfaults any binary linking a
+// cloned kernel before main. Dropping the clones under TSan costs only
+// vector division throughput — every clone is bit-identical.
 #if defined(__SANITIZE_THREAD__)
 #define UUQ_VECTOR_CLONES
 #elif defined(__has_feature)
@@ -68,7 +73,8 @@
 #endif
 #if !defined(UUQ_VECTOR_CLONES)
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
-#define UUQ_VECTOR_CLONES __attribute__((target_clones("default", "avx2")))
+#define UUQ_VECTOR_CLONES \
+  __attribute__((target_clones("default", "avx2", "avx512f")))
 #else
 #define UUQ_VECTOR_CLONES
 #endif

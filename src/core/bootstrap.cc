@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <deque>
 #include <optional>
 
 #include "common/macros.h"
@@ -73,6 +75,31 @@ BootstrapInterval PercentileInterval(double point,
   return interval;
 }
 
+/// Replicates built per mega-batch evaluator call. Bounds the per-thread
+/// slot pool (each slot holds one built replicate's columns) while still
+/// amortizing the batch kernel's per-call setup across many replicates.
+constexpr int64_t kMaxBatchReplicates = 16;
+
+/// One built replicate awaiting batch evaluation. Slots live in a
+/// per-thread deque (BatchSlot is neither copyable nor cheap to move —
+/// deque::emplace_back constructs in place and never relocates).
+struct BatchSlot {
+  ReplicateScratch scratch;
+  ReplicateSample rep;
+};
+
+/// UUQ_MEGA_BATCH=0 disables cross-replicate batching (one-at-a-time
+/// evaluation, the conformance reference); anything else — including unset
+/// — leaves it on. Latched once: flipping the variable mid-process is not
+/// a supported way to reconfigure a running service.
+bool MegaBatchEnvEnabled() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("UUQ_MEGA_BATCH");
+    return value == nullptr || value[0] != '0';
+  }();
+  return enabled;
+}
+
 }  // namespace
 
 BootstrapInterval BootstrapAggregate(
@@ -106,75 +133,133 @@ BootstrapInterval BootstrapAggregate(
 
   // One pre-derived Rng stream per replicate (derived in replicate order)
   // and one result slot per replicate: the values — and therefore the
-  // percentiles — are bit-identical for any thread count. Tasks claim
-  // BLOCKS of consecutive replicates (options.replicate_block) so the
-  // dispatch overhead and a worker's warm scratch amortize across the
-  // block; the per-replicate work is untouched, so the block size is
-  // invisible in the results.
+  // percentiles — are bit-identical for any thread count. Streams grow
+  // INCREMENTALLY: `root.Split()` appended one at a time is, by
+  // construction, the same sequence SplitStreams(B) derives, so an
+  // adaptive run that escalates in rounds sees the exact streams a fixed-B
+  // run sees — the pilot is a bit-exact prefix of any larger budget.
   Rng root(options.seed);
-  const std::vector<Rng> streams = root.SplitStreams(options.replicates);
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<size_t>(options.replicates));
+  const auto ensure_streams = [&](int64_t n) {
+    while (static_cast<int64_t>(streams.size()) < n) {
+      streams.push_back(root.Split());
+    }
+  };
 
-  const int64_t replicates = options.replicates;
-  // The requested block amortizes dispatch, but must never starve a wide
-  // pool: cap it so every worker gets ~4 tasks to claim (a 16-thread pool
-  // with B=48 runs block=1, i.e. the historical one-task-per-replicate
-  // dispatch; the 1-thread replicate hot path keeps the full block).
   ThreadPool* pool = ThreadPool::OrDefault(options.pool);
-  const int64_t per_worker_cap = std::max<int64_t>(
-      1, replicates / (4 * static_cast<int64_t>(pool->num_threads())));
-  const int64_t block = std::min<int64_t>(
-      std::max(1, options.replicate_block), per_worker_cap);
-  const int64_t num_blocks = (replicates + block - 1) / block;
-  std::vector<double> values(static_cast<size_t>(replicates));
+  std::vector<double> values;
   // Cooperative abort flag. Relaxed is sufficient: it only SKIPS remaining
   // replicates (a delayed observation just runs one more, same as any
   // interleaving), and the final read below happens after ParallelFor's
   // join, which already orders every task's stores before it.
   std::atomic<bool> aborted{false};
-  pool->ParallelFor(0, num_blocks, [&](int64_t blk) {
-        const int64_t begin = blk * block;
-        const int64_t end = std::min(replicates, begin + block);
-        for (int64_t b = begin; b < end; ++b) {
-          // Replicate-granularity cancellation: a fired token stops this
-          // task before the next replicate; replicates already in flight on
-          // other workers finish normally and ParallelFor joins them all,
-          // so no task ever outlives this call. The inert default token
-          // makes this a null check — the uncancelled run is untouched.
-          if (aborted.load(std::memory_order_relaxed) ||
-              options.cancel.Fired()) {
-            aborted.store(true, std::memory_order_relaxed);
-            return;
+  const bool use_batch = use_columnar && options.columnar_batch != nullptr &&
+                         MegaBatchEnvEnabled();
+
+  // Evaluates replicates [r_begin, r_end) into values[r_begin..r_end).
+  // Tasks claim BLOCKS of consecutive replicates (options.replicate_block)
+  // so the dispatch overhead and a worker's warm scratch amortize across
+  // the block; the per-replicate work is untouched, so the block size is
+  // invisible in the results. The requested block must never starve a wide
+  // pool: cap it so every worker gets ~4 tasks to claim (a 16-thread pool
+  // with B=48 runs block=1, i.e. the historical one-task-per-replicate
+  // dispatch; the 1-thread replicate hot path keeps the full block).
+  const auto run_range = [&](int64_t r_begin, int64_t r_end) {
+    const int64_t count = r_end - r_begin;
+    if (count <= 0) return;
+    const int64_t per_worker_cap = std::max<int64_t>(
+        1, count / (4 * static_cast<int64_t>(pool->num_threads())));
+    const int64_t block = std::min<int64_t>(
+        std::max(1, options.replicate_block), per_worker_cap);
+    const int64_t num_blocks = (count + block - 1) / block;
+    pool->ParallelFor(0, num_blocks, [&](int64_t blk) {
+      const int64_t begin = r_begin + blk * block;
+      const int64_t end = std::min(r_end, begin + block);
+      if (use_batch && end - begin > 1) {
+        // Cross-replicate mega-batching: build a chunk of replicates into
+        // per-thread slots, then hand the whole chunk to the caller's
+        // batch evaluator (one DeltaFromStatsBatch sweep instead of one
+        // kernel launch per replicate). Draw order, stream assignment, and
+        // per-replicate arithmetic are untouched, so values are
+        // bit-identical to the one-at-a-time path below.
+        // thread_local: worker-local slot pool — per-thread ownership
+        // keeps the warm path allocation-free without locking; deque
+        // because BatchSlot must never relocate once built.
+        thread_local std::deque<BatchSlot> slots;
+        for (int64_t chunk = begin; chunk < end;
+             chunk += kMaxBatchReplicates) {
+          const int64_t chunk_end =
+              std::min(end, chunk + kMaxBatchReplicates);
+          while (slots.size() < static_cast<size_t>(chunk_end - chunk)) {
+            slots.emplace_back();
           }
-          if (options.replicate_probe) options.replicate_probe(b);
-          Rng rng = streams[static_cast<size_t>(b)];
-          if (use_columnar) {
-            // thread_local: worker-local replicate buffers — resting-state
-            // scratch (sample_view.h) makes reuse across replicates, views,
-            // and pools safe, and per-thread ownership keeps the warm path
-            // allocation-free without any locking.
-            thread_local ReplicateScratch scratch;
-            thread_local ReplicateSample rep;
-            view.DrawBootstrapSources(&rng, &scratch.draws());
-            view.BuildReplicate(scratch.draws(), &scratch, &rep);
-            values[static_cast<size_t>(b)] = columnar(rep);
-            continue;
+          const ReplicateSample* ptrs[kMaxBatchReplicates];
+          size_t built = 0;
+          for (int64_t b = chunk; b < chunk_end; ++b) {
+            if (aborted.load(std::memory_order_relaxed) ||
+                options.cancel.Fired()) {
+              aborted.store(true, std::memory_order_relaxed);
+              return;  // partial chunk discarded — aborted runs never
+                       // read these slots
+            }
+            if (options.replicate_probe) options.replicate_probe(b);
+            Rng rng = streams[static_cast<size_t>(b)];
+            BatchSlot& slot = slots[built];
+            view.DrawBootstrapSources(&rng, &slot.scratch.draws());
+            view.BuildReplicate(slot.scratch.draws(), &slot.scratch,
+                                &slot.rep);
+            ptrs[built] = &slot.rep;
+            ++built;
           }
-          // Materializing reference path: rebuild into a pooled sample
-          // (identical to a fresh one through every accessor) instead of
-          // growing a new IntegratedSample per replicate. The arena hands
-          // nested evaluations their own sample, so a `materialized`
-          // callback that itself bootstraps stays correct.
-          // thread_local: per-worker arena/draw pools — LIFO lease reuse is
-          // only race-free because no other thread ever touches them.
-          thread_local SampleArena arena;
-          thread_local std::vector<int32_t> draws;
-          view.DrawBootstrapSources(&rng, &draws);
-          const SampleArena::Lease lease = arena.Acquire(view.policy());
-          view.MaterializeReplicateInto(draws, lease.get());
-          values[static_cast<size_t>(b)] = materialized(*lease);
+          options.columnar_batch(ptrs, built,
+                                 &values[static_cast<size_t>(chunk)]);
         }
-      });
-  if (aborted.load(std::memory_order_relaxed)) {
+        return;
+      }
+      for (int64_t b = begin; b < end; ++b) {
+        // Replicate-granularity cancellation: a fired token stops this
+        // task before the next replicate; replicates already in flight on
+        // other workers finish normally and ParallelFor joins them all,
+        // so no task ever outlives this call. The inert default token
+        // makes this a null check — the uncancelled run is untouched.
+        if (aborted.load(std::memory_order_relaxed) ||
+            options.cancel.Fired()) {
+          aborted.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (options.replicate_probe) options.replicate_probe(b);
+        Rng rng = streams[static_cast<size_t>(b)];
+        if (use_columnar) {
+          // thread_local: worker-local replicate buffers — resting-state
+          // scratch (sample_view.h) makes reuse across replicates, views,
+          // and pools safe, and per-thread ownership keeps the warm path
+          // allocation-free without any locking.
+          thread_local ReplicateScratch scratch;
+          thread_local ReplicateSample rep;
+          view.DrawBootstrapSources(&rng, &scratch.draws());
+          view.BuildReplicate(scratch.draws(), &scratch, &rep);
+          values[static_cast<size_t>(b)] = columnar(rep);
+          continue;
+        }
+        // Materializing reference path: rebuild into a pooled sample
+        // (identical to a fresh one through every accessor) instead of
+        // growing a new IntegratedSample per replicate. The arena hands
+        // nested evaluations their own sample, so a `materialized`
+        // callback that itself bootstraps stays correct.
+        // thread_local: per-worker arena/draw pools — LIFO lease reuse is
+        // only race-free because no other thread ever touches them.
+        thread_local SampleArena arena;
+        thread_local std::vector<int32_t> draws;
+        view.DrawBootstrapSources(&rng, &draws);
+        const SampleArena::Lease lease = arena.Acquire(view.policy());
+        view.MaterializeReplicateInto(draws, lease.get());
+        values[static_cast<size_t>(b)] = materialized(*lease);
+      }
+    });
+  };
+
+  const auto aborted_interval = [&] {
     // Skipped slots hold meaningless zeros, so never take quantiles over a
     // cancelled run: degrade to the same [point, point] shape as the
     // all-non-finite case and flag it.
@@ -183,8 +268,92 @@ BootstrapInterval BootstrapAggregate(
     interval.lo = interval.hi = interval.median = point;
     interval.aborted = true;
     return interval;
+  };
+
+  if (!options.adaptive.enabled) {
+    const int64_t replicates = options.replicates;
+    ensure_streams(replicates);
+    values.resize(static_cast<size_t>(replicates));
+    run_range(0, replicates);
+    if (aborted.load(std::memory_order_relaxed)) return aborted_interval();
+    return PercentileInterval(point, values, options.confidence);
   }
-  return PercentileInterval(point, values, options.confidence);
+
+  // Pilot-then-refine (core/adaptive_budget.h): run a pilot block, read the
+  // replicate spread, and escalate the budget in blocks until the target
+  // half-width is met or the cap trips. Each round evaluates only the NEW
+  // replicates [done, target) — earlier slots keep their values, and every
+  // replicate b always runs on stream b, so the final `values` prefix is
+  // bit-identical to a fixed-B run at B = done for any round schedule.
+  UUQ_CHECK_MSG(options.adaptive.epsilon > 0.0,
+                "adaptive budget needs epsilon > 0");
+  UUQ_CHECK_MSG(options.adaptive.confidence > 0.0 &&
+                    options.adaptive.confidence < 1.0,
+                "adaptive confidence must be in (0,1)");
+  UUQ_CHECK_MSG(options.adaptive.pilot_replicates > 0,
+                "adaptive budget needs a pilot block");
+  UUQ_CHECK_MSG(options.adaptive.escalation_block > 0,
+                "adaptive budget needs a positive escalation block");
+  const int64_t cap = options.adaptive.max_replicates > 0
+                          ? options.adaptive.max_replicates
+                          : options.replicates;
+  AdaptiveBudgetReport report;
+  report.enabled = true;
+  report.epsilon = options.adaptive.epsilon;
+  const double target_confidence = options.adaptive.confidence;
+
+  int64_t done = 0;
+  int64_t target =
+      std::min<int64_t>(cap, options.adaptive.pilot_replicates);
+  report.pilot_replicates = static_cast<int>(target);
+  while (true) {
+    ensure_streams(target);
+    values.resize(static_cast<size_t>(target));
+    run_range(done, target);
+    if (aborted.load(std::memory_order_relaxed)) {
+      if (done == 0) {
+        // Cancelled inside the pilot: no completed prefix exists, so this
+        // degrades exactly like a cancelled fixed-budget run.
+        BootstrapInterval interval = aborted_interval();
+        report.precision_degraded = true;
+        interval.adaptive = report;
+        return interval;
+      }
+      // Cancelled mid-escalation: the completed prefix IS a full fixed-B
+      // run at B = done (every slot written, same streams), so return its
+      // interval — typed as precision degradation, not as an abort.
+      values.resize(static_cast<size_t>(done));
+      report.precision_degraded = true;
+      break;
+    }
+    done = target;
+    const double half_width = EstimatedHalfWidth(
+        values.data(), static_cast<int>(done), target_confidence);
+    report.half_width = half_width;
+    if (half_width <= options.adaptive.epsilon) {
+      report.target_met = true;
+      break;
+    }
+    if (done >= cap) {
+      report.precision_degraded = true;
+      break;
+    }
+    // Jump straight to the variance-predicted budget when it is larger
+    // than one escalation block — the block floor keeps progress moving
+    // when the pilot variance underestimates the tail.
+    const int64_t planned =
+        PlannedReplicates(values.data(), static_cast<int>(done),
+                          options.adaptive.epsilon, target_confidence);
+    target = std::min<int64_t>(
+        cap,
+        std::max<int64_t>(planned, done + options.adaptive.escalation_block));
+    ++report.escalations;
+  }
+  report.replicates_used = static_cast<int>(done);
+  BootstrapInterval interval =
+      PercentileInterval(point, values, options.confidence);
+  interval.adaptive = report;
+  return interval;
 }
 
 BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
@@ -193,17 +362,31 @@ BootstrapInterval BootstrapCorrectedSum(const IntegratedSample& sample,
                                         const SamplePrecomp* pre) {
   const double point = estimator.EstimateImpact(sample, pre).corrected_sum;
   std::function<double(const ReplicateSample&)> columnar;
+  BootstrapOptions run_options = options;
   if (estimator.SupportsReplicates()) {
     columnar = [&estimator](const ReplicateSample& rep) {
       return estimator.EstimateReplicate(rep).corrected_sum;
     };
+    // Mega-batch hook: estimators that share work across replicates (the
+    // bucket estimator gathers every replicate's root split scan into one
+    // DeltaFromStatsBatch call) plug in here; the batch contract
+    // (estimate.h) pins them bit-identical to the scalar path, so the
+    // engine may mix both freely. A caller-supplied hook wins.
+    if (estimator.SupportsReplicateBatch() &&
+        run_options.columnar_batch == nullptr) {
+      run_options.columnar_batch = [&estimator](
+                                       const ReplicateSample* const* reps,
+                                       size_t count, double* out) {
+        estimator.EstimateReplicateBatch(reps, count, out);
+      };
+    }
   }
   return BootstrapAggregate(
       sample, pre != nullptr ? pre->view : nullptr, point, columnar,
       [&estimator](const IntegratedSample& resampled) {
         return estimator.EstimateImpact(resampled).corrected_sum;
       },
-      options);
+      run_options);
 }
 
 JackknifeInterval JackknifeCorrectedSum(const IntegratedSample& sample,

@@ -44,6 +44,7 @@
 
 #include "common/cancel.h"
 #include "common/random.h"
+#include "core/adaptive_budget.h"
 #include "core/estimate.h"
 #include "integration/sample_view.h"
 
@@ -98,6 +99,26 @@ struct BootstrapOptions {
   /// serving fault injector uses it to model slow replicates; it must not
   /// throw and must not touch the replicate's results.
   std::function<void(int64_t)> replicate_probe;
+  /// Pilot-then-refine replicate budgeting (core/adaptive_budget.h). When
+  /// `adaptive.enabled`, the engine runs a pilot block, estimates the
+  /// CI half-width from the replicate spread, and escalates B in blocks
+  /// until ±epsilon is met or the cap trips. DETERMINISM: replicate b
+  /// always evaluates on the b-th Rng::Split() stream of `seed` regardless
+  /// of how many escalation rounds preceded it, so the pilot replicates are
+  /// a bit-exact prefix of any larger run and an adaptive run that settles
+  /// on B replicates is bit-identical to a fixed-B run (every thread count,
+  /// every block size). Ignored when `adaptive.enabled` is false.
+  AdaptiveBudgetOptions adaptive;
+  /// Optional cross-replicate mega-batch evaluator: given `count` built
+  /// replicates, writes their corrected estimates into `out[0..count)`.
+  /// Callers whose estimator overrides SumEstimator::EstimateReplicateBatch
+  /// set this so the engine can gather many replicates' root split scans
+  /// into one DeltaFromStatsBatch call (amortizing per-replicate kernel
+  /// setup); results MUST be bit-identical to `columnar` per replicate —
+  /// the engine freely mixes the two paths. Null means one-at-a-time.
+  /// Disabled at runtime by UUQ_MEGA_BATCH=0.
+  std::function<void(const ReplicateSample* const*, size_t, double*)>
+      columnar_batch;
 };
 
 struct BootstrapInterval {
@@ -110,8 +131,14 @@ struct BootstrapInterval {
   /// True when BootstrapOptions::cancel fired mid-run: the interval is the
   /// degenerate [point, point] shape (finite_replicates == 0) and carries
   /// no resampling information. Callers that attach intervals to answers
-  /// must treat an aborted interval as absent.
+  /// must treat an aborted interval as absent. Exception: an adaptive run
+  /// cancelled AFTER at least one escalation round completed returns the
+  /// completed-prefix interval (bit-identical to a fixed-B run at that
+  /// prefix) with `aborted` false and `adaptive.precision_degraded` true.
   bool aborted = false;
+  /// Telemetry from the pilot-then-refine loop (enabled == false when the
+  /// run used a fixed budget). See core/adaptive_budget.h.
+  AdaptiveBudgetReport adaptive;
 };
 
 /// Bootstraps `estimator`'s corrected SUM over source-resampled versions of

@@ -206,6 +206,20 @@ struct PartitionScratch {
   /// independent of what this scratch evaluated before — the one
   /// deliberately persistent field in an otherwise transient scratch).
   size_t root_cut_hint = 0;
+  /// Cross-replicate mega-batch handoff: the ROOT scan's left-half |Δ|
+  /// values, one per root candidate cut, precomputed by
+  /// BucketSumEstimator::EstimateReplicateBatch through the same
+  /// SliceColumnsInto gather + DeltaFromStatsBatch kernel the root scan
+  /// itself would run — value-identical because the root's phase 1 always
+  /// gathers EVERY left lane (there is no known half to prune against at
+  /// the root) and the kernel is a pure per-lane function. `valid` is a
+  /// one-shot arm: PartitionInto consumes + clears it on entry and only
+  /// uses the cache when the scan shape matches (batched serial root scan,
+  /// no inherited memo, cut count agreeing with the cache length); every
+  /// mismatch falls back to the normal gather, so a stale or foreign cache
+  /// can never change results — only waste the precomputation.
+  std::vector<double> root_left_cache;
+  bool root_left_cache_valid = false;
 };
 
 /// Partitioning strategy interface: returns bucket boundaries as half-open
@@ -223,6 +237,12 @@ class BucketPartitioner {
   /// Allocating convenience wrapper around PartitionInto.
   std::vector<size_t> Partition(const SortedEntityIndex& index,
                                 const StatsSumEstimator& inner) const;
+
+  /// True when PartitionInto can consume PartitionScratch::root_left_cache
+  /// (a precomputed root-scan left-half column). Only the batched dynamic
+  /// scan understands the handoff; everything else ignores the cache (the
+  /// arm flag is cleared by the consumer either way).
+  virtual bool SupportsRootScanCache() const { return false; }
 };
 
 /// §3.3.1: `num_buckets` equal-width value ranges over [min, max].
@@ -314,6 +334,12 @@ class DynamicPartitioner final : public BucketPartitioner {
   void PartitionInto(const SortedEntityIndex& index,
                      const StatsSumEstimator& inner, PartitionScratch* scratch,
                      std::vector<size_t>* bounds) const override;
+  /// The batched mode can consume a precomputed root-scan column; the
+  /// scalar reference mode ignores it (so batched-vs-scalar fuzzing keeps
+  /// covering the uncached gather).
+  bool SupportsRootScanCache() const override {
+    return mode_ == SplitScanMode::kBatched;
+  }
 
  private:
   ThreadPool* pool_ = nullptr;
@@ -397,6 +423,19 @@ class BucketSumEstimator final : public SumEstimator {
   Estimate EstimateReplicate(const ReplicateSample& rep,
                              IndexScratch* scratch) const;
 
+  /// Cross-replicate mega-batching (core/estimate.h contract): rebuilds
+  /// every replicate's index, gathers ALL their root-scan left halves into
+  /// one DeltaFromStatsBatch kernel call, hands each result column to its
+  /// replicate's partition via PartitionScratch::root_left_cache, then
+  /// finishes each replicate on the normal path. Bit-identical to the
+  /// one-at-a-time path — the cache carries exactly the values the root
+  /// scan's own gather+kernel pass would compute. Only pays off for the
+  /// batched dynamic partitioner; other configurations fall back to the
+  /// scalar loop.
+  bool SupportsReplicateBatch() const override { return true; }
+  void EstimateReplicateBatch(const ReplicateSample* const* reps, size_t count,
+                              double* corrected_sums) const override;
+
   /// The full per-bucket breakdown (used by AVG and MIN/MAX, §5, and by the
   /// static-bucket ablation benches).
   std::vector<ValueBucket> ComputeBuckets(const IntegratedSample& sample) const;
@@ -415,6 +454,11 @@ class BucketSumEstimator final : public SumEstimator {
                           PartitionScratch* partition_scratch,
                           std::vector<size_t>* bounds,
                           std::vector<ValueBucket>* out) const;
+  /// Replicate evaluation on a scratch whose index_ is ALREADY rebuilt for
+  /// `rep` (the mega-batch tail: the batch pass rebuilt the index to walk
+  /// the root cuts, so re-rebuilding would double the dominant cost).
+  Estimate EstimateReplicateBuilt(const ReplicateSample& rep,
+                                  IndexScratch* scratch) const;
 
   std::shared_ptr<const BucketPartitioner> partitioner_;
   std::shared_ptr<const StatsSumEstimator> inner_;

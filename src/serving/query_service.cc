@@ -37,6 +37,10 @@ struct QueryService::Ticket::State {
   std::shared_ptr<const SampleArtifacts> artifacts;
   std::string sql;
   bool want_interval = true;
+  /// Precision target (> 0 requests an adaptive replicate budget) and the
+  /// confidence its half-width is measured at (<= 0 → bootstrap default).
+  double epsilon = 0.0;
+  double confidence = 0.0;
   std::chrono::steady_clock::time_point admitted{};
   CancelSource cancel;
 
@@ -142,10 +146,13 @@ void QueryService::RegisterSample(
 
 Result<QueryService::Ticket> QueryService::Submit(
     const std::string& sample_name, const std::string& sql,
-    std::chrono::nanoseconds deadline_budget, bool want_interval) {
+    std::chrono::nanoseconds deadline_budget, bool want_interval,
+    double epsilon, double confidence) {
   auto state = std::make_shared<Ticket::State>();
   state->sql = sql;
   state->want_interval = want_interval;
+  state->epsilon = epsilon;
+  state->confidence = confidence;
   {
     MutexLock lock(&mu_);
     if (shutting_down_) {
@@ -191,8 +198,10 @@ Result<QueryService::Ticket> QueryService::Submit(
 ServedResult QueryService::Execute(const std::string& sample_name,
                                    const std::string& sql,
                                    std::chrono::nanoseconds deadline_budget,
-                                   bool want_interval) {
-  auto ticket = Submit(sample_name, sql, deadline_budget, want_interval);
+                                   bool want_interval, double epsilon,
+                                   double confidence) {
+  auto ticket = Submit(sample_name, sql, deadline_budget, want_interval,
+                       epsilon, confidence);
   if (!ticket.ok()) {
     ServedResult shed;
     shed.status = ticket.status();
@@ -340,6 +349,25 @@ ServedResult QueryService::RunQuery(
   correction.bootstrap.replicates = level == DegradeLevel::kReducedReplicates
                                         ? options_.reduced_replicates
                                         : options_.full_replicates;
+  // Precision-targeted queries run the adaptive budget — but only at level
+  // 0: a query the ladder already degraded has a budget problem the pilot
+  // loop cannot fix, and the reduced/point rungs stay exactly what the
+  // ladder promises.
+  const bool adaptive = state->epsilon > 0.0 && state->want_interval &&
+                        level == DegradeLevel::kNone;
+  if (adaptive) {
+    correction.bootstrap.adaptive.enabled = true;
+    correction.bootstrap.adaptive.epsilon = state->epsilon;
+    correction.bootstrap.adaptive.confidence =
+        state->confidence > 0.0 ? state->confidence
+                                : correction.bootstrap.confidence;
+    correction.bootstrap.adaptive.pilot_replicates =
+        options_.adaptive_pilot_replicates;
+    correction.bootstrap.adaptive.escalation_block =
+        options_.adaptive_escalation_block;
+    correction.bootstrap.adaptive.max_replicates =
+        options_.adaptive_max_replicates;
+  }
   if (!faults_->inert()) {
     FaultInjector* faults = faults_;
     correction.bootstrap.replicate_probe = [faults](int64_t) {
@@ -351,8 +379,13 @@ ServedResult QueryService::RunQuery(
   // to run is a deterministic function of (snapshot, sql, replicates,
   // interval flag) — the seeds are in the shared options — so a prior
   // identical query's completed answer IS this query's answer, bit for bit.
+  // Adaptive queries bypass the memo entirely (lookup AND store): the key
+  // does not encode the precision target, and the settled replicate count
+  // is a function of epsilon — two targeted queries with different epsilons
+  // must not alias, and a fixed-budget query must not inherit an adaptive
+  // interval (or vice versa).
   std::string memo_key;
-  if (state->artifacts != nullptr) {
+  if (state->artifacts != nullptr && !adaptive) {
     memo_key = SampleArtifacts::AnswerKey(state->sql,
                                           correction.bootstrap.replicates,
                                           correction.attach_bootstrap);
@@ -401,7 +434,13 @@ ServedResult QueryService::RunQuery(
     state->artifacts->MemoizeAnswer(memo_key, result.answer);
   }
   if (result.answer.bootstrap_valid) {
-    result.replicates_used = correction.bootstrap.replicates;
+    // Adaptive runs report the budget they actually settled on (and whether
+    // the target was abandoned at the cap/deadline); fixed runs used the
+    // ladder's configured count.
+    const AdaptiveBudgetReport& report = result.answer.bootstrap.adaptive;
+    result.replicates_used =
+        report.enabled ? report.replicates_used : correction.bootstrap.replicates;
+    result.precision_degraded = report.enabled && report.precision_degraded;
   }
   return result;
 }

@@ -103,6 +103,18 @@ struct ServingOptions {
       std::chrono::milliseconds(50);
   int full_replicates = 48;
   int reduced_replicates = 12;
+  /// Pilot-then-refine replicate budgeting (core/adaptive_budget.h) for
+  /// queries that carry a precision target (Submit's `epsilon`). A targeted
+  /// query at level 0 runs a pilot of `adaptive_pilot_replicates`, then
+  /// escalates in blocks of `adaptive_escalation_block` until the interval
+  /// half-width meets ±epsilon or `adaptive_max_replicates` trips (reported
+  /// as ServedResult::precision_degraded). The final answer is bit-identical
+  /// to a fixed-budget run at the settled replicate count; queries without a
+  /// target — and queries already degraded below level 0, whose budget is
+  /// the ladder's business — never enter this path.
+  int adaptive_pilot_replicates = 16;
+  int adaptive_escalation_block = 16;
+  int adaptive_max_replicates = 192;
   /// Base corrector configuration. Per query the service overrides only:
   /// `cancel` (the query's token), `attach_bootstrap` and
   /// `bootstrap.replicates` (the ladder), and `bootstrap.replicate_probe`
@@ -120,6 +132,11 @@ struct ServedResult {
   CorrectedAnswer answer;   ///< meaningful only when status.ok()
   DegradeLevel degraded = DegradeLevel::kNone;
   int replicates_used = 0;  ///< bootstrap replicates behind the interval
+  /// True when the query carried a precision target (epsilon) that the
+  /// adaptive budget could not meet before its replicate cap or deadline —
+  /// the interval is still valid, just wider than requested. Distinct from
+  /// `degraded`, which tracks the deadline ladder.
+  bool precision_degraded = false;
   double queue_ms = 0.0;    ///< admission → dequeue
   double run_ms = 0.0;      ///< dequeue → completion
   uint64_t query_id = 0;
@@ -170,17 +187,21 @@ class QueryService {
   /// Shutdown. `deadline_budget` <= 0 uses options.default_deadline; the
   /// deadline clock starts NOW (queueing time counts against it).
   /// `want_interval` false pins the query to the point-only level without
-  /// marking it degraded.
+  /// marking it degraded. `epsilon` > 0 requests an adaptive interval whose
+  /// half-width meets ±epsilon at `confidence` (<= 0 uses the bootstrap
+  /// confidence) — see ServingOptions::adaptive_pilot_replicates.
   Result<Ticket> Submit(const std::string& sample_name, const std::string& sql,
                         std::chrono::nanoseconds deadline_budget =
                             std::chrono::nanoseconds(0),
-                        bool want_interval = true) UUQ_EXCLUDES(mu_);
+                        bool want_interval = true, double epsilon = 0.0,
+                        double confidence = 0.0) UUQ_EXCLUDES(mu_);
 
   /// Submit + Wait. Admission failures come back in ServedResult::status.
   ServedResult Execute(const std::string& sample_name, const std::string& sql,
                        std::chrono::nanoseconds deadline_budget =
                            std::chrono::nanoseconds(0),
-                       bool want_interval = true);
+                       bool want_interval = true, double epsilon = 0.0,
+                       double confidence = 0.0);
 
   /// Monotonic counters since construction (plus two point-in-time gauges).
   struct Stats {

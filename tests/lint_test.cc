@@ -179,6 +179,94 @@ TEST(LintStripper, CommentsStringsAndRawStringsAreBlanked) {
   EXPECT_NE(lines[5].code.find("int after = 3;"), std::string::npos);
 }
 
+TEST(LintEnvDoc, FiresOnUndocumentedVarOnly) {
+  const std::vector<std::string> documented =
+      uuq_lint::DocumentedEnvVars("| `UUQ_GOOD_KNOB` | documented |\n");
+  ASSERT_EQ(documented, std::vector<std::string>{"UUQ_GOOD_KNOB"});
+
+  // Undocumented read fires, naming the variable.
+  const std::vector<uuq_lint::Finding> bad = uuq_lint::LintEnvDocFile(
+      "src/core/fixture.cc",
+      "bool On() { return std::getenv(\"UUQ_BAD_KNOB\") != nullptr; }\n",
+      documented);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad.front().rule, "env-doc");
+  EXPECT_NE(bad.front().message.find("UUQ_BAD_KNOB"), std::string::npos);
+
+  // Documented read is clean.
+  EXPECT_TRUE(uuq_lint::LintEnvDocFile(
+                  "src/core/fixture.cc",
+                  "bool On() { return std::getenv(\"UUQ_GOOD_KNOB\"); }\n",
+                  documented)
+                  .empty());
+
+  // getenv in a comment or string never fires (code-view match).
+  EXPECT_TRUE(uuq_lint::LintEnvDocFile(
+                  "src/core/fixture.cc",
+                  "// std::getenv(\"UUQ_BAD_KNOB\") only in this comment\n"
+                  "const char* kDoc = \"getenv(UUQ_BAD_KNOB)\";\n",
+                  documented)
+                  .empty());
+
+  // A call wrapped before its argument is still resolved (next-line
+  // lookahead).
+  const std::vector<uuq_lint::Finding> wrapped = uuq_lint::LintEnvDocFile(
+      "src/core/fixture.cc",
+      "bool On() {\n"
+      "  return std::getenv(\n"
+      "             \"UUQ_BAD_KNOB\") != nullptr;\n"
+      "}\n",
+      documented);
+  ASSERT_EQ(wrapped.size(), 1u);
+  EXPECT_EQ(wrapped.front().rule, "env-doc");
+}
+
+TEST(LintEnvDoc, DocumentedEnvVarsIgnoresProseMentions) {
+  const std::vector<std::string> documented = uuq_lint::DocumentedEnvVars(
+      "Set `UUQ_PROSE_ONLY` for fun — not a table row.\n"
+      "| Variable | Effect |\n"
+      "|---|---|\n"
+      "| `UUQ_ROW_A` | first knob |\n"
+      "  | `UUQ_ROW_B` | indented row still counts |\n");
+  EXPECT_EQ(documented,
+            (std::vector<std::string>{"UUQ_ROW_A", "UUQ_ROW_B"}));
+}
+
+// The env-doc twin of LintTree below: every getenv("UUQ_*") read across
+// src/, bench/ AND tools/ must have a row in README.md's env table. This is
+// the test that fails when someone adds a knob without documenting it.
+TEST(LintEnvDoc, RepositoryEnvReadsAreAllDocumented) {
+  const fs::path root(UUQ_LINT_SRC_ROOT);
+  const std::string readme = ReadFile(root / "README.md");
+  const std::vector<std::string> documented =
+      uuq_lint::DocumentedEnvVars(readme);
+  ASSERT_GT(documented.size(), 10u)
+      << "README env table parse found suspiciously few rows";
+
+  std::vector<std::pair<std::string, fs::path>> files;
+  for (const char* dir : {"src", "bench", "tools"}) {
+    const fs::path sub = root / dir;
+    if (!fs::is_directory(sub)) continue;
+    for (const fs::directory_entry& entry :
+         fs::recursive_directory_iterator(sub)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      files.emplace_back(fs::relative(entry.path(), root).generic_string(),
+                         entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GT(files.size(), 20u);
+  for (const auto& [label, disk_path] : files) {
+    for (const uuq_lint::Finding& f :
+         uuq_lint::LintEnvDocFile(label, ReadFile(disk_path), documented)) {
+      ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                    << f.message << "\n    " << f.raw;
+    }
+  }
+}
+
 TEST(LintSelfTest, EmbeddedCorpusPasses) {
   std::vector<std::string> errors;
   EXPECT_TRUE(uuq_lint::RunSelfTest(&errors));

@@ -21,10 +21,17 @@
 //           [--deadline-ms=N]
 // reads one SQL query per stdin line and serves it through the
 // deadline-aware QueryService (admission control, cooperative cancellation,
-// graceful degradation — serving/query_service.h). Failures print as typed
-// statuses; EOF or "quit" shuts down and prints the serving counters. The
-// UUQ_FAULT_SEED / UUQ_FAULT_SPEC env knobs inject deterministic faults.
+// graceful degradation — serving/query_service.h). A line may carry a
+// precision target before the SQL:
+//   epsilon=250 confidence=0.99 SELECT SUM(value) FROM integrated
+// which runs the pilot-then-refine adaptive replicate budget (stop as soon
+// as the interval half-width meets ±epsilon, escalate up to the configured
+// cap otherwise); UUQ_SERVE_EPSILON / UUQ_SERVE_CONFIDENCE set defaults for
+// lines that carry none. Failures print as typed statuses; EOF or "quit"
+// shuts down and prints the serving counters. The UUQ_FAULT_SEED /
+// UUQ_FAULT_SPEC env knobs inject deterministic faults.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -74,6 +81,23 @@ uuq::Result<std::vector<uuq::Observation>> LoadStream(
   return ReadObservationsCsv(buffer.str());
 }
 
+// Strips a leading `key=<double> ` token from *line into *value; returns
+// false (leaving both untouched) when the line does not start with `key=`
+// or the number fails to parse.
+bool TakeDoubleToken(std::string* line, const char* key, double* value) {
+  const std::string prefix = std::string(key) + "=";
+  if (line->rfind(prefix, 0) != 0) return false;
+  const size_t end = line->find(' ', prefix.size());
+  if (end == std::string::npos) return false;
+  try {
+    *value = std::stod(line->substr(prefix.size(), end - prefix.size()));
+  } catch (...) {
+    return false;
+  }
+  line->erase(0, line->find_first_not_of(' ', end));
+  return true;
+}
+
 // --serve: one SQL query per stdin line through the QueryService.
 int RunServeMode(int argc, char** argv) {
   using namespace uuq;
@@ -114,13 +138,33 @@ int RunServeMode(int argc, char** argv) {
                       options.default_deadline)
                       .count()));
 
+  // Env defaults for lines without explicit epsilon=/confidence= tokens
+  // (0 = no target: the fixed full_replicates budget).
+  double default_epsilon = 0.0;
+  double default_confidence = 0.0;
+  if (const char* env = std::getenv("UUQ_SERVE_EPSILON")) {
+    default_epsilon = std::atof(env);
+  }
+  if (const char* env = std::getenv("UUQ_SERVE_CONFIDENCE")) {
+    default_confidence = std::atof(env);
+  }
+
   QueryService service(options);
   service.RegisterSample("main", sample);
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == "quit" || line == "exit") break;
-    const ServedResult result = service.Execute("main", line);
+    double epsilon = default_epsilon;
+    double confidence = default_confidence;
+    // Request-level precision target: leading `epsilon=` / `confidence=`
+    // tokens (either order) ahead of the SQL.
+    while (TakeDoubleToken(&line, "epsilon", &epsilon) ||
+           TakeDoubleToken(&line, "confidence", &confidence)) {
+    }
+    const ServedResult result =
+        service.Execute("main", line, std::chrono::nanoseconds(0),
+                        /*want_interval=*/true, epsilon, confidence);
     if (!result.status.ok()) {
       std::printf("[query %llu] %s\n",
                   static_cast<unsigned long long>(result.query_id),
@@ -133,10 +177,18 @@ int RunServeMode(int argc, char** argv) {
           std::string("DEGRADED to ") + DegradeLevelName(result.degraded) +
           "\n";
     }
-    std::printf("[query %llu] %s%s  (queue %.1f ms, run %.1f ms)\n",
+    if (result.precision_degraded) {
+      degraded_note += "PRECISION TARGET MISSED (replicate cap/deadline)\n";
+    }
+    std::string budget_note;
+    if (epsilon > 0.0) {
+      budget_note = ", adaptive budget used " +
+                    std::to_string(result.replicates_used) + " replicates";
+    }
+    std::printf("[query %llu] %s%s  (queue %.1f ms, run %.1f ms%s)\n",
                 static_cast<unsigned long long>(result.query_id),
                 degraded_note.c_str(), result.answer.ToString().c_str(),
-                result.queue_ms, result.run_ms);
+                result.queue_ms, result.run_ms, budget_note.c_str());
   }
   service.Shutdown();
   const QueryService::Stats stats = service.stats();

@@ -1,9 +1,14 @@
 // uuq_lint CLI — see tools/uuq_lint_lib.h for the rules.
 //
-//   uuq_lint --root <repo>            lint src/**/*.{h,cc} (tier-1 ctest)
+//   uuq_lint --root <repo>            lint src/**/*.{h,cc} (tier-1 ctest);
+//                                     the env-doc rule additionally scans
+//                                     bench/ and tools/
 //   uuq_lint --self-test              run the embedded rule corpus
 //   uuq_lint --extra <file> ...       lint additional files (CI negative test)
 //   uuq_lint --allowlist <file>       override <root>/tools/uuq_lint_allowlist.txt
+//   uuq_lint --readme <file>          env-doc documented-var source
+//                                     (default <root>/README.md; env-doc is
+//                                     skipped when neither is available)
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error. Output is
 // deterministic (sorted file walk, line-ordered findings) so CI diffs are
@@ -67,6 +72,7 @@ int RunSelfTest() {
 int main(int argc, char** argv) {
   std::string root;
   std::string allowlist_path;
+  std::string readme_path;
   std::vector<std::string> extra_files;
   bool self_test = false;
 
@@ -83,6 +89,8 @@ int main(int argc, char** argv) {
       root = next("--root");
     } else if (arg == "--allowlist") {
       allowlist_path = next("--allowlist");
+    } else if (arg == "--readme") {
+      readme_path = next("--readme");
     } else if (arg == "--extra") {
       extra_files.push_back(next("--extra"));
     } else if (arg == "--self-test") {
@@ -90,7 +98,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: uuq_lint [--root DIR] [--allowlist FILE] "
-                   "[--extra FILE]... [--self-test]\n");
+                   "[--readme FILE] [--extra FILE]... [--self-test]\n");
       return 0;
     } else {
       std::fprintf(stderr, "uuq_lint: unknown argument '%s'\n", arg.c_str());
@@ -129,6 +137,47 @@ int main(int argc, char** argv) {
     files.emplace_back(fs::path(extra).generic_string(), fs::path(extra));
   }
 
+  // env-doc scans a wider tree than the determinism rules: bench/ and
+  // tools/ are where run-time knobs (bench gates, fault injection) are
+  // read, and their getenv sites must be documented too. These files skip
+  // the determinism rules — they are not replicate-path code.
+  std::vector<std::pair<std::string, fs::path>> env_only_files;
+  if (!root.empty()) {
+    for (const char* dir : {"bench", "tools"}) {
+      const fs::path sub = root_path / dir;
+      if (!fs::is_directory(sub)) continue;
+      for (const fs::directory_entry& entry :
+           fs::recursive_directory_iterator(sub)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".h" && ext != ".cc") continue;
+        env_only_files.emplace_back(RelativeLabel(entry.path(), root_path),
+                                    entry.path());
+      }
+    }
+    std::sort(env_only_files.begin(), env_only_files.end());
+  }
+
+  // Documented-var set for env-doc: --readme wins, else <root>/README.md.
+  // Without either (e.g. a bare --extra run), env-doc is skipped — the
+  // other rules still apply.
+  std::vector<std::string> documented;
+  bool have_readme = false;
+  const fs::path readme_file =
+      !readme_path.empty()
+          ? fs::path(readme_path)
+          : (root.empty() ? fs::path() : root_path / "README.md");
+  if (!readme_file.empty() && fs::exists(readme_file)) {
+    std::string text;
+    if (!ReadFileOrDie(readme_file, &text)) return 2;
+    documented = uuq_lint::DocumentedEnvVars(text);
+    have_readme = true;
+  } else if (!readme_path.empty()) {
+    std::fprintf(stderr, "uuq_lint: readme %s not found\n",
+                 readme_path.c_str());
+    return 2;
+  }
+
   std::vector<uuq_lint::AllowEntry> allow;
   fs::path allow_file =
       allowlist_path.empty()
@@ -152,9 +201,28 @@ int main(int argc, char** argv) {
     ++scanned;
     std::vector<uuq_lint::Finding> file_findings =
         uuq_lint::LintFile(label, content);
+    if (have_readme) {
+      std::vector<uuq_lint::Finding> env_findings =
+          uuq_lint::LintEnvDocFile(label, content, documented);
+      file_findings.insert(file_findings.end(),
+                           std::make_move_iterator(env_findings.begin()),
+                           std::make_move_iterator(env_findings.end()));
+    }
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
+  }
+  if (have_readme) {
+    for (const auto& [label, disk_path] : env_only_files) {
+      std::string content;
+      if (!ReadFileOrDie(disk_path, &content)) return 2;
+      ++scanned;
+      std::vector<uuq_lint::Finding> env_findings =
+          uuq_lint::LintEnvDocFile(label, content, documented);
+      findings.insert(findings.end(),
+                      std::make_move_iterator(env_findings.begin()),
+                      std::make_move_iterator(env_findings.end()));
+    }
   }
 
   findings = uuq_lint::ApplyAllowlist(std::move(findings), &allow);

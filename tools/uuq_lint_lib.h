@@ -35,6 +35,12 @@
 //                    comment explaining the per-thread ownership argument —
 //                    unexplained thread_locals are where state leaks
 //                    between queries in a long-lived server.
+//   env-doc          a getenv() read of a `UUQ_*` variable with no row in
+//                    README.md's environment-variable table — undocumented
+//                    knobs are how deployments drift from what the docs
+//                    promise. This rule runs OUTSIDE LintFile (it needs the
+//                    README's documented-var set) via LintEnvDocFile, and
+//                    scans bench/ and tools/ in addition to src/.
 //
 // Allowlist: `rule|path-suffix|line-substring` entries (tools/
 // uuq_lint_allowlist.txt) suppress grandfathered sites; `#` starts a
@@ -205,6 +211,7 @@ inline const std::vector<std::string>& ReplicatePathFiles() {
       "src/core/estimate.cc",        "src/core/estimate.h",
       "src/core/naive.cc",           "src/core/frequency.cc",
       "src/core/chao92.cc",          "src/core/monte_carlo.cc",
+      "src/core/adaptive_budget.cc", "src/core/adaptive_budget.h",
       "src/integration/sample_view.cc", "src/integration/sample_view.h",
   };
   return kFiles;
@@ -364,7 +371,67 @@ inline void LintThreadLocalJustification(const std::string& path,
   }
 }
 
+/// env-doc: every same-line (or next-line, for a wrapped call) `UUQ_*`
+/// token of a getenv() read must appear in `documented` — the set parsed
+/// from README.md's env table by DocumentedEnvVars below. The variable name
+/// lives in a string literal, which the code view blanks, so the token is
+/// extracted from the RAW line while the getenv call itself is matched on
+/// the code view (a getenv in a comment or string never fires).
+inline void LintEnvDoc(const std::string& path,
+                       const std::vector<SourceLine>& lines,
+                       const std::vector<std::string>& documented,
+                       std::vector<Finding>* out) {
+  static const std::regex kGetenv(R"(\bgetenv\s*\()");
+  static const std::regex kVar(R"(UUQ_[A-Z0-9_]+)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (!std::regex_search(lines[i].code, kGetenv)) continue;
+    const bool same_line = std::regex_search(lines[i].raw, kVar);
+    const std::string& haystack = same_line || i + 1 >= lines.size()
+                                      ? lines[i].raw
+                                      : lines[i + 1].raw;
+    for (std::sregex_iterator it(haystack.begin(), haystack.end(), kVar),
+         end;
+         it != end; ++it) {
+      const std::string var = it->str();
+      if (std::find(documented.begin(), documented.end(), var) ==
+          documented.end()) {
+        AddFinding(out, "env-doc", path, static_cast<int>(i + 1),
+                   lines[i].raw,
+                   "getenv of " + var +
+                       " has no row in README.md's environment-variable "
+                       "table — document the knob (or fix the name)");
+      }
+    }
+  }
+}
+
 }  // namespace internal
+
+/// Parses README.md's environment-variable table: every markdown table row
+/// (first non-space character '|') contributes each backticked `UUQ_*`
+/// token it names. Prose mentions outside table rows do NOT count — a knob
+/// is documented when it has a table row, not when it is name-dropped.
+inline std::vector<std::string> DocumentedEnvVars(const std::string& readme) {
+  std::vector<std::string> vars;
+  static const std::regex kVar(R"(`(UUQ_[A-Z0-9_]+))");
+  size_t start = 0;
+  while (start <= readme.size()) {
+    size_t end = readme.find('\n', start);
+    if (end == std::string::npos) end = readme.size();
+    const std::string line = readme.substr(start, end - start);
+    start = end + 1;
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] != '|') continue;
+    for (std::sregex_iterator it(line.begin(), line.end(), kVar), e;
+         it != e; ++it) {
+      const std::string var = (*it)[1].str();
+      if (std::find(vars.begin(), vars.end(), var) == vars.end()) {
+        vars.push_back(var);
+      }
+    }
+  }
+  return vars;
+}
 
 /// Lints one file's content under its repo-relative path. Pure function of
 /// (path, content) — no filesystem access, so tests feed fixtures directly.
@@ -380,6 +447,22 @@ inline std::vector<Finding> LintFile(const std::string& path,
   internal::LintAtomicOrder(path, lines, &findings);
   internal::LintNakedNew(path, lines, &findings);
   internal::LintThreadLocalJustification(path, lines, &findings);
+  return findings;
+}
+
+/// Runs only the env-doc rule (see the header comment): separate from
+/// LintFile because it needs the README's documented-var set, which the
+/// (path, content) signature cannot carry — and because it scans a wider
+/// tree (bench/, tools/) than the determinism rules.
+inline std::vector<Finding> LintEnvDocFile(
+    const std::string& path, const std::string& content,
+    const std::vector<std::string>& documented) {
+  std::vector<Finding> findings;
+  if (!(PathEndsWith(path, ".h") || PathEndsWith(path, ".cc"))) {
+    return findings;
+  }
+  const std::vector<SourceLine> lines = SplitAndStrip(content);
+  internal::LintEnvDoc(path, lines, documented, &findings);
   return findings;
 }
 
@@ -523,6 +606,42 @@ inline bool RunSelfTest(std::vector<std::string>* errors) {
                         "' clean snippet unexpectedly flagged: " +
                         good.front().rule + " at line " +
                         std::to_string(good.front().line));
+    }
+  }
+  // env-doc runs outside LintFile (it needs the README's documented-var
+  // set), so its corpus lives here: parse a one-row table, then pin that an
+  // undocumented read fires, a documented one is clean, and prose mentions
+  // do not count as documentation.
+  {
+    const std::vector<std::string> documented = DocumentedEnvVars(
+        "| `UUQ_DOCUMENTED_KNOB` | a documented knob |\n"
+        "prose naming `UUQ_PROSE_ONLY` is not a table row\n");
+    if (documented != std::vector<std::string>{"UUQ_DOCUMENTED_KNOB"}) {
+      ok = false;
+      errors->push_back(
+          "env-doc: DocumentedEnvVars mis-parsed the corpus table "
+          "(missed the row, or counted a prose mention)");
+    }
+    const std::vector<Finding> bad = LintEnvDocFile(
+        "src/core/fixture.cc",
+        "#include <cstdlib>\n"
+        "bool On() { return std::getenv(\"UUQ_SECRET_KNOB\") != nullptr; }\n",
+        documented);
+    if (bad.size() != 1 || bad.front().rule != "env-doc") {
+      ok = false;
+      errors->push_back("rule 'env-doc' did NOT fire on its violating snippet");
+    }
+    const std::vector<Finding> good = LintEnvDocFile(
+        "src/core/fixture.cc",
+        "#include <cstdlib>\n"
+        "bool On() {\n"
+        "  // getenv in this comment never fires.\n"
+        "  return std::getenv(\"UUQ_DOCUMENTED_KNOB\") != nullptr;\n"
+        "}\n",
+        documented);
+    if (!good.empty()) {
+      ok = false;
+      errors->push_back("rule 'env-doc' clean snippet unexpectedly flagged");
     }
   }
   return ok;
