@@ -354,8 +354,8 @@ int main() {
   // ---- adaptive replicate budget at equal precision (pr=10) --------------
   // Derive the precision target from what the fixed B=48 budget actually
   // delivers on this sample, then serve the identical load both ways: the
-  // adaptive run answers within the same ±epsilon using only the pilot
-  // block, so equal precision costs strictly fewer replicates. Artifact
+  // adaptive run meets the same Monte Carlo precision target using only
+  // the pilot block, so equal precision costs strictly fewer replicates. Artifact
   // caching is off for both runs so the only difference is replicate work
   // (the answer memo would otherwise short-circuit the fixed run's repeats).
   double easy_epsilon = 0.0;

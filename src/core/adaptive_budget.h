@@ -1,22 +1,27 @@
 // Precision-targeted adaptive replicate budgets (pilot-then-refine).
 //
 // A fixed bootstrap budget (B=48 in the serving layer) is a guess: it
-// wastes replicates on easy samples whose interval converges in a dozen
-// draws, and under-resolves hard ones. This module turns the replicate
-// count into a precision SLO knob: run a pilot block, estimate the CI
-// half-width from the replicate spread, then stop early or escalate B in
-// blocks until a caller-specified ±ε half-width at a confidence level is
-// met — or a hard `max_replicates` / deadline cap trips, reported as
-// `precision_degraded` alongside the serving degradation ladder.
+// wastes replicates on easy samples whose replicate ensemble settles in a
+// dozen draws, and under-resolves hard ones. This module turns the
+// replicate count into a precision SLO knob: run a pilot block, estimate
+// the replicate spread, then stop early or escalate B in blocks until the
+// replicate-mean Monte Carlo half-width meets a caller-specified ±ε at a
+// confidence level — or a hard `max_replicates` / deadline cap trips,
+// reported as `precision_degraded` alongside the serving degradation
+// ladder.
 //
-// The shape follows AIDB's approximate-aggregate engine (pilot samples →
-// variance estimate → additional-samples formula): with replicate standard
-// deviation s over B draws, the normal-approximation half-width of the
-// percentile interval is hw ≈ z·s (z the two-sided normal quantile of the
-// confidence level), and the budget needed to drive the *mean*'s
-// half-width z·s/√B under ε is B* = ceil((z·s/ε)²). The engine uses hw for
-// the stop test and B* (clamped to at least one escalation block) to jump
-// rather than creep.
+// WHAT ε BOUNDS. With replicate standard deviation s over B draws, the
+// Monte Carlo standard error of the replicate mean is s/√B, so the stop
+// test is z·s/√B ≤ ε (z the two-sided normal quantile of the confidence
+// level) and the budget it implies is B* = ceil((z·s/ε)²) — the AIDB
+// pilot-samples → variance-estimate → additional-samples shape; the
+// engine jumps to B* (clamped to at least one escalation block) rather
+// than creeping. ε is therefore a RESOLUTION target: it bounds the Monte
+// Carlo noise the finite replicate budget adds, i.e. how precisely the B
+// replicates pin down the center of the resampling distribution. It does
+// NOT bound the reported percentile interval's half-width (≈ z·s): that
+// width measures the data's own sampling variability and does not shrink
+// as B grows — no replicate budget can narrow it.
 //
 // Determinism contract (pinned by tests/adaptive_budget_test.cc and the
 // bench verify passes): adaptive runs draw replicate streams incrementally
@@ -36,12 +41,17 @@ struct AdaptiveBudgetOptions {
   /// Master switch. When off, the engine runs the classic fixed
   /// `BootstrapOptions::replicates` budget and every other field is ignored.
   bool enabled = false;
-  /// Target half-width: stop once the estimated CI half-width is ≤ epsilon.
-  /// Must be > 0 when enabled (there is no meaningful "free" precision
-  /// target); the engine CHECKs it.
+  /// Target Monte Carlo half-width: stop once z·s/√B — the resolution at
+  /// which the B replicates pin down the replicate mean, NOT the reported
+  /// percentile interval's width (header comment) — is ≤ epsilon. Must be
+  /// > 0 when enabled (there is no meaningful "free" precision target);
+  /// the engine CHECKs it.
   double epsilon = 0.0;
-  /// Two-sided confidence level for the half-width estimate (also the
-  /// interval's percentile coverage). Values outside (0,1) fall back to 0.95.
+  /// Two-sided confidence level for the Monte Carlo half-width estimate.
+  /// Values outside (0,1) fall back to 0.95 — the engine sanitizes rather
+  /// than CHECKs, because this field can carry a request-supplied value
+  /// (QueryService per-query `confidence`) and a request must never be
+  /// able to abort the process.
   double confidence = 0.95;
   /// Pilot block size: replicates always run before the first stop test.
   int pilot_replicates = 16;
@@ -60,7 +70,7 @@ struct AdaptiveBudgetOptions {
 /// telemetry (replicates used, escalations) without re-deriving anything.
 struct AdaptiveBudgetReport {
   bool enabled = false;
-  /// The estimated half-width met epsilon.
+  /// The estimated Monte Carlo half-width (z·s/√B) met epsilon.
   bool target_met = false;
   /// The cap (or a mid-escalation deadline) stopped the loop before the
   /// target was met. Mutually exclusive with target_met.
@@ -72,7 +82,8 @@ struct AdaptiveBudgetReport {
   int escalations = 0;
   /// The epsilon the loop ran against (0 when disabled).
   double epsilon = 0.0;
-  /// Last half-width estimate (+inf when unestimable: < 2 finite values).
+  /// Last Monte Carlo half-width estimate z·s/√B (+inf when unestimable:
+  /// < 2 finite values). Not the percentile interval's (hi-lo)/2.
   double half_width = 0.0;
 };
 
@@ -83,8 +94,9 @@ struct AdaptiveBudgetReport {
 /// falls back to 0.95. Pure function: bit-identical everywhere.
 double NormalQuantile(double confidence);
 
-/// Normal-approximation half-width of the replicate mean: z·sd/√k over the
-/// finite entries of values[0..count). Returns +inf when fewer than two
+/// Normal-approximation Monte Carlo half-width of the replicate mean:
+/// z·sd/√k over the finite entries of values[0..count) — the adaptive
+/// stop-test quantity (header comment). Returns +inf when fewer than two
 /// finite values exist (nothing to estimate spread from) and 0 when the
 /// finite values are all identical. Pure function of the value prefix.
 double EstimatedHalfWidth(const double* values, int count, double confidence);

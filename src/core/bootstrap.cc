@@ -281,15 +281,13 @@ BootstrapInterval BootstrapAggregate(
 
   // Pilot-then-refine (core/adaptive_budget.h): run a pilot block, read the
   // replicate spread, and escalate the budget in blocks until the target
-  // half-width is met or the cap trips. Each round evaluates only the NEW
-  // replicates [done, target) — earlier slots keep their values, and every
-  // replicate b always runs on stream b, so the final `values` prefix is
-  // bit-identical to a fixed-B run at B = done for any round schedule.
+  // Monte Carlo half-width is met or the cap trips. Each round evaluates
+  // only the NEW replicates [done, target) — earlier slots keep their
+  // values, and every replicate b always runs on stream b, so the final
+  // `values` prefix is bit-identical to a fixed-B run at B = done for any
+  // round schedule.
   UUQ_CHECK_MSG(options.adaptive.epsilon > 0.0,
                 "adaptive budget needs epsilon > 0");
-  UUQ_CHECK_MSG(options.adaptive.confidence > 0.0 &&
-                    options.adaptive.confidence < 1.0,
-                "adaptive confidence must be in (0,1)");
   UUQ_CHECK_MSG(options.adaptive.pilot_replicates > 0,
                 "adaptive budget needs a pilot block");
   UUQ_CHECK_MSG(options.adaptive.escalation_block > 0,
@@ -300,7 +298,16 @@ BootstrapInterval BootstrapAggregate(
   AdaptiveBudgetReport report;
   report.enabled = true;
   report.epsilon = options.adaptive.epsilon;
-  const double target_confidence = options.adaptive.confidence;
+  // Out-of-range confidence falls back to 0.95 (the AdaptiveBudgetOptions
+  // contract) instead of CHECK-aborting: this field can carry a
+  // request-supplied value, and request data must never reach a
+  // process-killing assert. epsilon/pilot/escalation above stay CHECKs —
+  // they are operator/program configuration, validated at the request
+  // boundary (QueryService::Submit) before any request value lands here.
+  const double target_confidence =
+      options.adaptive.confidence > 0.0 && options.adaptive.confidence < 1.0
+          ? options.adaptive.confidence
+          : 0.95;
 
   int64_t done = 0;
   int64_t target =

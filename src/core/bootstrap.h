@@ -101,7 +101,9 @@ struct BootstrapOptions {
   std::function<void(int64_t)> replicate_probe;
   /// Pilot-then-refine replicate budgeting (core/adaptive_budget.h). When
   /// `adaptive.enabled`, the engine runs a pilot block, estimates the
-  /// CI half-width from the replicate spread, and escalates B in blocks
+  /// replicate-mean Monte Carlo half-width z·s/√B from the replicate
+  /// spread (a replicate-resolution target, NOT the percentile interval's
+  /// own width — see adaptive_budget.h), and escalates B in blocks
   /// until ±epsilon is met or the cap trips. DETERMINISM: replicate b
   /// always evaluates on the b-th Rng::Split() stream of `seed` regardless
   /// of how many escalation rounds preceded it, so the pilot replicates are

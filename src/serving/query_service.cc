@@ -1,6 +1,7 @@
 #include "serving/query_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <utility>
 
@@ -37,8 +38,10 @@ struct QueryService::Ticket::State {
   std::shared_ptr<const SampleArtifacts> artifacts;
   std::string sql;
   bool want_interval = true;
-  /// Precision target (> 0 requests an adaptive replicate budget) and the
-  /// confidence its half-width is measured at (<= 0 → bootstrap default).
+  /// Precision target (> 0 requests an adaptive replicate budget; bounds
+  /// the replicate-mean Monte Carlo half-width, adaptive_budget.h) and the
+  /// confidence it is measured at (<= 0 → bootstrap default). Both are
+  /// validated at Submit — only well-formed values are stored here.
   double epsilon = 0.0;
   double confidence = 0.0;
   std::chrono::steady_clock::time_point admitted{};
@@ -148,6 +151,21 @@ Result<QueryService::Ticket> QueryService::Submit(
     const std::string& sample_name, const std::string& sql,
     std::chrono::nanoseconds deadline_budget, bool want_interval,
     double epsilon, double confidence) {
+  // Request-supplied precision targets are validated at the admission
+  // boundary, as typed failures. Past this point the adaptive engine may
+  // CHECK its configuration, so a malformed request value that slipped
+  // through would abort the whole serving process — a request must never
+  // be able to do that.
+  if (!std::isfinite(epsilon) || epsilon < 0.0) {
+    return Status::InvalidArgument(
+        "precision target epsilon must be finite and >= 0 (0 = fixed "
+        "replicate budget)");
+  }
+  if (!(confidence < 1.0)) {  // also rejects NaN
+    return Status::InvalidArgument(
+        "precision target confidence must be < 1 (<= 0 = bootstrap "
+        "default)");
+  }
   auto state = std::make_shared<Ticket::State>();
   state->sql = sql;
   state->want_interval = want_interval;

@@ -37,8 +37,11 @@
 // Failure semantics are typed, never exceptional: kResourceExhausted (shed
 // or injected allocation failure), kDeadlineExceeded, kCancelled,
 // kUnavailable (injected source-load outage), kNotFound (unknown sample),
-// plus the parser's own error codes. The deterministic FaultInjector
-// (fault_injector.h) drives the chaos tests that pin this contract.
+// kInvalidArgument (malformed precision target at Submit), plus the
+// parser's own error codes. No request field can reach a process-aborting
+// CHECK: request-supplied values are validated at admission. The
+// deterministic FaultInjector (fault_injector.h) drives the chaos tests
+// that pin this contract.
 #ifndef UUQ_SERVING_QUERY_SERVICE_H_
 #define UUQ_SERVING_QUERY_SERVICE_H_
 
@@ -106,9 +109,15 @@ struct ServingOptions {
   /// Pilot-then-refine replicate budgeting (core/adaptive_budget.h) for
   /// queries that carry a precision target (Submit's `epsilon`). A targeted
   /// query at level 0 runs a pilot of `adaptive_pilot_replicates`, then
-  /// escalates in blocks of `adaptive_escalation_block` until the interval
-  /// half-width meets ±epsilon or `adaptive_max_replicates` trips (reported
-  /// as ServedResult::precision_degraded). The final answer is bit-identical
+  /// escalates in blocks of `adaptive_escalation_block` until the
+  /// replicate-mean Monte Carlo half-width z·s/√B meets ±epsilon or
+  /// `adaptive_max_replicates` trips (reported as
+  /// ServedResult::precision_degraded). Epsilon bounds the replicate
+  /// budget's own Monte Carlo noise — the resolution at which B replicates
+  /// pin down the corrected answer — not the reported percentile
+  /// interval's width, which reflects the data's sampling variability and
+  /// does not shrink with B (adaptive_budget.h, WHAT ε BOUNDS). The final
+  /// answer is bit-identical
   /// to a fixed-budget run at the settled replicate count; queries without a
   /// target — and queries already degraded below level 0, whose budget is
   /// the ladder's business — never enter this path.
@@ -134,8 +143,9 @@ struct ServedResult {
   int replicates_used = 0;  ///< bootstrap replicates behind the interval
   /// True when the query carried a precision target (epsilon) that the
   /// adaptive budget could not meet before its replicate cap or deadline —
-  /// the interval is still valid, just wider than requested. Distinct from
-  /// `degraded`, which tracks the deadline ladder.
+  /// the interval is still valid, just resolved from fewer replicates (a
+  /// noisier Monte Carlo estimate) than the target asked for. Distinct
+  /// from `degraded`, which tracks the deadline ladder.
   bool precision_degraded = false;
   double queue_ms = 0.0;    ///< admission → dequeue
   double run_ms = 0.0;      ///< dequeue → completion
@@ -187,9 +197,13 @@ class QueryService {
   /// Shutdown. `deadline_budget` <= 0 uses options.default_deadline; the
   /// deadline clock starts NOW (queueing time counts against it).
   /// `want_interval` false pins the query to the point-only level without
-  /// marking it degraded. `epsilon` > 0 requests an adaptive interval whose
-  /// half-width meets ±epsilon at `confidence` (<= 0 uses the bootstrap
-  /// confidence) — see ServingOptions::adaptive_pilot_replicates.
+  /// marking it degraded. `epsilon` > 0 requests an adaptive replicate
+  /// budget that stops once the replicate-mean Monte Carlo half-width
+  /// meets ±epsilon at `confidence` (<= 0 uses the bootstrap confidence) —
+  /// see ServingOptions::adaptive_pilot_replicates. Malformed targets
+  /// (negative or non-finite epsilon, confidence >= 1 or NaN) are rejected
+  /// HERE with kInvalidArgument: request fields are validated at admission
+  /// so they can never reach an engine CHECK and abort the process.
   Result<Ticket> Submit(const std::string& sample_name, const std::string& sql,
                         std::chrono::nanoseconds deadline_budget =
                             std::chrono::nanoseconds(0),

@@ -241,6 +241,35 @@ TEST(AdaptiveBudget, CancelInsidePilotAborts) {
   EXPECT_EQ(interval.adaptive.replicates_used, 0);
 }
 
+// Out-of-range adaptive confidence follows the AdaptiveBudgetOptions
+// contract — fall back to 0.95 — instead of CHECK-aborting: the field can
+// carry a request-supplied value, so an abort here would let one request
+// kill a serving process. The fallback run is bit-identical to an explicit
+// confidence=0.95 run.
+TEST(AdaptiveBudget, OutOfRangeConfidenceFallsBackTo095) {
+  const IntegratedSample sample = HealthySample();
+  const BucketSumEstimator bucket;
+  BootstrapOptions reference = BaseOptions(64);
+  reference.adaptive.enabled = true;
+  reference.adaptive.epsilon = 100.0;
+  reference.adaptive.confidence = 0.95;
+  const BootstrapInterval expected =
+      BootstrapCorrectedSum(sample, bucket, reference);
+  for (const double confidence :
+       {1.0, 1.5, 0.0, -0.5, std::numeric_limits<double>::quiet_NaN()}) {
+    BootstrapOptions options = reference;
+    options.adaptive.confidence = confidence;
+    const BootstrapInterval interval =
+        BootstrapCorrectedSum(sample, bucket, options);
+    EXPECT_EQ(interval.adaptive.replicates_used,
+              expected.adaptive.replicates_used)
+        << "confidence=" << confidence;
+    EXPECT_EQ(interval.adaptive.half_width, expected.adaptive.half_width)
+        << "confidence=" << confidence;
+    ExpectBitIdentical(interval, expected);
+  }
+}
+
 // The mega-batch evaluator must equal the one-at-a-time replicate path bit
 // for bit on the same built replicates (the engine mixes the two freely).
 TEST(MegaBatch, BatchMatchesScalarBitForBit) {

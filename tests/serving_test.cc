@@ -7,6 +7,7 @@
 
 #include <array>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -162,6 +163,48 @@ TEST(QueryService, UnknownSampleIsNotFound) {
   QueryService service(FastOptions());
   const ServedResult result = service.Execute("nope", kSumSql);
   EXPECT_EQ(result.status.code(), StatusCode::kNotFound);
+}
+
+// A request-supplied precision target must never reach an engine CHECK
+// and abort the long-lived serving process: malformed epsilon/confidence
+// values are rejected at Submit with kInvalidArgument, and the service
+// keeps serving afterwards.
+TEST(QueryService, MalformedPrecisionTargetRejectedAtSubmit) {
+  QueryService service(FastOptions());
+  service.RegisterSample("healthy", HealthySample());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const struct {
+    double epsilon;
+    double confidence;
+  } bad[] = {
+      {-1.0, 0.95},  // negative epsilon
+      {nan, 0.95},   // non-finite epsilon
+      {inf, 0.95},   // non-finite epsilon
+      {10.0, 1.0},   // confidence = 1 previously hit a CHECK -> abort
+      {10.0, 2.0},   // confidence > 1
+      {10.0, nan},   // non-finite confidence
+  };
+  for (const auto& target : bad) {
+    const ServedResult result =
+        service.Execute("healthy", kSumSql, nanoseconds(0),
+                        /*want_interval=*/true, target.epsilon,
+                        target.confidence);
+    EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument)
+        << "epsilon=" << target.epsilon
+        << " confidence=" << target.confidence << " -> "
+        << result.status.ToString();
+  }
+  // Negative confidence is the documented "use the bootstrap default"
+  // request, and a well-formed target still serves: the service survived
+  // every rejection above.
+  const ServedResult ok =
+      service.Execute("healthy", kSumSql, nanoseconds(0),
+                      /*want_interval=*/true, /*epsilon=*/1e6,
+                      /*confidence=*/-1.0);
+  ASSERT_TRUE(ok.status.ok()) << ok.status.ToString();
+  EXPECT_TRUE(ok.answer.bootstrap_valid);
+  EXPECT_TRUE(ok.answer.bootstrap.adaptive.enabled);
 }
 
 TEST(QueryService, ParseErrorsSurfaceTyped) {

@@ -25,11 +25,17 @@
 // precision target before the SQL:
 //   epsilon=250 confidence=0.99 SELECT SUM(value) FROM integrated
 // which runs the pilot-then-refine adaptive replicate budget (stop as soon
-// as the interval half-width meets ±epsilon, escalate up to the configured
+// as the replicate-mean Monte Carlo half-width — the resolution of the
+// replicate ensemble, not the reported interval's own width, see
+// core/adaptive_budget.h — meets ±epsilon, escalate up to the configured
 // cap otherwise); UUQ_SERVE_EPSILON / UUQ_SERVE_CONFIDENCE set defaults for
-// lines that carry none. Failures print as typed statuses; EOF or "quit"
-// shuts down and prints the serving counters. The UUQ_FAULT_SEED /
-// UUQ_FAULT_SPEC env knobs inject deterministic faults.
+// lines that carry none. A malformed target (unparseable number, or a
+// target token with no SQL after it) rejects the LINE with a usage
+// message; out-of-range values the service refuses (epsilon < 0,
+// confidence >= 1) come back as typed kInvalidArgument statuses. Failures
+// print as typed statuses; EOF or "quit" shuts down and prints the serving
+// counters. The UUQ_FAULT_SEED / UUQ_FAULT_SPEC env knobs inject
+// deterministic faults.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +44,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "core/bootstrap.h"
 #include "core/bucket.h"
@@ -81,21 +88,34 @@ uuq::Result<std::vector<uuq::Observation>> LoadStream(
   return ReadObservationsCsv(buffer.str());
 }
 
-// Strips a leading `key=<double> ` token from *line into *value; returns
-// false (leaving both untouched) when the line does not start with `key=`
-// or the number fails to parse.
-bool TakeDoubleToken(std::string* line, const char* key, double* value) {
+// One attempt to strip a leading `key=<double>` token off *line.
+enum class TokenParse {
+  kNoMatch,  ///< line does not start with `key=`; nothing consumed
+  kBad,      ///< starts with `key=` but the number fails to parse
+  kOk,       ///< token consumed (with any following spaces), *value set
+};
+
+TokenParse TakeDoubleToken(std::string* line, const char* key,
+                           double* value) {
   const std::string prefix = std::string(key) + "=";
-  if (line->rfind(prefix, 0) != 0) return false;
+  if (line->rfind(prefix, 0) != 0) return TokenParse::kNoMatch;
   const size_t end = line->find(' ', prefix.size());
-  if (end == std::string::npos) return false;
+  const size_t value_end = end == std::string::npos ? line->size() : end;
+  const std::string text =
+      line->substr(prefix.size(), value_end - prefix.size());
   try {
-    *value = std::stod(line->substr(prefix.size(), end - prefix.size()));
+    size_t parsed = 0;
+    *value = std::stod(text, &parsed);
+    // Trailing garbage ("epsilon=250x") is as malformed as no number.
+    if (parsed != text.size()) return TokenParse::kBad;
   } catch (...) {
-    return false;
+    return TokenParse::kBad;
   }
-  line->erase(0, line->find_first_not_of(' ', end));
-  return true;
+  const size_t rest = line->find_first_not_of(' ', value_end);
+  // A token at end-of-line leaves the line EMPTY (not erased-to-npos
+  // garbage); the caller rejects target-only lines with no SQL.
+  line->erase(0, rest == std::string::npos ? line->size() : rest);
+  return TokenParse::kOk;
 }
 
 // --serve: one SQL query per stdin line through the QueryService.
@@ -158,9 +178,27 @@ int RunServeMode(int argc, char** argv) {
     double epsilon = default_epsilon;
     double confidence = default_confidence;
     // Request-level precision target: leading `epsilon=` / `confidence=`
-    // tokens (either order) ahead of the SQL.
-    while (TakeDoubleToken(&line, "epsilon", &epsilon) ||
-           TakeDoubleToken(&line, "confidence", &confidence)) {
+    // tokens (either order) ahead of the SQL. A token that matches but
+    // does not parse poisons the LINE — executing the remainder as SQL
+    // would silently drop the caller's precision intent.
+    bool malformed_target = false;
+    for (bool consumed = true; consumed && !malformed_target;) {
+      consumed = false;
+      for (const auto& token :
+           {std::pair<const char*, double*>{"epsilon", &epsilon},
+            std::pair<const char*, double*>{"confidence", &confidence}}) {
+        const TokenParse parse =
+            TakeDoubleToken(&line, token.first, token.second);
+        if (parse == TokenParse::kBad) malformed_target = true;
+        if (parse == TokenParse::kOk) consumed = true;
+      }
+    }
+    if (malformed_target || line.empty()) {
+      std::printf("bad query line (%s); expected: [epsilon=<number>] "
+                  "[confidence=<number>] <SQL>\n",
+                  malformed_target ? "unparseable precision target"
+                                   : "precision target without SQL");
+      continue;
     }
     const ServedResult result =
         service.Execute("main", line, std::chrono::nanoseconds(0),
@@ -180,10 +218,19 @@ int RunServeMode(int argc, char** argv) {
     if (result.precision_degraded) {
       degraded_note += "PRECISION TARGET MISSED (replicate cap/deadline)\n";
     }
+    // The adaptive note reports what actually ran: a precision-targeted
+    // query the deadline ladder degraded below level 0 (or whose interval
+    // was abandoned mid-run) never entered the adaptive path, and labelling
+    // its fixed/absent budget "adaptive" would hide that the target was
+    // ignored.
     std::string budget_note;
-    if (epsilon > 0.0) {
+    const bool adaptive_ran = result.answer.bootstrap_valid &&
+                              result.answer.bootstrap.adaptive.enabled;
+    if (adaptive_ran) {
       budget_note = ", adaptive budget used " +
                     std::to_string(result.replicates_used) + " replicates";
+    } else if (epsilon > 0.0) {
+      budget_note = ", precision target ignored (degraded run)";
     }
     std::printf("[query %llu] %s%s  (queue %.1f ms, run %.1f ms%s)\n",
                 static_cast<unsigned long long>(result.query_id),
